@@ -1,0 +1,154 @@
+"""Ablation — which routers introduce artificial delays (Section V-B).
+
+The paper argues for delaying only at *consumer-facing* routers ("those
+most likely to be probed") and defers the analysis (footnote 6).  This
+bench measures the tradeoff on a chain
+
+    consumer/adversary -- R1 -- R2 -- R3 -- producer
+
+with private content and three placements: no delays, delays at R1 only,
+delays at every router.  Quantities:
+
+* **edge privacy** — RTT distinguishability of R1-cached vs uncached
+  private content, probed from the consumer edge (the paper's main
+  threat),
+* **depth privacy** — distinguishability of "cached deeper at R2/R3, but
+  evicted from R1" vs "not cached anywhere": consumer-facing-only delays
+  leak this (the probe returns at R2's distance, faster than the
+  producer),
+* **latency** — what a legitimate consumer pays to re-fetch content that
+  fell out of R1 but survives at R2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.attacks.classifier import bayes_success
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.ndn.link import GaussianJitterDelay
+from repro.ndn.name import Name
+from repro.ndn.network import Network
+from repro.sim.process import Timeout
+
+N_OBJECTS = 40
+
+
+def build_chain(placement: str, seed: int):
+    """placement: 'none' | 'edge' (R1 only) | 'all'."""
+    net = Network()
+    from repro.sim.rng import RngRegistry
+
+    net.rng = RngRegistry(seed)
+
+    def scheme_for(router_name):
+        if placement == "all":
+            return AlwaysDelayScheme()
+        if placement == "edge" and router_name == "R1":
+            return AlwaysDelayScheme()
+        return NoPrivacyScheme()
+
+    for name in ("R1", "R2", "R3"):
+        net.add_router(name, scheme=scheme_for(name))
+    consumer = net.add_consumer("c")
+    adversary = net.add_consumer("adv")
+    producer = net.add_producer("p", "/content", private=True)
+    link = lambda base: GaussianJitterDelay(base=base, jitter_std=0.08)  # noqa: E731
+    net.connect("c", "R1", link(1.0))
+    net.connect("adv", "R1", link(1.0))
+    net.connect("R1", "R2", link(3.0))
+    net.connect("R2", "R3", link(3.0))
+    net.connect("R3", "p", link(3.0))
+    net.add_route_chain("/content", "R1", "R2", "R3", "p")
+    return net, consumer, adversary
+
+
+def _measure(placement: str):
+    """Returns (edge_leak, depth_leak, refetch_latency_ms)."""
+    edge_cached, edge_cold = [], []
+    depth_cached, depth_cold = [], []
+    refetch_latencies = []
+    for trial in range(4):
+        net, consumer, adversary = build_chain(placement, seed=500 + trial)
+        r1 = net["R1"]
+        hot = [f"/content/t{trial}-hot-{i}" for i in range(N_OBJECTS)]
+        cold = [f"/content/t{trial}-cold-{i}" for i in range(N_OBJECTS)]
+        deep = [f"/content/t{trial}-deep-{i}" for i in range(N_OBJECTS)]
+        quiet = [f"/content/t{trial}-quiet-{i}" for i in range(N_OBJECTS)]
+
+        def scenario():
+            # Victim populates every router with `hot` and `deep`.
+            for name in hot + deep:
+                result = yield from consumer.fetch(name, private=True)
+                assert result is not None
+                yield Timeout(2.0)
+            # `deep` falls out of R1 only (simulating edge eviction).
+            for name in deep:
+                r1.cs.remove(Name.parse(name))
+            yield Timeout(50.0)
+            # Edge privacy: probe hot (R1-cached) vs cold (nowhere).
+            for name, sink in [(n, edge_cached) for n in hot] + [
+                (n, edge_cold) for n in cold
+            ]:
+                result = yield from adversary.fetch(name, private=True)
+                sink.append(result.rtt)
+                yield Timeout(2.0)
+            # Depth privacy: probe deep (R2-cached) vs quiet (nowhere).
+            for name, sink in [(n, depth_cached) for n in deep] + [
+                (n, depth_cold) for n in quiet
+            ]:
+                result = yield from adversary.fetch(name, private=True)
+                sink.append(result.rtt)
+                yield Timeout(2.0)
+            # Legitimate latency: consumer re-fetches one edge-evicted item.
+            r1.cs.remove(Name.parse(f"/content/t{trial}-hot-0"))
+            result = yield from consumer.fetch(
+                f"/content/t{trial}-hot-0", private=True
+            )
+            refetch_latencies.append(result.rtt)
+
+        net.spawn(scenario(), "scenario")
+        net.run()
+    return (
+        bayes_success(edge_cached, edge_cold, bins=25),
+        bayes_success(depth_cached, depth_cold, bins=25),
+        float(np.mean(refetch_latencies)),
+    )
+
+
+def test_delay_placement_ablation(benchmark):
+    def sweep():
+        return {p: _measure(p) for p in ("none", "edge", "all")}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [placement, edge, depth, latency]
+        for placement, (edge, depth, latency) in results.items()
+    ]
+    print()
+    print(format_table(
+        ["delay placement", "edge leak (bayes)", "depth leak (bayes)",
+         "refetch latency ms"],
+        rows,
+        title="Ablation: which routers delay private cache hits (footnote 6)",
+    ))
+
+    none_edge, none_depth, none_lat = results["none"]
+    edge_edge, edge_depth, edge_lat = results["edge"]
+    all_edge, all_depth, all_lat = results["all"]
+
+    # Undefended: both oracles wide open.
+    assert none_edge > 0.95 and none_depth > 0.95
+    # Edge-only placement closes the primary (consumer-facing) oracle...
+    assert edge_edge < 0.75
+    # ...but leaks the deeper-cache signal the paper's footnote worries
+    # about: R2-cached content returns visibly faster than uncached.
+    assert edge_depth > 0.9
+    # Delaying everywhere closes both oracles...
+    assert all_edge < 0.75 and all_depth < 0.75
+    # ...at the cost of full-path latency on every re-fetch, where the
+    # edge-only deployment recovers from R2 quickly.
+    assert all_lat > edge_lat + 3.0

@@ -1,0 +1,126 @@
+"""Figure 3 — timing-attack RTT distributions, all four panels.
+
+Each bench regenerates one panel of the paper's Figure 3: the probability
+density functions of cache-hit and cache-miss delays at the adversary,
+plus the headline distinguishing probability.
+
+Paper's numbers (shape targets, absolute ms differ — simulated links):
+  (a) LAN:            success > 99.9%
+  (b) WAN:            success > 99%
+  (c) WAN producer:   success ≈ 59% (single probe)
+  (d) local host:     cleanest separation of all
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_OBJECTS, BENCH_TRIALS
+from repro.analysis.experiments import run_fig3
+
+
+def _run_panel(benchmark, setting, objects, trials):
+    result = benchmark.pedantic(
+        run_fig3,
+        args=(setting,),
+        kwargs={"objects_per_trial": objects, "trials": trials},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    return result
+
+
+def test_fig3a_lan(benchmark):
+    result = _run_panel(benchmark, "fig3a_lan", BENCH_OBJECTS, BENCH_TRIALS)
+    assert result.bayes_success > 0.99  # paper: >99.9%
+    assert result.miss_mean > result.hit_mean
+
+
+def test_fig3b_wan(benchmark):
+    result = _run_panel(benchmark, "fig3b_wan", BENCH_OBJECTS, BENCH_TRIALS)
+    assert result.bayes_success > 0.95  # paper: >99%
+    assert result.miss_mean > result.hit_mean
+
+
+def test_fig3c_wan_producer(benchmark):
+    result = _run_panel(
+        benchmark, "fig3c_wan_producer", BENCH_OBJECTS, BENCH_TRIALS
+    )
+    # Paper: 59% single-probe success; a weak but usable oracle.
+    assert 0.52 < result.bayes_success < 0.75
+    assert result.miss_mean > result.hit_mean
+
+
+def test_fig3d_local_host(benchmark):
+    result = _run_panel(
+        benchmark, "fig3d_local_host", BENCH_OBJECTS, BENCH_TRIALS
+    )
+    assert result.bayes_success > 0.99
+    # Sub-millisecond hits: the most evident separation (paper text).
+    assert result.hit_mean < 1.0
+
+
+def test_fig3_classifier_end_to_end(benchmark):
+    """Not a PDF panel, but the paper's actual adversary procedure
+    (reference fetch-twice then probe) scored with ground truth."""
+    from repro.attacks.timing import attack_accuracy
+    from repro.ndn.topology import local_lan
+
+    accuracy = benchmark.pedantic(
+        attack_accuracy,
+        args=(local_lan,),
+        kwargs={"targets_per_trial": 30, "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nend-to-end adversary accuracy (LAN): {accuracy:.4f}")
+    assert accuracy > 0.95
+
+
+def test_fig3_classifier_comparison(benchmark):
+    """Threshold vs likelihood-ratio classifiers on the Figure 3(c)
+    distributions — the weak-probe setting where classifier choice could
+    matter.  With unimodal hit/miss classes the two are near-equivalent;
+    the likelihood rule matches the Bayes ceiling by construction."""
+    from repro.attacks.classifier import (
+        LikelihoodRatioClassifier,
+        ThresholdClassifier,
+        bayes_success,
+    )
+    from repro.attacks.producer_probe import (
+        collect_producer_probe_distributions,
+    )
+    from repro.ndn.topology import wan_producer
+
+    def compare():
+        train = collect_producer_probe_distributions(
+            wan_producer, objects_per_trial=BENCH_OBJECTS,
+            trials=BENCH_TRIALS, base_seed=0,
+        )
+        test = collect_producer_probe_distributions(
+            wan_producer, objects_per_trial=BENCH_OBJECTS,
+            trials=BENCH_TRIALS, base_seed=500,
+        )
+        threshold = ThresholdClassifier.fit(train.hit_rtts, train.miss_rtts)
+        likelihood = LikelihoodRatioClassifier(
+            train.hit_rtts, train.miss_rtts, bins=30
+        )
+        return {
+            "ceiling": bayes_success(
+                test.hit_rtts, test.miss_rtts, bins=30
+            ),
+            "threshold": threshold.accuracy(test.hit_rtts, test.miss_rtts),
+            "likelihood": likelihood.accuracy(test.hit_rtts, test.miss_rtts),
+        }
+
+    scores = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\nFigure 3(c) classifier comparison (held-out):")
+    for label, score in scores.items():
+        print(f"  {label:<10} {score:.4f}")
+    # Both practical classifiers land in the weak-probe band and within a
+    # few points of the (binning-noise-inflated) ceiling estimate.
+    assert 0.5 < scores["threshold"] < 0.75
+    assert 0.5 < scores["likelihood"] < 0.75
+    assert abs(scores["likelihood"] - scores["threshold"]) < 0.08

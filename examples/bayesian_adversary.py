@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A Bayesian adversary estimating how often you requested something.
+
+Extension demo: beyond the paper's binary "was C requested?" game, an
+adversary who probes repeatedly can try to infer the *number* of prior
+requests from where the first cache hit appears.  This example shows the
+inference in action against three router configurations and how the
+Random-Cache parameters blunt it.
+
+Run:  python examples/bayesian_adversary.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.inference import RequestCountInference
+from repro.core.privacy.distributions import (
+    DegenerateK,
+    TruncatedGeometric,
+    UniformK,
+)
+from repro.core.schemes.naive_threshold import NaiveThresholdScheme
+from repro.core.schemes.uniform import UniformRandomCache
+
+X_MAX = 5  # the adversary considers 0..5 prior requests
+
+
+def demo_single_inference():
+    print("=" * 72)
+    print("One concrete run: victim requested the content 3 times")
+    print("=" * 72)
+    from repro.ndn.cs import CacheEntry
+    from repro.ndn.name import Name
+    from repro.ndn.packets import Data
+
+    def make_entry():
+        return CacheEntry(
+            data=Data(name=Name.parse("/secret/doc"), private=True),
+            insert_time=0.0, last_access=0.0, fetch_delay=10.0, private=True,
+        )
+
+    rng = np.random.default_rng(7)
+    for label, scheme, dist, t in (
+        ("naive k=5", NaiveThresholdScheme(5, rng=rng), DegenerateK(5), 10),
+        ("uniform K=12", UniformRandomCache(K=12, rng=rng), UniformK(12), 18),
+    ):
+        entry = make_entry()
+        scheme.on_insert(entry, private=True, now=0.0)  # victim request 1
+        scheme.on_request(entry, private=True, now=0.0)  # request 2
+        scheme.on_request(entry, private=True, now=0.0)  # request 3
+
+        # The adversary probes t times and counts leading misses.
+        prefix = 0
+        for _ in range(t):
+            decision = scheme.on_request(entry, private=True, now=0.0)
+            if decision.counts_as_hit:
+                break
+            prefix += 1
+
+        inference = RequestCountInference(dist, x_max=X_MAX, t=t)
+        posterior = inference.posterior(prefix)
+        estimate = inference.map_estimate(prefix)
+        print(f"\n[{label}] observed {prefix} misses before the first hit")
+        for x in range(X_MAX + 1):
+            bar = "#" * int(round(40 * posterior[x]))
+            marker = " <- truth" if x == 3 else ""
+            print(f"  P(x={x} | obs) = {posterior[x]:.3f} {bar}{marker}")
+        print(f"  MAP estimate: {estimate} "
+              f"({'correct' if estimate == 3 else 'wrong'})")
+
+
+def demo_spectrum():
+    print()
+    print("=" * 72)
+    print("Expected performance across schemes (uniform prior over 0..5)")
+    print("=" * 72)
+    print(f"{'scheme':<28} {'MAP accuracy':>14} {'info gain (bits)':>18}")
+    for label, dist, t in (
+        ("naive k=5", DegenerateK(5), 12),
+        ("expo alpha=0.5, K=40", TruncatedGeometric(0.5, 40), 50),
+        ("expo alpha=0.9, K=40", TruncatedGeometric(0.9, 40), 50),
+        ("uniform K=20", UniformK(20), 30),
+        ("uniform K=200", UniformK(200), 210),
+    ):
+        report = RequestCountInference(dist, x_max=X_MAX, t=t).report()
+        print(f"{label:<28} {report.map_accuracy:>14.3f} "
+              f"{report.information_gain_bits:>18.3f}")
+    print("\nbaseline (guess the prior mode): accuracy 0.167, 0 bits")
+    print("-> randomizing k_C is what makes request counts unrecoverable;")
+    print("   the spread of the K distribution sets how unrecoverable.")
+
+
+def main():
+    demo_single_inference()
+    demo_spectrum()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Tuning a privacy-preserving ISP cache on a proxy workload (Section VII).
+
+An ISP wants to deploy a consumer-facing NDN router that protects private
+requests while keeping the cache effective.  This example replays a
+synthetic IRCache-style trace (185 users, Zipf popularity, diurnal
+profile) and walks the decision a deployment would face:
+
+1. what does each countermeasure cost in hit rate at my cache size?
+2. how does the exponential scheme's (k, ε, δ) knob trade privacy for
+   utility?
+3. how much bandwidth does delay-based hiding save versus disabling the
+   cache for private content?
+
+Run:  python examples/isp_cache_tuning.py          (about a minute)
+      python examples/isp_cache_tuning.py --quick  (seconds, smaller trace)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core.schemes import (
+    AlwaysDelayScheme,
+    ExponentialRandomCache,
+    NoPrivacyScheme,
+    UniformRandomCache,
+)
+from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
+from repro.workload.marking import ContentMarking
+from repro.workload.replay import replay
+
+CACHE_SIZE = 8000
+PRIVATE_FRACTION = 0.2
+
+
+def build_trace(quick: bool):
+    config = IrcacheConfig(requests=40_000 if quick else 200_000, seed=11)
+    generator = IrcacheGenerator(config)
+    trace = generator.generate()
+    print(
+        f"Trace: {len(trace):,} requests, {trace.unique_objects:,} objects, "
+        f"{trace.unique_users} users; unlimited-cache ceiling "
+        f"{trace.max_hit_rate:.1%}\n"
+    )
+    return trace
+
+
+def compare_schemes(trace):
+    print(f"1. Scheme comparison at cache size {CACHE_SIZE:,} "
+          f"({PRIVATE_FRACTION:.0%} of content private)\n")
+    marking = ContentMarking(PRIVATE_FRACTION)
+    rows = []
+    for label, scheme in [
+        ("no privacy (vanilla NDN)", NoPrivacyScheme()),
+        ("exponential-random-cache", ExponentialRandomCache.for_privacy_target(
+            k=5, epsilon=0.005, delta=0.01)),
+        ("uniform-random-cache", UniformRandomCache.for_privacy_target(
+            k=5, delta=0.01)),
+        ("always delay private", AlwaysDelayScheme()),
+    ]:
+        stats = replay(trace, scheme=scheme, marking=marking,
+                       cache_size=CACHE_SIZE)
+        rows.append([
+            label,
+            100 * stats.hit_rate,
+            100 * stats.bandwidth_hit_rate,
+            100 * stats.private_hit_rate,
+        ])
+    print(format_table(
+        ["scheme", "hit rate %", "bandwidth saved %", "private hit rate %"],
+        rows,
+    ))
+    print("\n  -> delay-based schemes pay latency, not bandwidth: the"
+          "\n     'bandwidth saved' column matches vanilla NDN.\n")
+
+
+def sweep_privacy_knob(trace):
+    print("2. Exponential-Random-Cache: the (k, eps, delta) knob\n")
+    marking = ContentMarking(PRIVATE_FRACTION)
+    rows = []
+    for k, eps, delta in [
+        (1, 0.05, 0.10),
+        (5, 0.05, 0.10),
+        (5, 0.005, 0.01),
+        (10, 0.005, 0.01),
+    ]:
+        scheme = ExponentialRandomCache.for_privacy_target(k, eps, delta)
+        stats = replay(trace, scheme=scheme, marking=marking,
+                       cache_size=CACHE_SIZE)
+        rows.append([
+            k, eps, delta,
+            scheme.alpha,
+            scheme.K if scheme.K is not None else "inf",
+            100 * stats.hit_rate,
+            100 * stats.private_hit_rate,
+        ])
+    print(format_table(
+        ["k", "eps", "delta", "alpha", "K", "hit rate %", "private hit %"],
+        rows,
+    ))
+    print("\n  -> looser privacy (small k, large delta) recovers private"
+          "\n     hits; tight targets converge to always-delay behavior.\n")
+
+
+def bandwidth_vs_disable(trace):
+    print("3. Hiding hits by delay vs disabling caching for private content\n")
+    marking = ContentMarking(PRIVATE_FRACTION)
+    delayed = replay(trace, scheme=AlwaysDelayScheme(), marking=marking,
+                     cache_size=CACHE_SIZE)
+    # 'Disable' = never admit private content: emulate by an unlimited
+    # private share of misses — replay with everything private and a
+    # scheme that forces true misses.
+    from repro.core.schemes.base import CacheScheme, Decision
+
+    class NeverCachePrivateHits(CacheScheme):
+        """Forces genuine upstream re-fetches for private content."""
+
+        name = "disable-private"
+
+        def decide_private(self, entry, now):
+            return Decision.miss()
+
+    disabled = replay(trace, scheme=NeverCachePrivateHits(), marking=marking,
+                      cache_size=CACHE_SIZE)
+    print(format_table(
+        ["strategy", "observed hit rate %", "upstream traffic saved %"],
+        [
+            ["artificial delay (paper)", 100 * delayed.hit_rate,
+             100 * delayed.bandwidth_hit_rate],
+            ["ignore cache for private", 100 * disabled.hit_rate,
+             100 * disabled.bandwidth_hit_rate],
+        ],
+    ))
+    saved = delayed.bandwidth_hit_rate - disabled.bandwidth_hit_rate
+    print(f"\n  -> delay-based hiding saves {100 * saved:.1f} percentage"
+          "\n     points of upstream traffic at identical privacy.\n")
+
+
+def main():
+    quick = "--quick" in sys.argv
+    trace = build_trace(quick)
+    compare_schemes(trace)
+    sweep_privacy_knob(trace)
+    bandwidth_vs_disable(trace)
+
+
+if __name__ == "__main__":
+    main()

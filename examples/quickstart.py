@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: mount the cache timing attack, then defend against it.
+
+Builds the paper's Figure 1 topology (victim U, adversary Adv, shared
+first-hop router R, producer P), demonstrates that Adv can tell which
+content U fetched from RTTs alone, then re-runs the same probes against a
+router running the Always-Delay countermeasure.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.classifier import ThresholdClassifier
+from repro.core.schemes import AlwaysDelayScheme
+from repro.ndn.topology import local_lan
+from repro.sim.process import Timeout
+
+VICTIM_CONTENT = [f"/content/wiki/page-{i}" for i in range(5)]
+DECOY_CONTENT = [f"/content/wiki/page-{i}" for i in range(100, 105)]
+
+
+def run_scenario(scheme=None, title=""):
+    """U fetches its pages; Adv probes both U's pages and decoys."""
+    topo = local_lan(seed=42, scheme=scheme)
+    topo.producer.private_by_default = scheme is not None
+    probes = []
+
+    def victim():
+        for name in VICTIM_CONTENT:
+            result = yield from topo.user.fetch(name, private=scheme is not None)
+            assert result is not None
+            yield Timeout(5.0)
+
+    def adversary():
+        yield Timeout(1000.0)  # U browsed a while ago; Adv needs no presence
+        # Reference: fetch a known object once to cache it, then re-fetch
+        # several times — those are certain cache hits and calibrate d2.
+        yield from topo.adversary.fetch("/content/reference")
+        ref_rtts = []
+        for _ in range(6):
+            yield Timeout(5.0)
+            ref = yield from topo.adversary.fetch("/content/reference")
+            ref_rtts.append(ref.rtt)
+        classifier = ThresholdClassifier.from_reference(ref_rtts)
+        for name in VICTIM_CONTENT + DECOY_CONTENT:
+            result = yield from topo.adversary.fetch(
+                name, private=scheme is not None
+            )
+            probes.append((name, result.rtt, classifier.is_hit(result.rtt)))
+            yield Timeout(5.0)
+
+    topo.engine.spawn(victim(), label="victim")
+    topo.engine.spawn(adversary(), label="adversary")
+    topo.engine.run()
+
+    print(f"\n=== {title} ===")
+    print(f"{'content':<28} {'rtt (ms)':>9}  adversary's verdict")
+    correct = 0
+    for name, rtt, guessed_hit in probes:
+        truth = name in VICTIM_CONTENT
+        verdict = "U fetched this" if guessed_hit else "not fetched"
+        mark = "correct" if guessed_hit == truth else "WRONG"
+        correct += guessed_hit == truth
+        print(f"{name:<28} {rtt:9.2f}  {verdict:<16} [{mark}]")
+    print(f"adversary accuracy: {correct}/{len(probes)}")
+    return correct / len(probes)
+
+
+def main():
+    print("Cache Privacy in Named-Data Networking - quickstart")
+    print("Topology: U and Adv share first-hop router R; P is behind R.")
+
+    undefended = run_scenario(
+        scheme=None, title="Vanilla NDN router (no countermeasure)"
+    )
+    defended = run_scenario(
+        scheme=AlwaysDelayScheme(),
+        title="Router with Always-Delay countermeasure (Section V-B)",
+    )
+
+    print("\nSummary")
+    print(f"  undefended router: adversary accuracy {undefended:.0%}")
+    print(f"  defended router:   adversary accuracy {defended:.0%} "
+          "(~50% = coin flipping)")
+    assert undefended > 0.95
+    assert defended < 0.8
+
+
+if __name__ == "__main__":
+    main()

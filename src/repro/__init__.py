@@ -1,0 +1,19 @@
+"""ndn-cache-privacy: reproduction of "Cache Privacy in Named-Data
+Networking" (Acs, Conti, Gasti, Ghali, Tsudik — ICDCS 2013).
+
+Package map:
+
+* :mod:`repro.sim` — deterministic discrete-event engine,
+* :mod:`repro.ndn` — NDN data plane (names, CS/PIT/FIB, forwarders, links),
+* :mod:`repro.core` — the paper's contribution: privacy schemes and the
+  (k, ε, δ)-privacy framework,
+* :mod:`repro.attacks` — cache timing/probing attacks (Section III),
+* :mod:`repro.naming` — unpredictable names for interactive traffic,
+* :mod:`repro.workload` — IRCache-style trace generation and replay,
+* :mod:`repro.analysis` — statistics and experiment drivers for every
+  figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

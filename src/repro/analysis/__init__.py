@@ -1,0 +1,51 @@
+"""Analysis: statistics, table rendering, and per-figure experiment drivers."""
+
+from repro.analysis.experiments import (
+    FIG5_CACHE_SIZES,
+    AmplificationResult,
+    Fig3Result,
+    Fig4aResult,
+    Fig4bResult,
+    Fig5Result,
+    run_amplification,
+    run_fig3,
+    run_fig4a,
+    run_fig4b,
+    run_fig5a,
+    run_fig5b,
+)
+from repro.analysis.hypothesis_tests import KsResult, ks_two_sample, mann_whitney_auc
+from repro.analysis.stats import (
+    PdfPair,
+    bootstrap_mean_ci,
+    empirical_cdf,
+    pdf_pair,
+    separation_score,
+)
+from repro.analysis.tables import format_histogram_ascii, format_series, format_table
+
+__all__ = [
+    "run_fig3",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5a",
+    "run_fig5b",
+    "run_amplification",
+    "Fig3Result",
+    "Fig4aResult",
+    "Fig4bResult",
+    "Fig5Result",
+    "AmplificationResult",
+    "FIG5_CACHE_SIZES",
+    "PdfPair",
+    "KsResult",
+    "ks_two_sample",
+    "mann_whitney_auc",
+    "pdf_pair",
+    "separation_score",
+    "bootstrap_mean_ci",
+    "empirical_cdf",
+    "format_table",
+    "format_series",
+    "format_histogram_ascii",
+]

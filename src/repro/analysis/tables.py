@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment results (bench output).
+
+The benchmark harness prints each figure's data as an aligned ASCII table
+or series listing — the same rows/columns the paper's plots encode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with 4 significant decimals; everything else via str.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([_cell(value) for value in row])
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict,
+    title: str = "",
+) -> str:
+    """Render one-x-many-y series data as a table (one column per series)."""
+    headers = [x_label] + list(series.keys())
+    columns = list(series.values())
+    for name, column in series.items():
+        if len(column) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(column)} points, expected {len(x_values)}"
+            )
+    rows = [
+        [x] + [column[i] for column in columns] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_histogram_ascii(
+    bin_centers: Sequence[float],
+    density: Sequence[float],
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """A quick terminal bar rendering of one PDF (for example scripts)."""
+    if len(bin_centers) != len(density):
+        raise ValueError("bin_centers and density lengths differ")
+    peak = max(density) if density else 0.0
+    lines = [label] if label else []
+    for center, d in zip(bin_centers, density):
+        bar = "#" * (int(round(width * d / peak)) if peak > 0 else 0)
+        lines.append(f"{center:9.3f} | {bar}")
+    return "\n".join(lines)

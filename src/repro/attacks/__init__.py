@@ -1,0 +1,78 @@
+"""Cache privacy attacks (Section III) and attacks on weak schemes (§VI)."""
+
+from repro.attacks.amplification import (
+    VoteVerdict,
+    amplified_success,
+    empirical_amplified_success,
+    fragments_needed,
+    majority_vote,
+    mean_rtt_vote,
+    success_curve,
+)
+from repro.attacks.classifier import (
+    LikelihoodRatioClassifier,
+    ThresholdClassifier,
+    bayes_success,
+    gaussian_success,
+    optimal_threshold,
+)
+from repro.attacks.correlation import (
+    CorrelationVerdict,
+    correlation_attack_advantage,
+    probe_correlated_set,
+)
+from repro.attacks.counting import (
+    CountingAttack,
+    CountingResult,
+    counting_attack_accuracy,
+)
+from repro.attacks.inference import InferenceReport, RequestCountInference
+from repro.attacks.producer_probe import (
+    FetchTwiceProbe,
+    FetchTwiceVerdict,
+    collect_producer_probe_distributions,
+)
+from repro.attacks.scope_probe import ScopeProbeAttack, ScopeProbeVerdict
+from repro.attacks.session_detection import SessionDetectionAttack, SessionVerdict
+from repro.attacks.timing import (
+    CacheProbeAttack,
+    ProbeVerdict,
+    RttDistributions,
+    attack_accuracy,
+    collect_rtt_distributions,
+)
+
+__all__ = [
+    "ThresholdClassifier",
+    "LikelihoodRatioClassifier",
+    "bayes_success",
+    "optimal_threshold",
+    "gaussian_success",
+    "CacheProbeAttack",
+    "ProbeVerdict",
+    "RttDistributions",
+    "collect_rtt_distributions",
+    "attack_accuracy",
+    "FetchTwiceProbe",
+    "FetchTwiceVerdict",
+    "collect_producer_probe_distributions",
+    "amplified_success",
+    "fragments_needed",
+    "success_curve",
+    "majority_vote",
+    "mean_rtt_vote",
+    "empirical_amplified_success",
+    "VoteVerdict",
+    "ScopeProbeAttack",
+    "ScopeProbeVerdict",
+    "SessionDetectionAttack",
+    "SessionVerdict",
+    "CountingAttack",
+    "CountingResult",
+    "counting_attack_accuracy",
+    "RequestCountInference",
+    "InferenceReport",
+    "CorrelationVerdict",
+    "probe_correlated_set",
+    "correlation_attack_advantage",
+]

@@ -1,0 +1,198 @@
+"""Hit/miss classifiers over RTT observations.
+
+The adversary's core primitive is deciding, from a measured delay, whether
+content came from the shared router's cache.  Two classifiers are provided:
+
+* :class:`ThresholdClassifier` — pick the cut maximizing balanced accuracy
+  on labeled training samples (what the paper's d1-vs-d2 comparison
+  effectively does),
+* :func:`bayes_success` — the information-theoretic ceiling: the success
+  probability of the Bayes-optimal decision rule under equal priors,
+  1 − overlap(hit, miss)/2, estimated from histograms.  This is the number
+  the paper quotes (">99.9%", ">99%", "59%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _as_array(samples: Sequence[float], label: str) -> np.ndarray:
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError(f"{label} sample set is empty")
+    return arr
+
+
+def optimal_threshold(
+    hit_rtts: Sequence[float], miss_rtts: Sequence[float]
+) -> Tuple[float, float]:
+    """Best RTT cut and its balanced accuracy.
+
+    Sweeps every candidate boundary between sorted observations and returns
+    the threshold t maximizing (P[hit < t] + P[miss >= t]) / 2.  Hits are
+    assumed faster than misses (true by construction in NDN: the cached
+    copy is never farther than the producer).
+    """
+    hits = _as_array(hit_rtts, "hit")
+    misses = _as_array(miss_rtts, "miss")
+    candidates = np.unique(np.concatenate([hits, misses]))
+    best_t, best_acc = float(candidates[0]), 0.0
+    for t in candidates:
+        acc = 0.5 * float(np.mean(hits < t)) + 0.5 * float(np.mean(misses >= t))
+        if acc > best_acc:
+            best_acc, best_t = acc, float(t)
+    # Also consider a cut above every sample (all classified hit).
+    top = float(candidates[-1]) + 1e-9
+    acc = 0.5 * float(np.mean(hits < top)) + 0.5 * float(np.mean(misses >= top))
+    if acc > best_acc:
+        best_acc, best_t = acc, top
+    return best_t, best_acc
+
+
+def bayes_success(
+    hit_rtts: Sequence[float],
+    miss_rtts: Sequence[float],
+    bins: int = 60,
+) -> float:
+    """Equal-prior Bayes success probability, 1 − overlap/2.
+
+    Histograms both sample sets on a common grid; the Bayes-optimal rule
+    picks the larger density in each bin, so its error is half the
+    histogram overlap.
+    """
+    hits = _as_array(hit_rtts, "hit")
+    misses = _as_array(miss_rtts, "miss")
+    lo = min(hits.min(), misses.min())
+    hi = max(hits.max(), misses.max())
+    if hi <= lo:
+        return 0.5
+    edges = np.linspace(lo, hi, bins + 1)
+    p_hit, _ = np.histogram(hits, bins=edges, density=False)
+    p_miss, _ = np.histogram(misses, bins=edges, density=False)
+    p_hit = p_hit / hits.size
+    p_miss = p_miss / misses.size
+    overlap = float(np.minimum(p_hit, p_miss).sum())
+    return 1.0 - overlap / 2.0
+
+
+def gaussian_success(shift: float, sigma: float) -> float:
+    """Analytic Bayes success for two equal-variance Gaussians.
+
+    Success = Φ(shift / (2σ)); the calibration sanity check for the
+    Figure-3 topologies.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    from math import erf, sqrt
+
+    z = shift / (2.0 * sigma)
+    return 0.5 * (1.0 + erf(z / sqrt(2.0)))
+
+
+class LikelihoodRatioClassifier:
+    """Histogram-density likelihood-ratio test: the Bayes-optimal rule.
+
+    Fits per-class densities on a shared grid (with add-one smoothing so
+    unseen bins don't produce infinite ratios) and classifies by which
+    density is larger — equivalently, log-likelihood ratio against 0.
+    Out-of-range observations are assigned to the nearer class extreme
+    (below the grid ⇒ hit, above ⇒ miss; hits are never slower than
+    misses in NDN).
+    """
+
+    def __init__(
+        self,
+        hit_rtts: Sequence[float],
+        miss_rtts: Sequence[float],
+        bins: int = 40,
+    ) -> None:
+        hits = _as_array(hit_rtts, "hit")
+        misses = _as_array(miss_rtts, "miss")
+        lo = float(min(hits.min(), misses.min()))
+        hi = float(max(hits.max(), misses.max()))
+        if hi <= lo:
+            hi = lo + 1e-9
+        self.edges = np.linspace(lo, hi, bins + 1)
+        hit_counts, _ = np.histogram(hits, bins=self.edges)
+        miss_counts, _ = np.histogram(misses, bins=self.edges)
+        # Add-one smoothing keeps the log-ratio finite everywhere.
+        self._hit_density = (hit_counts + 1.0) / (hits.size + bins)
+        self._miss_density = (miss_counts + 1.0) / (misses.size + bins)
+
+    def log_likelihood_ratio(self, rtt: float) -> float:
+        """log P(rtt | hit) − log P(rtt | miss)."""
+        if rtt < self.edges[0]:
+            return float("inf")
+        if rtt > self.edges[-1]:
+            return float("-inf")
+        index = min(
+            int(np.searchsorted(self.edges, rtt, side="right")) - 1,
+            self._hit_density.size - 1,
+        )
+        index = max(index, 0)
+        return float(
+            np.log(self._hit_density[index]) - np.log(self._miss_density[index])
+        )
+
+    def is_hit(self, rtt: float) -> bool:
+        """Classify one observation (equal priors)."""
+        return self.log_likelihood_ratio(rtt) > 0.0
+
+    def accuracy(
+        self, hit_rtts: Sequence[float], miss_rtts: Sequence[float]
+    ) -> float:
+        """Balanced accuracy on held-out labeled samples."""
+        hits = _as_array(hit_rtts, "hit")
+        misses = _as_array(miss_rtts, "miss")
+        hit_correct = float(np.mean([self.is_hit(r) for r in hits]))
+        miss_correct = float(np.mean([not self.is_hit(r) for r in misses]))
+        return 0.5 * hit_correct + 0.5 * miss_correct
+
+
+@dataclass
+class ThresholdClassifier:
+    """A fitted RTT threshold: below ⇒ cache hit, at/above ⇒ miss."""
+
+    threshold: float
+    training_accuracy: float
+
+    @classmethod
+    def fit(
+        cls, hit_rtts: Sequence[float], miss_rtts: Sequence[float]
+    ) -> "ThresholdClassifier":
+        """Fit the balanced-accuracy-optimal threshold on labeled samples."""
+        threshold, accuracy = optimal_threshold(hit_rtts, miss_rtts)
+        return cls(threshold=threshold, training_accuracy=accuracy)
+
+    @classmethod
+    def from_reference(
+        cls, reference_hit_rtts: Sequence[float], margin_sigmas: float = 4.0
+    ) -> "ThresholdClassifier":
+        """Fit from *hit-only* reference probes (the paper's d2 procedure).
+
+        The adversary fetches known-cached content repeatedly; anything
+        within ``margin_sigmas`` standard deviations of the reference mean
+        is judged a hit.  No miss samples are needed.
+        """
+        ref = _as_array(reference_hit_rtts, "reference")
+        spread = float(ref.std(ddof=1)) if ref.size > 1 else 0.0
+        threshold = float(ref.mean()) + max(margin_sigmas * spread, 1e-6)
+        return cls(threshold=threshold, training_accuracy=float("nan"))
+
+    def is_hit(self, rtt: float) -> bool:
+        """Classify one observation."""
+        return rtt < self.threshold
+
+    def accuracy(
+        self, hit_rtts: Sequence[float], miss_rtts: Sequence[float]
+    ) -> float:
+        """Balanced accuracy on held-out labeled samples."""
+        hits = _as_array(hit_rtts, "hit")
+        misses = _as_array(miss_rtts, "miss")
+        return 0.5 * float(np.mean(hits < self.threshold)) + 0.5 * float(
+            np.mean(misses >= self.threshold)
+        )

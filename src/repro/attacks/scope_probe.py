@@ -1,0 +1,72 @@
+"""The scope-field probe (Section III).
+
+NDN interests carry a ``scope`` field; ``scope = 2`` confines an interest
+to the first-hop router.  If such an interest returns content at all —
+regardless of delay — the content *must* have been in R's cache, giving
+the adversary a timing-free oracle.  The countermeasure the paper notes:
+routers are allowed to disregard the field, which turns the probe into an
+ordinary (timing-classified) fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from repro.ndn.name import Name, name_of
+from repro.ndn.topology import AttackTopology
+from repro.sim.process import Timeout
+
+
+@dataclass(frozen=True)
+class ScopeProbeVerdict:
+    """Outcome of one scope-limited probe."""
+
+    target: Name
+    answered: bool
+    rtt: float
+    #: True iff an answer arrived — with honored scope, a definitive hit.
+    decided_hit: bool
+
+
+class ScopeProbeAttack:
+    """Probe R's cache with scope-2 interests (no timing analysis needed)."""
+
+    def __init__(self, topology: AttackTopology, probe_timeout: float = 1000.0) -> None:
+        self.topology = topology
+        self.probe_timeout = probe_timeout
+        self.verdicts: List[ScopeProbeVerdict] = []
+
+    def run(self, targets: Sequence[Union[str, Name]], gap: float = 5.0):
+        """Coroutine: send one scope-2 interest per target.
+
+        An answered probe is a certain cache hit; an unanswered one (the
+        interest died at R) is read as a miss.  Against a scope-ignoring
+        router every probe is answered and the oracle degrades to timing.
+        """
+        for target in targets:
+            target_name = name_of(target)
+            result = yield from self.topology.adversary.fetch(
+                target_name, scope=2, timeout=self.probe_timeout
+            )
+            answered = result is not None
+            self.verdicts.append(
+                ScopeProbeVerdict(
+                    target=target_name,
+                    answered=answered,
+                    rtt=result.rtt if answered else float("inf"),
+                    decided_hit=answered,
+                )
+            )
+            yield Timeout(gap)
+        return self.verdicts
+
+    def accuracy(self, truth_hits: Sequence[Union[str, Name]]) -> float:
+        """Fraction of verdicts agreeing with ground truth."""
+        if not self.verdicts:
+            raise RuntimeError("no verdicts recorded; run the attack first")
+        truth = {name_of(n) for n in truth_hits}
+        correct = sum(
+            int(v.decided_hit == (v.target in truth)) for v in self.verdicts
+        )
+        return correct / len(self.verdicts)

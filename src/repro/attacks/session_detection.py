@@ -1,0 +1,107 @@
+"""Detecting two-way interactive communication through router caches.
+
+The paper's introduction notes that combining the consumer- and
+producer-privacy probes "can be used to learn whether two parties (Alice
+and Bob) have been recently, or still are, involved in a two-way
+interactive communication, e.g., voice or SSH".
+
+This module implements that attack against a shared first-hop router:
+the adversary enumerates candidate frame names for both directions of a
+suspected session (``/alice/voip/<seq>`` and ``/bob/voip/<seq>``) and
+probes the router's cache for each, using scope-2 interests when the
+router honors scope (a timing-free oracle) and falling back to observing
+whether the probe is answered at all.  Any cached frame in *both*
+directions certifies an active two-way session.
+
+With Section V-A's unpredictable names the enumeration fails — the
+adversary cannot construct a single valid frame name — which is exactly
+the countermeasure's purpose, demonstrated by the session-detection
+benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.ndn.name import Name, name_of
+from repro.sim.process import Timeout
+
+
+@dataclass
+class SessionVerdict:
+    """The adversary's conclusion about one suspected session."""
+
+    alice_prefix: Name
+    bob_prefix: Name
+    alice_frames_found: int
+    bob_frames_found: int
+    probes_sent: int
+    #: Frames recently flowed in BOTH directions: two-way communication.
+    two_way_detected: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.two_way_detected = (
+            self.alice_frames_found > 0 and self.bob_frames_found > 0
+        )
+
+
+class SessionDetectionAttack:
+    """Enumerate-and-probe detection of an interactive session.
+
+    ``name_generator(prefix, seq)`` produces the candidate frame name the
+    adversary will probe — the identity layout ``<prefix>/<seq>`` matches
+    :class:`~repro.naming.session.PredictableSessionNamer`; an adversary
+    attacking an unpredictable-names session can only guess.
+    """
+
+    def __init__(
+        self,
+        consumer,
+        probe_timeout: float = 200.0,
+        use_scope: bool = True,
+        name_generator=None,
+    ) -> None:
+        self.consumer = consumer
+        self.probe_timeout = probe_timeout
+        self.use_scope = use_scope
+        self.name_generator = (
+            name_generator
+            if name_generator is not None
+            else lambda prefix, seq: prefix.append(str(seq))
+        )
+        self.verdicts: List[SessionVerdict] = []
+
+    def detect(
+        self,
+        alice_prefix: Union[str, Name],
+        bob_prefix: Union[str, Name],
+        sequence_window: Sequence[int],
+        gap: float = 2.0,
+    ):
+        """Coroutine: probe both directions over a sequence window."""
+        alice = name_of(alice_prefix)
+        bob = name_of(bob_prefix)
+        found = {alice: 0, bob: 0}
+        probes = 0
+        for prefix in (alice, bob):
+            for seq in sequence_window:
+                target = self.name_generator(prefix, seq)
+                result = yield from self.consumer.fetch(
+                    target,
+                    scope=2 if self.use_scope else None,
+                    timeout=self.probe_timeout,
+                )
+                probes += 1
+                if result is not None:
+                    found[prefix] += 1
+                yield Timeout(gap)
+        verdict = SessionVerdict(
+            alice_prefix=alice,
+            bob_prefix=bob,
+            alice_frames_found=found[alice],
+            bob_frames_found=found[bob],
+            probes_sent=probes,
+        )
+        self.verdicts.append(verdict)
+        return verdict

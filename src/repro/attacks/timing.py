@@ -1,0 +1,224 @@
+"""The consumer-privacy cache timing attack (Section III, experiments 1–2).
+
+The adversary shares first-hop router R with victim U.  To learn whether U
+recently requested content C:
+
+1. measure d1 — the delay of fetching C,
+2. fetch an unrelated existing content C' twice; the second fetch is
+   certainly served from R's cache, giving the reference delay d2,
+3. decide "U requested C" iff d1 ≈ d2 (cache hit at R).
+
+Two layers are provided: :class:`CacheProbeAttack` runs the actual
+adversary procedure inside a simulation, and
+:func:`collect_rtt_distributions` runs the paper's *measurement* protocol
+(prefetch-and-probe over many trials) to produce the labeled hit/miss RTT
+samples behind the Figure-3 PDFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.attacks.classifier import ThresholdClassifier, bayes_success
+from repro.ndn.name import Name, name_of
+from repro.ndn.topology import AttackTopology
+from repro.sim.process import Timeout
+
+
+@dataclass(frozen=True)
+class ProbeVerdict:
+    """Outcome of one adversary probe against one target name."""
+
+    target: Name
+    rtt: float
+    decided_hit: bool
+    threshold: float
+
+
+@dataclass
+class RttDistributions:
+    """Labeled RTT samples from one measurement campaign."""
+
+    hit_rtts: List[float] = field(default_factory=list)
+    miss_rtts: List[float] = field(default_factory=list)
+
+    @property
+    def bayes_success_probability(self) -> float:
+        """Equal-prior Bayes success of distinguishing hit from miss."""
+        return bayes_success(self.hit_rtts, self.miss_rtts)
+
+    def extend(self, other: "RttDistributions") -> None:
+        """Merge another campaign's samples."""
+        self.hit_rtts.extend(other.hit_rtts)
+        self.miss_rtts.extend(other.miss_rtts)
+
+
+class CacheProbeAttack:
+    """The adversary's probe procedure, run as a simulation process."""
+
+    def __init__(self, topology: AttackTopology, margin_sigmas: float = 4.0) -> None:
+        self.topology = topology
+        self.adversary = topology.adversary
+        self.margin_sigmas = margin_sigmas
+        self.verdicts: List[ProbeVerdict] = []
+
+    def run(
+        self,
+        targets: Sequence[Union[str, Name]],
+        reference: Union[str, Name],
+        reference_probes: int = 5,
+        gap: float = 5.0,
+    ):
+        """Coroutine: probe each target, deciding hit/miss via the d2 reference.
+
+        ``reference`` is any *existing* content name; it is fetched once to
+        force it into R's cache and then ``reference_probes`` more times to
+        estimate the hit-delay distribution d2.  Each target is then probed
+        once and judged against the reference threshold.
+        """
+        ref_name = name_of(reference)
+        first = yield from self.adversary.fetch(ref_name)
+        if first is None:
+            raise RuntimeError(f"reference content {ref_name} unreachable")
+        yield Timeout(gap)
+        ref_rtts = []
+        for _ in range(reference_probes):
+            result = yield from self.adversary.fetch(ref_name)
+            if result is None:
+                raise RuntimeError(f"reference re-fetch of {ref_name} failed")
+            ref_rtts.append(result.rtt)
+            yield Timeout(gap)
+        classifier = ThresholdClassifier.from_reference(
+            ref_rtts, margin_sigmas=self.margin_sigmas
+        )
+        for target in targets:
+            target_name = name_of(target)
+            result = yield from self.adversary.fetch(target_name)
+            if result is None:
+                continue
+            self.verdicts.append(
+                ProbeVerdict(
+                    target=target_name,
+                    rtt=result.rtt,
+                    decided_hit=classifier.is_hit(result.rtt),
+                    threshold=classifier.threshold,
+                )
+            )
+            yield Timeout(gap)
+        return self.verdicts
+
+
+def collect_rtt_distributions(
+    topology_builder: Callable[..., AttackTopology],
+    objects_per_trial: int = 100,
+    trials: int = 10,
+    base_seed: int = 0,
+    warmup_gap: float = 50.0,
+    probe_gap: float = 2.0,
+    builder_kwargs: Optional[dict] = None,
+) -> RttDistributions:
+    """The paper's measurement protocol, generalized over topologies.
+
+    Per trial (fresh topology ⇒ empty caches, new RNG streams):
+
+    1. U requests ``objects_per_trial`` distinct objects, caching them at R,
+    2. Adv fetches the same objects — labeled **hit** samples,
+    3. Adv fetches as many *never-requested* objects — labeled **miss**.
+
+    Returns the pooled labeled samples; feed them to
+    :func:`repro.attacks.classifier.bayes_success` (or read
+    ``.bayes_success_probability``) for the paper's headline numbers.
+    """
+    if objects_per_trial < 1:
+        raise ValueError(f"objects_per_trial must be >= 1, got {objects_per_trial}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    kwargs = dict(builder_kwargs or {})
+    pooled = RttDistributions()
+    for trial in range(trials):
+        topo = topology_builder(seed=base_seed + trial, **kwargs)
+        prefix = str(topo.content_prefix)
+        hit_names = [f"{prefix}/t{trial}-hot-{i}" for i in range(objects_per_trial)]
+        miss_names = [f"{prefix}/t{trial}-cold-{i}" for i in range(objects_per_trial)]
+        trial_hits: List[float] = []
+        trial_misses: List[float] = []
+
+        def user_proc():
+            for name in hit_names:
+                result = yield from topo.user.fetch(name)
+                if result is None:
+                    raise RuntimeError(f"user prefetch of {name} failed")
+                yield Timeout(probe_gap)
+
+        def adversary_proc():
+            yield Timeout(warmup_gap + objects_per_trial * probe_gap * 4)
+            for name in hit_names:
+                result = yield from topo.adversary.fetch(name)
+                if result is not None:
+                    trial_hits.append(result.rtt)
+                yield Timeout(probe_gap)
+            for name in miss_names:
+                result = yield from topo.adversary.fetch(name)
+                if result is not None:
+                    trial_misses.append(result.rtt)
+                yield Timeout(probe_gap)
+
+        topo.engine.spawn(user_proc(), label=f"user-trial{trial}")
+        topo.engine.spawn(adversary_proc(), label=f"adv-trial{trial}")
+        topo.engine.run()
+        pooled.hit_rtts.extend(trial_hits)
+        pooled.miss_rtts.extend(trial_misses)
+    return pooled
+
+
+def attack_accuracy(
+    topology_builder: Callable[..., AttackTopology],
+    targets_per_trial: int = 40,
+    trials: int = 5,
+    base_seed: int = 1000,
+    builder_kwargs: Optional[dict] = None,
+) -> float:
+    """End-to-end adversary accuracy with ground truth.
+
+    Runs :class:`CacheProbeAttack` against a half-prefetched target set and
+    scores its verdicts; unlike :func:`collect_rtt_distributions` this
+    exercises the *actual decision procedure* (reference probing included),
+    not just the distribution gap.
+    """
+    if targets_per_trial < 2:
+        raise ValueError(f"targets_per_trial must be >= 2, got {targets_per_trial}")
+    kwargs = dict(builder_kwargs or {})
+    correct = 0
+    total = 0
+    for trial in range(trials):
+        topo = topology_builder(seed=base_seed + trial, **kwargs)
+        prefix = str(topo.content_prefix)
+        hot = [f"{prefix}/acc{trial}-hot-{i}" for i in range(targets_per_trial // 2)]
+        cold = [f"{prefix}/acc{trial}-cold-{i}" for i in range(targets_per_trial // 2)]
+        attack = CacheProbeAttack(topo)
+
+        def user_proc():
+            for name in hot:
+                result = yield from topo.user.fetch(name)
+                if result is None:
+                    raise RuntimeError(f"user prefetch of {name} failed")
+                yield Timeout(2.0)
+
+        def adversary_proc():
+            yield Timeout(1000.0 + targets_per_trial * 10.0)
+            yield from attack.run(
+                targets=hot + cold, reference=f"{prefix}/acc{trial}-ref"
+            )
+
+        topo.engine.spawn(user_proc(), label=f"user-acc{trial}")
+        topo.engine.spawn(adversary_proc(), label=f"adv-acc{trial}")
+        topo.engine.run()
+        hot_set = {name_of(n) for n in hot}
+        for verdict in attack.verdicts:
+            truth_hit = verdict.target in hot_set
+            correct += int(verdict.decided_hit == truth_hit)
+            total += 1
+    if total == 0:
+        raise RuntimeError("attack produced no verdicts")
+    return correct / total

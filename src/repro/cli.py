@@ -1,0 +1,257 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Usage (installed as ``repro-experiments``, or ``python -m repro.cli``):
+
+    repro-experiments fig3 fig3a_lan
+    repro-experiments fig3 --all
+    repro-experiments fig4a --k 1 --delta 0.05
+    repro-experiments fig4b --k 5
+    repro-experiments fig5a --requests 100000
+    repro-experiments fig5b --requests 100000 --sizes 2000 8000 inf
+    repro-experiments amplification --p 0.59 --fragments 8
+    repro-experiments trace --requests 50000 --out trace.tsv
+
+Each command prints the same rows/series the corresponding paper figure
+plots; ``trace`` writes a synthetic IRCache-style trace in the TSV format
+:meth:`repro.workload.Trace.load` reads back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    FIG5_CACHE_SIZES,
+    run_amplification,
+    run_fig3,
+    run_fig4a,
+    run_fig4b,
+    run_fig5a,
+    run_fig5b,
+)
+from repro.ndn.topology import TOPOLOGIES
+
+FIG3_SETTINGS = sorted(TOPOLOGIES)
+
+
+def _parse_sizes(tokens: Optional[List[str]]):
+    if not tokens:
+        return FIG5_CACHE_SIZES
+    sizes = []
+    for token in tokens:
+        if token.lower() in ("inf", "none", "unlimited"):
+            sizes.append(None)
+        else:
+            sizes.append(int(token))
+    return tuple(sizes)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate figures from 'Cache Privacy in NDN' (ICDCS 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig3 = sub.add_parser("fig3", help="timing-attack RTT distributions")
+    fig3.add_argument("setting", nargs="?", choices=FIG3_SETTINGS)
+    fig3.add_argument("--all", action="store_true", help="run all four panels")
+    fig3.add_argument("--objects", type=int, default=60)
+    fig3.add_argument("--trials", type=int, default=6)
+    fig3.add_argument("--seed", type=int, default=0)
+
+    fig4a = sub.add_parser("fig4a", help="utility vs requests at fixed delta")
+    fig4a.add_argument("--k", type=int, default=1)
+    fig4a.add_argument("--delta", type=float, default=0.05)
+    fig4a.add_argument("--epsilons", type=float, nargs="+",
+                       default=[0.03, 0.04, 0.05])
+    fig4a.add_argument("--c-max", type=int, default=100)
+
+    fig4b = sub.add_parser("fig4b", help="max utility difference vs delta")
+    fig4b.add_argument("--k", type=int, default=1)
+    fig4b.add_argument("--deltas", type=float, nargs="+",
+                       default=[0.01, 0.03, 0.05])
+    fig4b.add_argument("--c-max", type=int, default=100)
+
+    for name, help_text in (
+        ("fig5a", "hit rate vs cache size per scheme"),
+        ("fig5b", "exponential scheme vs private share"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--requests", type=int, default=100_000)
+        p.add_argument("--sizes", nargs="+", default=None,
+                       help="cache sizes; use 'inf' for unlimited")
+        p.add_argument("--k", type=int, default=5)
+        p.add_argument("--epsilon", type=float, default=0.005)
+        p.add_argument("--delta", type=float, default=0.01)
+        p.add_argument("--seed", type=int, default=0)
+        if name == "fig5a":
+            p.add_argument("--private-fraction", type=float, default=0.2)
+        else:
+            p.add_argument("--private-fractions", type=float, nargs="+",
+                           default=[0.05, 0.10, 0.20, 0.40])
+
+    amp = sub.add_parser("amplification", help="1-(1-p)^n table")
+    amp.add_argument("--p", type=float, default=0.59)
+    amp.add_argument("--fragments", type=int, default=16)
+
+    trace = sub.add_parser("trace", help="generate a synthetic IRCache trace")
+    trace.add_argument("--requests", type=int, default=100_000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", required=True, help="output TSV path")
+
+    report = sub.add_parser(
+        "report", help="run every figure and write a markdown report"
+    )
+    report.add_argument("--out", required=True, help="output markdown path")
+    report.add_argument("--requests", type=int, default=100_000,
+                        help="trace length for the Figure 5 replays")
+    report.add_argument("--objects", type=int, default=60,
+                        help="probed objects per Figure 3 trial")
+    report.add_argument("--trials", type=int, default=6,
+                        help="trials per Figure 3 panel")
+    report.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _make_trace(requests: int, seed: int):
+    from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
+
+    return IrcacheGenerator(IrcacheConfig(requests=requests, seed=seed)).generate()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "fig3":
+        settings = FIG3_SETTINGS if args.all or not args.setting else [args.setting]
+        if not settings:
+            print("error: give a setting or --all", file=sys.stderr)
+            return 2
+        for setting in settings:
+            result = run_fig3(
+                setting,
+                objects_per_trial=args.objects,
+                trials=args.trials,
+                seed=args.seed,
+            )
+            print(result.render())
+            print()
+        return 0
+
+    if args.command == "fig4a":
+        result = run_fig4a(args.k, delta=args.delta, epsilons=args.epsilons,
+                           c_max=args.c_max)
+        print(result.render())
+        return 0
+
+    if args.command == "fig4b":
+        result = run_fig4b(args.k, deltas=args.deltas, c_max=args.c_max)
+        print(result.render())
+        for delta in args.deltas:
+            print(f"max difference (delta={delta}): "
+                  f"{result.max_difference(delta):.4f}")
+        return 0
+
+    if args.command == "fig5a":
+        trace = _make_trace(args.requests, args.seed)
+        result = run_fig5a(
+            trace,
+            cache_sizes=_parse_sizes(args.sizes),
+            k=args.k, epsilon=args.epsilon, delta=args.delta,
+            private_fraction=args.private_fraction, seed=args.seed,
+        )
+        print(result.render())
+        return 0
+
+    if args.command == "fig5b":
+        trace = _make_trace(args.requests, args.seed)
+        result = run_fig5b(
+            trace,
+            cache_sizes=_parse_sizes(args.sizes),
+            k=args.k, epsilon=args.epsilon, delta=args.delta,
+            private_fractions=args.private_fractions, seed=args.seed,
+        )
+        print(result.render())
+        return 0
+
+    if args.command == "amplification":
+        result = run_amplification(args.p, max_fragments=args.fragments)
+        print(result.render())
+        return 0
+
+    if args.command == "trace":
+        trace = _make_trace(args.requests, args.seed)
+        trace.save(args.out)
+        print(
+            f"wrote {len(trace)} requests ({trace.unique_objects} objects, "
+            f"{trace.unique_users} users) to {args.out}"
+        )
+        return 0
+
+    if args.command == "report":
+        _write_report(args)
+        print(f"wrote reproduction report to {args.out}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _write_report(args) -> None:
+    """Run every figure at the requested scale; emit a markdown report."""
+    sections = [
+        "# Reproduction report — Cache Privacy in Named-Data Networking",
+        "",
+        f"Configuration: Figure 3 at {args.trials} trials x {args.objects} "
+        f"objects; Figure 5 on a {args.requests}-request synthetic IRCache "
+        f"trace; seed {args.seed}.",
+        "",
+    ]
+
+    sections.append("## Figure 3 — timing attacks\n")
+    producer_success = None
+    for setting in FIG3_SETTINGS:
+        result = run_fig3(
+            setting, objects_per_trial=args.objects, trials=args.trials,
+            seed=args.seed,
+        )
+        if setting == "fig3c_wan_producer":
+            producer_success = result.bayes_success
+        sections.append(
+            f"**{setting}** — {result.description}: Bayes success "
+            f"{result.bayes_success:.4f} (hit mean {result.hit_mean:.2f} ms, "
+            f"miss mean {result.miss_mean:.2f} ms).\n"
+        )
+
+    sections.append("## Section III — amplification\n")
+    amp = run_amplification(producer_success, max_fragments=8)
+    sections.append("```\n" + amp.render() + "\n```\n")
+
+    sections.append("## Figure 4 — Random-Cache utility\n")
+    for k in (1, 5):
+        fig4b = run_fig4b(k)
+        peaks = ", ".join(
+            f"delta={d}: {fig4b.max_difference(d):.4f}" for d in (0.01, 0.03, 0.05)
+        )
+        sections.append(f"**k={k}** peak utility differences: {peaks}.\n")
+    sections.append("```\n" + run_fig4a(1).render() + "\n```\n")
+
+    sections.append("## Figure 5 — trace-replay hit rates\n")
+    trace = _make_trace(args.requests, args.seed)
+    sections.append("```\n" + run_fig5a(trace).render() + "\n```\n")
+    sections.append("```\n" + run_fig5b(trace).render() + "\n```\n")
+
+    from pathlib import Path
+
+    Path(args.out).write_text("\n".join(sections), encoding="utf-8")
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        raise SystemExit(0)

@@ -1,0 +1,9 @@
+"""The paper's primary contribution: privacy schemes and the formal framework.
+
+* :mod:`repro.core.schemes` — cache-privacy countermeasures (Sections V–VI),
+* :mod:`repro.core.privacy` — definitions, theorems, and their validation.
+"""
+
+from repro.core import privacy, schemes
+
+__all__ = ["schemes", "privacy"]

@@ -1,0 +1,89 @@
+"""Formal privacy framework: definitions IV.1–IV.3 and theorems VI.1–VI.4.
+
+* :mod:`distributions` — the first-hit distributions K of Algorithm 1,
+* :mod:`indistinguishability` — (ε, δ)-probabilistic indistinguishability,
+* :mod:`guarantees` — closed-form (k, ε, δ) statements and parameter solvers,
+* :mod:`utility` — u(c) closed forms,
+* :mod:`oracle` — exact Q_S probe-sequence analysis,
+* :mod:`empirical` — Monte-Carlo validation against running scheme code.
+"""
+
+from repro.core.privacy.distributions import (
+    DegenerateK,
+    FirstHitDistribution,
+    TruncatedGeometric,
+    UniformK,
+)
+from repro.core.privacy.empirical import (
+    EmpiricalPrivacy,
+    estimate_privacy,
+    estimate_utility,
+    simulate_probe_prefix,
+)
+from repro.core.privacy.guarantees import (
+    PrivacyGuarantee,
+    exponential_privacy,
+    max_exponential_epsilon,
+    solve_exponential_params,
+    solve_uniform_K,
+    uniform_privacy,
+)
+from repro.core.privacy.indistinguishability import (
+    IndistinguishabilityResult,
+    min_delta,
+    min_epsilon,
+    total_variation,
+    tradeoff_curve,
+)
+from repro.core.privacy.oracle import (
+    OracleAnalysis,
+    oracle_guarantee,
+    oracle_min_epsilon,
+    prefix_length_distribution,
+)
+from repro.core.privacy.utility import (
+    expected_misses,
+    exponential_expected_misses,
+    exponential_utility,
+    max_utility_difference,
+    uniform_expected_misses,
+    uniform_expected_misses_paper,
+    uniform_utility,
+    utility_from_misses,
+    utility_difference,
+)
+
+__all__ = [
+    "FirstHitDistribution",
+    "UniformK",
+    "TruncatedGeometric",
+    "DegenerateK",
+    "PrivacyGuarantee",
+    "uniform_privacy",
+    "exponential_privacy",
+    "solve_uniform_K",
+    "solve_exponential_params",
+    "max_exponential_epsilon",
+    "IndistinguishabilityResult",
+    "min_delta",
+    "min_epsilon",
+    "tradeoff_curve",
+    "total_variation",
+    "OracleAnalysis",
+    "oracle_guarantee",
+    "oracle_min_epsilon",
+    "prefix_length_distribution",
+    "EmpiricalPrivacy",
+    "estimate_privacy",
+    "estimate_utility",
+    "simulate_probe_prefix",
+    "expected_misses",
+    "utility_from_misses",
+    "uniform_expected_misses",
+    "uniform_expected_misses_paper",
+    "uniform_utility",
+    "exponential_expected_misses",
+    "exponential_utility",
+    "utility_difference",
+    "max_utility_difference",
+]

@@ -1,0 +1,148 @@
+"""Monte-Carlo validation of the privacy theorems against *running code*.
+
+The oracle module computes exact distributions from the K distribution's
+pmf; this module instead drives actual :class:`RandomCacheScheme` objects
+through simulated request histories and estimates the same quantities from
+samples.  Agreement between the two (and with the closed-form theorems) is
+what ties the implementation to the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.privacy.indistinguishability import Distribution, min_delta
+from repro.core.schemes.base import CacheScheme, DecisionKind
+from repro.ndn.cs import CacheEntry
+from repro.ndn.name import Name
+from repro.ndn.packets import Data
+
+
+def _fresh_entry(name: Name) -> CacheEntry:
+    """A minimal private cache entry for scheme-only experiments."""
+    return CacheEntry(
+        data=Data(name=name, private=True),
+        insert_time=0.0,
+        last_access=0.0,
+        fetch_delay=10.0,
+        private=True,
+    )
+
+
+def simulate_probe_prefix(
+    scheme_factory,
+    prior_requests: int,
+    t: int,
+    trials: int,
+    seed: int = 0,
+) -> Distribution:
+    """Empirical miss-prefix-length distribution over ``t`` probes.
+
+    ``scheme_factory(rng)`` must build a fresh scheme instance.  Each trial
+    replays ``prior_requests`` honest requests (the first being the fetch
+    that caches the content), then probes ``t`` times and records how many
+    leading probes were answered as misses.
+
+    Outcome convention matches
+    :func:`repro.core.privacy.oracle.prefix_length_distribution`.
+    """
+    if t < 1:
+        raise ValueError(f"probe count t must be >= 1, got {t}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    root = np.random.SeedSequence(seed)
+    counts: Counter = Counter()
+    name = Name.parse("/probe/target")
+    for child in root.spawn(trials):
+        rng = np.random.Generator(np.random.PCG64(child))
+        scheme: CacheScheme = scheme_factory(rng)
+        entry = _fresh_entry(name)
+        requests_made = 0
+        if prior_requests >= 1:
+            # The first honest request is the genuine miss that caches C.
+            scheme.on_insert(entry, private=True, now=0.0)
+            requests_made = 1
+            for _ in range(prior_requests - 1):
+                scheme.on_request(entry, private=True, now=0.0)
+                requests_made += 1
+        prefix = 0
+        in_prefix = True
+        for probe_index in range(t):
+            if requests_made == 0:
+                # State S0: the adversary's own first probe is the fetch.
+                scheme.on_insert(entry, private=True, now=0.0)
+                requests_made = 1
+                hit = False
+            else:
+                decision = scheme.on_request(entry, private=True, now=0.0)
+                requests_made += 1
+                hit = decision.kind is DecisionKind.HIT
+            if in_prefix:
+                if hit:
+                    in_prefix = False
+                else:
+                    prefix += 1
+        counts[prefix] += 1
+    return {m: n / trials for m, n in counts.items()}
+
+
+@dataclass(frozen=True)
+class EmpiricalPrivacy:
+    """Sampled worst-case δ at a given ε over x in [1, k]."""
+
+    k: int
+    t: int
+    trials: int
+    epsilon: float
+    delta: float
+
+
+def estimate_privacy(
+    scheme_factory,
+    k: int,
+    t: int,
+    epsilon: float,
+    trials: int = 20000,
+    seed: int = 0,
+) -> EmpiricalPrivacy:
+    """Empirical analogue of :func:`repro.core.privacy.oracle.oracle_guarantee`."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    d0 = simulate_probe_prefix(scheme_factory, 0, t, trials, seed=seed)
+    worst = 0.0
+    for x in range(1, k + 1):
+        dx = simulate_probe_prefix(scheme_factory, x, t, trials, seed=seed + x)
+        worst = max(worst, min_delta(d0, dx, epsilon).delta)
+    return EmpiricalPrivacy(k=k, t=t, trials=trials, epsilon=epsilon, delta=worst)
+
+
+def estimate_utility(
+    scheme_factory,
+    c: int,
+    trials: int = 5000,
+    seed: int = 0,
+) -> float:
+    """Empirical u(c): average observed-hit fraction over c requests.
+
+    The first request is the genuine fetch miss, matching the convention of
+    Theorems VI.2/VI.4 (E[M(c)] = E[min(K+1, c)]).
+    """
+    if c < 1:
+        raise ValueError(f"request count c must be >= 1, got {c}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    root = np.random.SeedSequence(seed)
+    name = Name.parse("/utility/target")
+    total_hits = 0
+    for child in root.spawn(trials):
+        rng = np.random.Generator(np.random.PCG64(child))
+        scheme: CacheScheme = scheme_factory(rng)
+        entry = _fresh_entry(name)
+        scheme.on_insert(entry, private=True, now=0.0)  # request 1: miss
+        for _ in range(c - 1):
+            decision = scheme.on_request(entry, private=True, now=0.0)
+            if decision.kind is DecisionKind.HIT:
+                total_hits += 1
+    return total_hits / (trials * c)

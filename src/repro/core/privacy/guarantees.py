@@ -1,0 +1,140 @@
+"""Closed-form (k, ε, δ)-privacy guarantees and parameter solvers.
+
+Implements the paper's privacy theorems:
+
+* Theorem VI.1 — Uniform-Random-Cache with domain size K is
+  (k, 0, 2k/K)-private,
+* Theorem VI.3 — Exponential-Random-Cache with shape α and truncation K is
+  (k, −k·ln α, (1 − α^k + α^(K−k) − α^K) / (1 − α^K))-private; the K → ∞
+  limit gives δ = 1 − α^k, the smallest δ attainable for that α.
+
+Plus the inverse problems the evaluation needs (Figure 4): given a privacy
+target (k, ε, δ), find the scheme parameters that meet it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PrivacyGuarantee:
+    """A (k, ε, δ)-privacy statement (Definition IV.3)."""
+
+    k: int
+    epsilon: float
+    delta: float
+
+    def dominates(self, other: "PrivacyGuarantee") -> bool:
+        """True if this guarantee is at least as strong as ``other``.
+
+        Stronger means: protects at least as large an anonymity threshold
+        with no larger ε and no larger δ.
+        """
+        return (
+            self.k >= other.k
+            and self.epsilon <= other.epsilon + 1e-12
+            and self.delta <= other.delta + 1e-12
+        )
+
+    def __str__(self) -> str:
+        return f"({self.k}, {self.epsilon:.6g}, {self.delta:.6g})-privacy"
+
+
+# ----------------------------------------------------------------------
+# Forward direction: parameters -> guarantee
+# ----------------------------------------------------------------------
+def uniform_privacy(k: int, K: int) -> PrivacyGuarantee:
+    """Theorem VI.1: Uniform-Random-Cache(K) is (k, 0, 2k/K)-private."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if K < 1:
+        raise ValueError(f"K must be >= 1, got {K}")
+    return PrivacyGuarantee(k=k, epsilon=0.0, delta=min(1.0, 2.0 * k / K))
+
+
+def exponential_privacy(k: int, alpha: float, K: Optional[int]) -> PrivacyGuarantee:
+    """Theorem VI.3: guarantee of Exponential-Random-Cache(α, K).
+
+    ``K=None`` is the untruncated limit with δ = 1 − α^k.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    epsilon = -k * math.log(alpha)
+    if K is None:
+        delta = 1.0 - alpha**k
+    else:
+        if K < 1:
+            raise ValueError(f"K must be >= 1 or None, got {K}")
+        delta = (1.0 - alpha**k + alpha ** (K - k) - alpha**K) / (1.0 - alpha**K)
+    return PrivacyGuarantee(k=k, epsilon=epsilon, delta=min(1.0, delta))
+
+
+# ----------------------------------------------------------------------
+# Inverse direction: guarantee -> parameters
+# ----------------------------------------------------------------------
+def solve_uniform_K(k: int, delta: float) -> int:
+    """Smallest K making Uniform-Random-Cache (k, 0, delta)-private.
+
+    From δ = 2k/K: K = ceil(2k/δ).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0.0 < delta <= 1.0:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    return math.ceil(2.0 * k / delta)
+
+
+def max_exponential_epsilon(delta: float) -> float:
+    """The largest ε Exponential-Random-Cache can meet for a given δ.
+
+    Feasibility requires the K → ∞ floor 1 − α^k = 1 − e^(−ε) <= δ, i.e.
+    ε <= −ln(1 − δ) — the boundary Figure 4(b) evaluates on.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return -math.log(1.0 - delta)
+
+
+def solve_exponential_params(
+    k: int, epsilon: float, delta: float, tol: float = 1e-12
+) -> Tuple[float, Optional[int]]:
+    """Parameters (α, K) making Exponential-Random-Cache (k, ε, δ)-private.
+
+    α = exp(−ε/k) pins ε exactly (Theorem VI.3); K is then the smallest
+    truncation meeting δ, found in closed form from
+
+        α^K = (α^k − (1 − δ)) / (α^(−k) − (1 − δ)).
+
+    Returns ``K=None`` (untruncated) when only the K → ∞ limit attains δ
+    (the ε = −ln(1−δ) boundary).  Raises when ε > −ln(1−δ) (infeasible).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0 for the exponential scheme, got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    alpha = math.exp(-epsilon / k)
+    floor_delta = 1.0 - alpha**k  # = 1 - e^(-epsilon)
+    if floor_delta > delta + tol:
+        raise ValueError(
+            f"infeasible target: epsilon={epsilon} requires delta >= "
+            f"{floor_delta:.6g} > {delta} (max feasible epsilon is "
+            f"{max_exponential_epsilon(delta):.6g})"
+        )
+    if floor_delta >= delta - 1e-9:
+        return alpha, None
+    x = (alpha**k - (1.0 - delta)) / (alpha**-k - (1.0 - delta))
+    K = math.ceil(math.log(x) / math.log(alpha))
+    K = max(K, k + 1)
+    # Rounding K up can only shrink delta; verify.
+    achieved = exponential_privacy(k, alpha, K).delta
+    while achieved > delta + 1e-9:  # pragma: no cover - numeric safety net
+        K += 1
+        achieved = exponential_privacy(k, alpha, K).delta
+    return alpha, K

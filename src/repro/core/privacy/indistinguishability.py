@@ -1,0 +1,154 @@
+"""(ε, δ)-probabilistic indistinguishability (Definition IV.1).
+
+Two distributions D1, D2 over a discrete output space Ω are (ε, δ)-prob.
+indistinguishable if Ω splits into Ω1 ∪ Ω2 with
+
+* e^(−ε) <= Pr(D1 = O) / Pr(D2 = O) <= e^ε for every O in Ω1, and
+* Pr(D1 ∈ Ω2) + Pr(D2 ∈ Ω2) <= δ.
+
+Given ε, the *minimal* δ is achieved by putting exactly the
+ratio-violating outcomes into Ω2; this module computes that minimum, the
+dual minimal ε for a given δ budget, and the full ε→δ tradeoff curve.
+
+Distributions are plain ``{outcome: probability}`` dicts over hashable
+outcomes (the privacy oracle uses miss-prefix lengths as outcomes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+Distribution = Dict[Hashable, float]
+
+#: Tolerance for probability normalization checks.
+_NORM_TOL = 1e-9
+
+
+def _validate(dist: Distribution, label: str) -> None:
+    total = 0.0
+    for outcome, p in dist.items():
+        if p < -_NORM_TOL:
+            raise ValueError(f"{label} has negative probability at {outcome!r}: {p}")
+        total += p
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"{label} probabilities sum to {total}, expected 1")
+
+
+@dataclass(frozen=True)
+class IndistinguishabilityResult:
+    """The minimal δ for a given ε, with the violating outcome set."""
+
+    epsilon: float
+    delta: float
+    bad_outcomes: Tuple[Hashable, ...]
+
+    def satisfied_by(self, epsilon: float, delta: float) -> bool:
+        """True if (epsilon, delta) dominates this result's requirement."""
+        return epsilon >= self.epsilon - 1e-12 and delta >= self.delta - 1e-12
+
+
+def min_delta(
+    d1: Distribution, d2: Distribution, epsilon: float
+) -> IndistinguishabilityResult:
+    """Minimal δ such that d1, d2 are (ε, δ)-prob. indistinguishable.
+
+    Outcomes whose probability ratio cannot be bounded by e^±ε — including
+    every outcome with positive mass in only one distribution — contribute
+    their combined mass to δ.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    _validate(d1, "d1")
+    _validate(d2, "d2")
+    bound = math.exp(epsilon)
+    bad: List[Hashable] = []
+    delta = 0.0
+    for outcome in set(d1) | set(d2):
+        p1 = d1.get(outcome, 0.0)
+        p2 = d2.get(outcome, 0.0)
+        if p1 <= _NORM_TOL and p2 <= _NORM_TOL:
+            continue
+        if p1 <= _NORM_TOL or p2 <= _NORM_TOL:
+            violated = True
+        else:
+            ratio = p1 / p2
+            violated = ratio > bound * (1 + 1e-12) or ratio < (1 - 1e-12) / bound
+        if violated:
+            bad.append(outcome)
+            delta += p1 + p2
+    return IndistinguishabilityResult(
+        epsilon=epsilon,
+        delta=min(delta, 2.0),
+        bad_outcomes=tuple(sorted(bad, key=repr)),
+    )
+
+
+def min_epsilon(d1: Distribution, d2: Distribution, delta: float) -> float:
+    """Minimal ε such that d1, d2 are (ε, δ)-prob. indistinguishable.
+
+    Greedy: sort outcomes by |log ratio| descending and move the worst into
+    Ω2 until their combined mass exhausts the δ budget; ε is then the worst
+    remaining ratio.  Returns ``inf`` when even δ = 2 cannot cover (never
+    happens for proper distributions).
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    _validate(d1, "d1")
+    _validate(d2, "d2")
+    scored: List[Tuple[float, float]] = []  # (|log ratio|, combined mass)
+    for outcome in set(d1) | set(d2):
+        p1 = d1.get(outcome, 0.0)
+        p2 = d2.get(outcome, 0.0)
+        if p1 <= _NORM_TOL and p2 <= _NORM_TOL:
+            continue
+        if p1 <= _NORM_TOL or p2 <= _NORM_TOL:
+            log_ratio = math.inf
+        else:
+            log_ratio = abs(math.log(p1 / p2))
+        scored.append((log_ratio, p1 + p2))
+    scored.sort(reverse=True)
+    budget = delta
+    for log_ratio, mass in scored:
+        if math.isinf(log_ratio) or mass <= budget + 1e-12:
+            if math.isinf(log_ratio):
+                if mass > budget + 1e-12:
+                    return math.inf
+                budget -= mass
+                continue
+            budget -= mass
+            continue
+        return log_ratio
+    return 0.0
+
+
+def tradeoff_curve(
+    d1: Distribution, d2: Distribution
+) -> List[Tuple[float, float]]:
+    """The achievable (ε, δ) frontier, as (ε, minimal δ) pairs.
+
+    Evaluates δ_min at every distinct |log ratio| breakpoint of the outcome
+    set, from ε = 0 up to the largest finite ratio.
+    """
+    _validate(d1, "d1")
+    _validate(d2, "d2")
+    ratios = {0.0}
+    for outcome in set(d1) | set(d2):
+        p1 = d1.get(outcome, 0.0)
+        p2 = d2.get(outcome, 0.0)
+        if p1 > _NORM_TOL and p2 > _NORM_TOL:
+            ratios.add(abs(math.log(p1 / p2)))
+    curve = []
+    for eps in sorted(ratios):
+        curve.append((eps, min_delta(d1, d2, eps).delta))
+    return curve
+
+
+def total_variation(d1: Distribution, d2: Distribution) -> float:
+    """Total-variation distance (the δ at ε = 0 is bounded by 2·TV)."""
+    _validate(d1, "d1")
+    _validate(d2, "d2")
+    return 0.5 * sum(
+        abs(d1.get(o, 0.0) - d2.get(o, 0.0)) for o in set(d1) | set(d2)
+    )

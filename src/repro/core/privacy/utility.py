@@ -1,0 +1,154 @@
+"""Utility of cache-privacy schemes (Definition VI.1, Theorems VI.2/VI.4).
+
+Utility u(c) is the expected fraction of c requests answered as observable
+cache hits: u(c) = 1 − E[M(c)] / c, with M(c) the number of (real or
+disguised) misses.
+
+Under Algorithm 1 with threshold k_C drawn from distribution K, the misses
+are exactly the first min(k_C + 1, c) requests (the always-miss first fetch
+plus the k_C disguised misses), so
+
+    E[M(c)] = E[min(K + 1, c)].
+
+For the exponential scheme this reproduces Theorem VI.4 *exactly*.  For the
+uniform scheme the paper's printed Theorem VI.2 differs from the
+Equation-(1) derivation by a one-unit index shift (it gives u(1) = 1/(2K) > 0,
+contradicting "the first request always is a cache miss"); we implement
+both the exact form and the printed form and record the discrepancy in
+EXPERIMENTS.md.  The difference is O(1/K) and invisible at Figure 4's
+parameter scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.privacy.distributions import FirstHitDistribution
+
+
+def expected_misses(c: int, distribution: FirstHitDistribution) -> float:
+    """E[M(c)] = E[min(K + 1, c)] by direct summation over the support.
+
+    Works for any finite-support distribution; unbounded supports are
+    summed until the tail mass is negligible.
+    """
+    if c < 1:
+        raise ValueError(f"request count c must be >= 1, got {c}")
+    upper = distribution.domain_size
+    total = 0.0
+    mass = 0.0
+    r = 0
+    while True:
+        if upper is not None and r >= upper:
+            break
+        p = distribution.pmf(r)
+        total += min(r + 1, c) * p
+        mass += p
+        r += 1
+        if upper is None and (1.0 - mass) < 1e-12:
+            break
+        if upper is None and r > 10_000_000:  # pragma: no cover - safety net
+            raise RuntimeError("unbounded support did not converge")
+    # Any unaccounted tail mass has min(r+1, c) = c (r grows past c quickly).
+    total += (1.0 - mass) * c
+    return total
+
+
+def utility_from_misses(c: int, expected_miss_count: float) -> float:
+    """u(c) = 1 − E[M(c)]/c (Definition VI.1)."""
+    if c < 1:
+        raise ValueError(f"request count c must be >= 1, got {c}")
+    return 1.0 - expected_miss_count / c
+
+
+# ----------------------------------------------------------------------
+# Uniform-Random-Cache (Theorem VI.2)
+# ----------------------------------------------------------------------
+def uniform_expected_misses(c: int, K: int) -> float:
+    """Exact E[M(c)] for k_C ~ U(0, K), from E[min(K+1, c)].
+
+    For c <= K: c − c(c−1)/(2K);  for c > K: (K+1)/2.
+    """
+    if c < 1:
+        raise ValueError(f"request count c must be >= 1, got {c}")
+    if K < 1:
+        raise ValueError(f"K must be >= 1, got {K}")
+    if c <= K:
+        return c - c * (c - 1) / (2.0 * K)
+    return (K + 1) / 2.0
+
+
+def uniform_expected_misses_paper(c: int, K: int) -> float:
+    """Theorem VI.2 exactly as printed: c(1 − (c+1)/(2K)) for c < K, else K/2.
+
+    Kept for fidelity; differs from :func:`uniform_expected_misses` by a
+    one-unit index shift (see module docstring).
+    """
+    if c < 1:
+        raise ValueError(f"request count c must be >= 1, got {c}")
+    if K < 1:
+        raise ValueError(f"K must be >= 1, got {K}")
+    if c < K:
+        return c * (1.0 - (c + 1) / (2.0 * K))
+    return K / 2.0
+
+
+def uniform_utility(c: int, K: int) -> float:
+    """u(c) for Uniform-Random-Cache (exact form)."""
+    return utility_from_misses(c, uniform_expected_misses(c, K))
+
+
+# ----------------------------------------------------------------------
+# Exponential-Random-Cache (Theorem VI.4)
+# ----------------------------------------------------------------------
+def exponential_expected_misses(c: int, alpha: float, K: Optional[int]) -> float:
+    """Theorem VI.4: E[M(c)] for k_C ~ G̃(α, 0, K−1).
+
+    For 1 <= c < K:
+        (1 − α^c − c·α^K) / (1 − α^K) + α(1 − α^c) / ((1 − α^K)(1 − α))
+    for c >= K:
+        (1 − (K+1)·α^K) / (1 − α^K) + α / (1 − α)
+
+    ``K=None`` is the untruncated limit E[M(c)] = (1 − α^c) / (1 − α).
+    """
+    if c < 1:
+        raise ValueError(f"request count c must be >= 1, got {c}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if K is None:
+        return (1.0 - alpha**c) / (1.0 - alpha)
+    if K < 1:
+        raise ValueError(f"K must be >= 1 or None, got {K}")
+    aK = alpha**K
+    if c < K:
+        ac = alpha**c
+        return (1.0 - ac - c * aK) / (1.0 - aK) + alpha * (1.0 - ac) / (
+            (1.0 - aK) * (1.0 - alpha)
+        )
+    return (1.0 - (K + 1) * aK) / (1.0 - aK) + alpha / (1.0 - alpha)
+
+
+def exponential_utility(c: int, alpha: float, K: Optional[int]) -> float:
+    """u(c) for Exponential-Random-Cache."""
+    return utility_from_misses(c, exponential_expected_misses(c, alpha, K))
+
+
+# ----------------------------------------------------------------------
+# Derived comparisons (Figure 4)
+# ----------------------------------------------------------------------
+def utility_difference(
+    c: int, alpha: float, K_expo: Optional[int], K_uni: int
+) -> float:
+    """u_expo(c) − u_uniform(c), the Figure 4(b) quantity."""
+    return exponential_utility(c, alpha, K_expo) - uniform_utility(c, K_uni)
+
+
+def max_utility_difference(
+    alpha: float, K_expo: Optional[int], K_uni: int, c_max: int = 100
+) -> float:
+    """Maximum of u_expo − u_uniform over c in [1, c_max]."""
+    if c_max < 1:
+        raise ValueError(f"c_max must be >= 1, got {c_max}")
+    return max(
+        utility_difference(c, alpha, K_expo, K_uni) for c in range(1, c_max + 1)
+    )

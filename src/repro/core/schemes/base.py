@@ -1,0 +1,110 @@
+"""Cache-privacy scheme interface.
+
+A *cache management* algorithm (CM in the paper's system model, Section IV)
+decides how a router responds to interests that match cached content.  The
+model's one asymmetry is built in here: **CM can hide cache hits but cannot
+hide cache misses** — schemes are only ever consulted when the content *is*
+in the cache.  A genuine miss is a genuine miss.
+
+A scheme returns one of three decisions:
+
+* ``HIT`` — serve from cache immediately (an *observable* cache hit),
+* ``DELAYED_HIT(delay)`` — serve from cache after an artificial delay that
+  makes the response look like a miss (Section V-B); bandwidth is preserved
+  but, observationally and for utility accounting (Def. VI.1), this is a
+  miss,
+* ``MISS`` — ignore the cache entirely and re-fetch upstream (permitted by
+  the system model: "CM is free to ignore its cache altogether").
+
+Utility (Def. VI.1) counts only ``HIT`` decisions as hits, matching the
+paper's evaluation where disguised responses are tallied as cache misses.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime core->ndn import cycle
+    from repro.ndn.cs import CacheEntry
+
+
+class DecisionKind(enum.Enum):
+    """How the router answers an interest matching cached content."""
+
+    HIT = "hit"
+    MISS = "miss"
+    DELAYED_HIT = "delayed_hit"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A scheme's verdict for one request, with the artificial delay if any."""
+
+    kind: DecisionKind
+    delay: float = 0.0
+
+    @classmethod
+    def hit(cls) -> "Decision":
+        """Serve from cache now."""
+        return cls(DecisionKind.HIT)
+
+    @classmethod
+    def miss(cls) -> "Decision":
+        """Behave exactly like a cache miss (re-fetch upstream)."""
+        return cls(DecisionKind.MISS)
+
+    @classmethod
+    def delayed(cls, delay: float) -> "Decision":
+        """Serve from cache after ``delay`` ms, disguised as a miss."""
+        if delay < 0:
+            raise ValueError(f"artificial delay must be >= 0, got {delay}")
+        return cls(DecisionKind.DELAYED_HIT, delay)
+
+    @property
+    def counts_as_hit(self) -> bool:
+        """True iff the requester observes a cache hit (utility accounting)."""
+        return self.kind is DecisionKind.HIT
+
+
+class CacheScheme(abc.ABC):
+    """Base class for all cache-privacy countermeasures.
+
+    Subclasses implement :meth:`decide_private`; requests for non-private
+    cached content are always served as plain hits (the paper's evaluation
+    treats non-private content this way for every scheme).
+    """
+
+    #: Human-readable scheme name used in reports and bench output.
+    name: str = "abstract"
+
+    def on_request(self, entry: CacheEntry, private: bool, now: float) -> Decision:
+        """Decide the response for a request matching cached ``entry``.
+
+        ``private`` is the entry's *effective* privacy marking after the
+        marking rules (producer bit, consumer bit, trigger rule) have been
+        applied by the caller.
+        """
+        if not private:
+            return Decision.hit()
+        return self.decide_private(entry, now)
+
+    @abc.abstractmethod
+    def decide_private(self, entry: CacheEntry, now: float) -> Decision:
+        """Decide the response for privacy-sensitive cached content."""
+
+    # -- lifecycle hooks -------------------------------------------------
+    def on_insert(self, entry: CacheEntry, private: bool, now: float) -> None:
+        """Called when content enters the cache (initialize per-entry state)."""
+
+    def on_evict(self, entry: CacheEntry) -> None:
+        """Called when content leaves the cache (drop per-entry state)."""
+
+    def reset(self) -> None:
+        """Drop all scheme state (between experiment trials)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

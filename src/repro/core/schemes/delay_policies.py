@@ -1,0 +1,77 @@
+"""Artificial-delay policies for hiding cache hits (Section V-B).
+
+The paper discusses three ways a consumer-facing router can pick the
+artificial delay applied to a cache hit on private content:
+
+* **constant** γ — simple, but penalizes nearby content (γ too high) or
+  leaks for far-away content (γ too low),
+* **content-specific** γ_C — replay the original interest-in→content-out
+  delay recorded when the object was first fetched; the safe choice,
+* **dynamic** — start at γ_C and shrink toward a floor as the object grows
+  popular, mimicking the RTT improvement a genuinely popular object would
+  see from in-network caching at nearby routers.  Per Definition IV.2 the
+  delay must never drop below the actual delay of content two hops away.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime core->ndn import cycle
+    from repro.ndn.cs import CacheEntry
+
+
+class DelayPolicy(abc.ABC):
+    """Chooses the artificial delay for a disguised cache hit."""
+
+    @abc.abstractmethod
+    def delay_for(self, entry: CacheEntry, now: float) -> float:
+        """Artificial delay (ms) before serving ``entry`` from cache."""
+
+
+class ConstantDelay(DelayPolicy):
+    """Fixed delay γ regardless of where the content came from.
+
+    When the original fetch was *slower* than γ, this policy leaks: the
+    disguised hit (γ) is observably faster than a genuine miss.  The leak is
+    quantified by the delay-policy ablation bench.
+    """
+
+    def __init__(self, gamma: float) -> None:
+        if gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {gamma}")
+        self.gamma = gamma
+
+    def delay_for(self, entry: CacheEntry, now: float) -> float:
+        return self.gamma
+
+
+class ContentSpecificDelay(DelayPolicy):
+    """Replay the recorded first-fetch delay γ_C (the safe choice)."""
+
+    def delay_for(self, entry: CacheEntry, now: float) -> float:
+        return entry.fetch_delay
+
+
+class DynamicDelay(DelayPolicy):
+    """Popularity-adaptive delay.
+
+    The delay decays geometrically from γ_C toward ``floor`` with each
+    access, modeling content migrating into nearby caches as it becomes
+    popular.  ``floor`` should be set to the genuine two-hop fetch delay
+    (the closest a cached copy could legitimately be).
+    """
+
+    def __init__(self, floor: float, decay: float = 0.9) -> None:
+        if floor < 0:
+            raise ValueError(f"floor must be >= 0, got {floor}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.floor = floor
+        self.decay = decay
+
+    def delay_for(self, entry: CacheEntry, now: float) -> float:
+        decayed = entry.fetch_delay * (self.decay ** entry.access_count)
+        return max(self.floor, decayed)

@@ -1,0 +1,83 @@
+"""Privacy marking: who declares content sensitive, and the trigger rule.
+
+Section V defines three non-exclusive marking channels:
+
+* **producer-driven** — a privacy bit in the content header or a reserved
+  ``/private/`` name component; always honored by consumer-facing routers,
+* **consumer-driven** — a privacy bit in the interest,
+* **mutual** — unpredictable names (handled in :mod:`repro.naming`; opaque
+  to routers, so no router logic here).
+
+For content *not* marked private by its producer, the paper's trigger rule
+applies: once any interest for it arrives **without** the privacy bit, the
+content must be treated as non-private for as long as it stays cached.
+Otherwise an adversary probing twice without privacy would see
+delayed/delayed (previously requested privately) vs miss/hit (never
+requested) and learn exactly what the countermeasure is meant to hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime core->ndn import cycle
+    from repro.ndn.cs import CacheEntry
+    from repro.ndn.packets import Data, Interest
+
+
+@dataclass
+class MarkingDecision:
+    """The effective privacy of an entry after the marking rules."""
+
+    private: bool
+    #: True when the trigger rule just demoted the entry to non-private.
+    demoted: bool = False
+
+
+class MarkingPolicy:
+    """Combines producer and consumer marking under the trigger rule.
+
+    State is carried on the cache entry itself (``entry.private`` plus the
+    ``producer_private`` scheme-state flag), so the policy object is
+    stateless and shareable between routers.
+    """
+
+    #: Key under which the immutable producer marking is cached on entries.
+    PRODUCER_KEY = "marking_producer_private"
+
+    def privacy_at_insert(self, data: Data, requested_private: bool) -> bool:
+        """Effective marking for content entering the cache.
+
+        ``requested_private`` is True iff *every* interest collapsed into
+        the PIT entry that fetched this object carried the privacy bit: a
+        single unmarked interest already triggers non-private treatment.
+        """
+        return data.effectively_private or requested_private
+
+    def annotate_entry(self, entry: CacheEntry, data: Data) -> None:
+        """Record the immutable producer-driven marking on the entry."""
+        entry.scheme_state[self.PRODUCER_KEY] = data.effectively_private
+
+    def on_request(self, entry: CacheEntry, interest: Interest) -> MarkingDecision:
+        """Apply the trigger rule for one arriving interest."""
+        return self.effective_privacy(entry, interest.private)
+
+    def effective_privacy(
+        self, entry: CacheEntry, request_private: bool
+    ) -> MarkingDecision:
+        """Apply the trigger rule for one request; updates ``entry.private``.
+
+        Producer-marked content stays private regardless of the request.
+        Consumer-marked content is demoted permanently (for this cache
+        residency) by the first non-private request.
+        """
+        producer_private = bool(entry.scheme_state.get(self.PRODUCER_KEY, False))
+        if producer_private:
+            entry.private = True
+            return MarkingDecision(private=True)
+        if entry.private and not request_private:
+            entry.private = False
+            return MarkingDecision(private=False, demoted=True)
+        return MarkingDecision(private=entry.private)

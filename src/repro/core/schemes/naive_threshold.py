@@ -1,0 +1,44 @@
+"""The non-private naive k-threshold approach (Section VI).
+
+Always answer a miss while the per-content request count c_C <= k, a hit
+afterwards.  A cache hit therefore certifies that at least k requests were
+made — a k-anonymity-flavored guarantee — but the scheme is *not* private:
+an adversary who knows k and observes its own probe count c' at the first
+hit learns that exactly k − c' prior requests were issued (the counting
+attack in :mod:`repro.attacks.counting`).
+
+Implemented as Random-Cache with the degenerate point-mass distribution,
+which is exactly what it is.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.privacy.distributions import DegenerateK
+from repro.core.schemes.delay_policies import DelayPolicy
+from repro.core.schemes.grouping import GroupingFunction
+from repro.core.schemes.random_cache import RandomCacheScheme
+
+
+class NaiveThresholdScheme(RandomCacheScheme):
+    """Deterministic k-threshold: miss while c_C <= k, hit afterwards."""
+
+    name = "naive-threshold"
+
+    def __init__(
+        self,
+        k: int,
+        rng: Optional[np.random.Generator] = None,
+        delay_policy: Optional[DelayPolicy] = None,
+        grouping: Optional[GroupingFunction] = None,
+    ) -> None:
+        super().__init__(
+            distribution=DegenerateK(k),
+            rng=rng,
+            delay_policy=delay_policy,
+            grouping=grouping,
+        )
+        self.k = k

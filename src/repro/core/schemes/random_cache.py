@@ -1,0 +1,119 @@
+"""Random-Cache: the paper's Algorithm 1, generic over the K distribution.
+
+Per content (or per *group*, when a grouping function is supplied —
+Section VI's correlation countermeasure):
+
+1. when the content first enters the cache, draw k_C from the configured
+   :class:`~repro.core.privacy.distributions.FirstHitDistribution` and set
+   the request counter c_C := 0 (the fetch that inserted it was the
+   always-miss first request of Algorithm 1);
+2. on each subsequent request, increment c_C; answer a (disguised) miss
+   while c_C <= k_C and a genuine cache hit afterwards.
+
+Disguised misses use the configured delay policy (content-specific γ_C by
+default) so they are observationally indistinguishable from real misses.
+
+Uniform-Random-Cache and Exponential-Random-Cache are thin instantiations
+(see :mod:`repro.core.schemes.uniform` / :mod:`repro.core.schemes.exponential`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.core.privacy.distributions import FirstHitDistribution
+from repro.core.schemes.base import CacheScheme, Decision
+from repro.core.schemes.delay_policies import ContentSpecificDelay, DelayPolicy
+from repro.core.schemes.grouping import GroupingFunction, NoGrouping
+
+if TYPE_CHECKING:  # avoid a runtime core->ndn import cycle
+    from repro.ndn.cs import CacheEntry
+
+
+@dataclass
+class _GroupState:
+    """Algorithm 1 state for one content group."""
+
+    k: int
+    c: int = 0
+    members: int = 0
+
+
+class RandomCacheScheme(CacheScheme):
+    """Algorithm 1 with a pluggable first-hit distribution and grouping."""
+
+    name = "random-cache"
+
+    def __init__(
+        self,
+        distribution: FirstHitDistribution,
+        rng: Optional[np.random.Generator] = None,
+        delay_policy: Optional[DelayPolicy] = None,
+        grouping: Optional[GroupingFunction] = None,
+    ) -> None:
+        self.distribution = distribution
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.delay_policy = (
+            delay_policy if delay_policy is not None else ContentSpecificDelay()
+        )
+        self.grouping = grouping if grouping is not None else NoGrouping()
+        self._groups: Dict[Hashable, _GroupState] = {}
+
+    # ------------------------------------------------------------------
+    # CacheScheme interface
+    # ------------------------------------------------------------------
+    def on_insert(self, entry: CacheEntry, private: bool, now: float) -> None:
+        """Draw k_C for the entry's group on first membership."""
+        if not private:
+            return
+        key = self.grouping.group_of(entry.name)
+        state = self._groups.get(key)
+        if state is None:
+            state = _GroupState(k=self.distribution.sample(self.rng))
+            self._groups[key] = state
+        state.members += 1
+        entry.scheme_state["random_cache_group"] = key
+
+    def decide_private(self, entry: CacheEntry, now: float) -> Decision:
+        key = entry.scheme_state.get("random_cache_group")
+        if key is None:
+            # Entry became private after insertion (consumer marking flip is
+            # disallowed by the trigger rule, but producer re-marking or a
+            # reset can land here): adopt it into its group now.
+            self.on_insert(entry, private=True, now=now)
+            key = entry.scheme_state["random_cache_group"]
+        state = self._groups[key]
+        state.c += 1
+        if state.c <= state.k:
+            return Decision.delayed(self.delay_policy.delay_for(entry, now))
+        return Decision.hit()
+
+    def on_evict(self, entry: CacheEntry) -> None:
+        """Release the entry's group; drop group state with the last member."""
+        key = entry.scheme_state.pop("random_cache_group", None)
+        if key is None:
+            return
+        state = self._groups.get(key)
+        if state is None:
+            return
+        state.members -= 1
+        if state.members <= 0:
+            del self._groups[key]
+
+    def reset(self) -> None:
+        self._groups.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and the privacy oracle)
+    # ------------------------------------------------------------------
+    def group_state(self, key: Hashable) -> Optional[_GroupState]:
+        """Expose Algorithm 1 state for ``key`` (testing/analysis only)."""
+        return self._groups.get(key)
+
+    @property
+    def tracked_groups(self) -> int:
+        """Number of groups currently holding state."""
+        return len(self._groups)

@@ -1,0 +1,61 @@
+"""Uniform-Random-Cache (Section VI).
+
+Random-Cache with k_C ~ U(0, K).  Theorem VI.1: if cached content is
+statistically independent, the scheme is (k, 0, 2k/K)-private — ε is
+exactly 0 (uniform shifts are indistinguishable inside the overlap) and δ
+shrinks as 1/K.  Utility follows Theorem VI.2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.privacy.distributions import UniformK
+from repro.core.schemes.delay_policies import DelayPolicy
+from repro.core.schemes.grouping import GroupingFunction
+from repro.core.schemes.random_cache import RandomCacheScheme
+
+
+class UniformRandomCache(RandomCacheScheme):
+    """Random-Cache with the discrete uniform first-hit distribution."""
+
+    name = "uniform-random-cache"
+
+    def __init__(
+        self,
+        K: int,
+        rng: Optional[np.random.Generator] = None,
+        delay_policy: Optional[DelayPolicy] = None,
+        grouping: Optional[GroupingFunction] = None,
+    ) -> None:
+        super().__init__(
+            distribution=UniformK(K),
+            rng=rng,
+            delay_policy=delay_policy,
+            grouping=grouping,
+        )
+        self.K = K
+
+    @classmethod
+    def for_privacy_target(
+        cls,
+        k: int,
+        delta: float,
+        rng: Optional[np.random.Generator] = None,
+        delay_policy: Optional[DelayPolicy] = None,
+        grouping: Optional[GroupingFunction] = None,
+    ) -> "UniformRandomCache":
+        """Build the smallest-K instance that is (k, 0, delta)-private.
+
+        Theorem VI.1 gives δ = 2k/K, so K = ceil(2k/δ).
+        """
+        from repro.core.privacy.guarantees import solve_uniform_K
+
+        return cls(
+            K=solve_uniform_K(k, delta),
+            rng=rng,
+            delay_policy=delay_policy,
+            grouping=grouping,
+        )

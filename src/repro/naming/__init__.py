@@ -1,0 +1,18 @@
+"""Unpredictable-name countermeasure for interactive traffic (Section V-A)."""
+
+from repro.naming.session import PredictableSessionNamer, SessionNamer
+from repro.naming.unpredictable import (
+    RAND_LENGTH,
+    derive_rand,
+    make_unpredictable_name,
+    verify_unpredictable_name,
+)
+
+__all__ = [
+    "SessionNamer",
+    "PredictableSessionNamer",
+    "derive_rand",
+    "make_unpredictable_name",
+    "verify_unpredictable_name",
+    "RAND_LENGTH",
+]

@@ -1,0 +1,103 @@
+"""Interactive-session naming: two endpoints sharing a secret.
+
+A :class:`SessionNamer` is one endpoint's view of a private interactive
+session (VoIP, remote shell — Section V-A).  Both endpoints construct the
+same object from the same secret; each can then name its *outgoing* frames
+and predict the names of the peer's frames, while outsiders can do neither.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.naming.unpredictable import make_unpredictable_name, verify_unpredictable_name
+from repro.ndn.name import Name, name_of
+
+
+class SessionNamer:
+    """Derives per-frame unpredictable names for one interactive session."""
+
+    def __init__(
+        self,
+        secret: bytes,
+        local_prefix: Union[str, Name],
+        remote_prefix: Union[str, Name],
+    ) -> None:
+        if not secret:
+            raise ValueError("shared secret must be non-empty")
+        self.secret = secret
+        self.local_prefix = name_of(local_prefix)
+        self.remote_prefix = name_of(remote_prefix)
+        self._out_seq = 0
+
+    def next_outgoing_name(self) -> Name:
+        """Name for this endpoint's next outgoing frame (advances sequence)."""
+        name = make_unpredictable_name(self.secret, self.local_prefix, self._out_seq)
+        self._out_seq += 1
+        return name
+
+    def outgoing_name(self, sequence: int) -> Name:
+        """Name for a specific outgoing frame without advancing state."""
+        return make_unpredictable_name(self.secret, self.local_prefix, sequence)
+
+    def incoming_name(self, sequence: int) -> Name:
+        """Name of the peer's frame ``sequence`` (what to express interest in)."""
+        return make_unpredictable_name(self.secret, self.remote_prefix, sequence)
+
+    def verify(self, name: Name) -> bool:
+        """True iff ``name`` carries a rand component derived from our secret."""
+        return verify_unpredictable_name(self.secret, name)
+
+    @property
+    def sent_frames(self) -> int:
+        """How many outgoing names have been issued."""
+        return self._out_seq
+
+
+class PredictableSessionNamer:
+    """The *vulnerable* baseline: plain sequential frame names.
+
+    Frames are named ``<prefix>/<sequence>`` with no rand component, so
+    anyone who knows (or guesses) the session prefix can enumerate frame
+    names and probe router caches for them — the attack surface that
+    Section V-A's unpredictable names close.  Interface-compatible with
+    :class:`SessionNamer` so the two drop into the same endpoints.
+    """
+
+    def __init__(
+        self,
+        local_prefix: Union[str, Name],
+        remote_prefix: Union[str, Name],
+    ) -> None:
+        self.local_prefix = name_of(local_prefix)
+        self.remote_prefix = name_of(remote_prefix)
+        self._out_seq = 0
+
+    def next_outgoing_name(self) -> Name:
+        """Name for the next outgoing frame (advances sequence)."""
+        name = self.outgoing_name(self._out_seq)
+        self._out_seq += 1
+        return name
+
+    def outgoing_name(self, sequence: int) -> Name:
+        """``<local_prefix>/<sequence>`` — trivially guessable."""
+        if sequence < 0:
+            raise ValueError(f"sequence must be >= 0, got {sequence}")
+        return self.local_prefix.append(str(sequence))
+
+    def incoming_name(self, sequence: int) -> Name:
+        """``<remote_prefix>/<sequence>``."""
+        if sequence < 0:
+            raise ValueError(f"sequence must be >= 0, got {sequence}")
+        return self.remote_prefix.append(str(sequence))
+
+    def verify(self, name: Name) -> bool:
+        """Accept any name under either prefix (no secret to check)."""
+        return self.local_prefix.is_prefix_of(name) or self.remote_prefix.is_prefix_of(
+            name
+        )
+
+    @property
+    def sent_frames(self) -> int:
+        """How many outgoing names have been issued."""
+        return self._out_seq

@@ -1,0 +1,69 @@
+"""Unpredictable content names (Section V-A, the "mutual" approach).
+
+Parties in an interactive session derive a random-looking component for
+each content name from a shared secret, using a keyed pseudo-random
+function (HMAC-SHA256, exactly the construction the paper suggests).  An
+adversary who cannot eavesdrop on the parties cannot guess the names, so
+probing the router's cache yields nothing — while re-issued interests for
+lost packets are still satisfied from the cache nearest the loss.
+
+Per footnote 5, content carrying a rand component must only be returned on
+exact-name matches; :func:`make_unpredictable_name` therefore pairs with
+``Data(exact_match_only=True)`` in the interactive application.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Union
+
+from repro.ndn.name import Name, name_of
+
+#: Number of hex characters of HMAC output used as the rand component.
+RAND_LENGTH = 16
+
+
+def derive_rand(secret: bytes, base_name: Name, sequence: int) -> str:
+    """The rand component for ``base_name``/``sequence`` under ``secret``.
+
+    Deterministic for both endpoints sharing ``secret``; computationally
+    unpredictable to anyone else.
+    """
+    if not secret:
+        raise ValueError("shared secret must be non-empty")
+    if sequence < 0:
+        raise ValueError(f"sequence must be >= 0, got {sequence}")
+    message = f"{base_name}|{sequence}".encode("utf-8")
+    digest = hmac.new(secret, message, hashlib.sha256).hexdigest()
+    return digest[:RAND_LENGTH]
+
+
+def make_unpredictable_name(
+    secret: bytes, base_name: Union[str, Name], sequence: int
+) -> Name:
+    """``<base_name>/<sequence>/<rand>`` with the HMAC-derived rand suffix."""
+    base = name_of(base_name)
+    rand = derive_rand(secret, base, sequence)
+    return base.append(str(sequence), rand)
+
+
+def verify_unpredictable_name(secret: bytes, name: Name) -> bool:
+    """Check that ``name`` ends in the rand component ``secret`` derives.
+
+    Expects the layout produced by :func:`make_unpredictable_name`:
+    ``<base>/<sequence>/<rand>``.
+    """
+    if len(name) < 3:
+        return False
+    base = name.prefix(len(name) - 2)
+    seq_component = name[len(name) - 2]
+    rand_component = name.last
+    try:
+        sequence = int(seq_component)
+    except ValueError:
+        return False
+    if sequence < 0:
+        return False
+    expected = derive_rand(secret, base, sequence)
+    return hmac.compare_digest(expected, rand_component)

@@ -1,0 +1,79 @@
+"""The NDN data-plane substrate: names, packets, CS/PIT/FIB, forwarders,
+links, and topology builders (Section II of the paper, built from scratch).
+"""
+
+from repro.ndn.cs import CacheEntry, ContentStore
+from repro.ndn.errors import (
+    CacheError,
+    FibError,
+    NameError_,
+    NdnError,
+    PacketError,
+    PitError,
+    TopologyError,
+)
+from repro.ndn.fib import Fib, FibNextHop
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.link import (
+    DelayModel,
+    Face,
+    FixedDelay,
+    GaussianJitterDelay,
+    Link,
+    LogNormalDelay,
+)
+from repro.ndn.name import PRIVATE_COMPONENT, Name, name_of
+from repro.ndn.network import Network
+from repro.ndn.packets import Data, Interest
+from repro.ndn.pit import Pit, PitEntry
+from repro.ndn.wire import (
+    decode_packet,
+    encode_packet,
+    wire_size,
+)
+from repro.ndn.replacement import (
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "Name",
+    "name_of",
+    "PRIVATE_COMPONENT",
+    "Interest",
+    "Data",
+    "ContentStore",
+    "CacheEntry",
+    "Pit",
+    "PitEntry",
+    "Fib",
+    "FibNextHop",
+    "Forwarder",
+    "Network",
+    "Face",
+    "Link",
+    "DelayModel",
+    "FixedDelay",
+    "GaussianJitterDelay",
+    "LogNormalDelay",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "LfuPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "encode_packet",
+    "decode_packet",
+    "wire_size",
+    "NdnError",
+    "NameError_",
+    "PacketError",
+    "CacheError",
+    "PitError",
+    "FibError",
+    "TopologyError",
+]

@@ -1,0 +1,13 @@
+"""End-host applications: consumers, producers, interactive endpoints."""
+
+from repro.ndn.apps.consumer import Consumer, FetchResult
+from repro.ndn.apps.interactive import FrameStats, InteractiveEndpoint
+from repro.ndn.apps.producer import Producer
+
+__all__ = [
+    "Consumer",
+    "FetchResult",
+    "Producer",
+    "InteractiveEndpoint",
+    "FrameStats",
+]

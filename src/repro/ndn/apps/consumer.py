@@ -1,0 +1,160 @@
+"""Consumer application: expresses interests and collects content.
+
+The consumer exposes both a callback API (:meth:`express_interest` returns
+a :class:`~repro.sim.events.Signal`) and a process-friendly coroutine
+helper (:meth:`fetch`).  Every completed fetch records the measured RTT —
+the observable the paper's timing attacks are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ndn.link import Face
+from repro.ndn.name import Name, name_of
+from repro.ndn.packets import Data, Interest
+from repro.sim.engine import Engine
+from repro.sim.events import Signal
+from repro.sim.monitor import Monitor
+from repro.sim.process import TIMED_OUT, WaitSignal
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Outcome of one satisfied interest."""
+
+    data: Data
+    send_time: float
+    receive_time: float
+
+    @property
+    def rtt(self) -> float:
+        """Interest-out to content-in round-trip time in ms."""
+        return self.receive_time - self.send_time
+
+
+class Consumer:
+    """An end host that requests content by name."""
+
+    def __init__(
+        self, engine: Engine, name: str = "consumer", monitor: Optional[Monitor] = None
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.monitor = monitor if monitor is not None else Monitor()
+        self.face: Optional[Face] = None
+        # Pending fetches: interest name -> [(signal, send_time), ...].
+        self._pending: Dict[Name, List[Tuple[Signal, float]]] = {}
+        self.rtts: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def create_face(self, label: str = "") -> Face:
+        """Create the consumer's (single) upstream face."""
+        face = Face(self, label=label or f"{self.name}:face")
+        self.face = face
+        return face
+
+    # ------------------------------------------------------------------
+    # Requesting
+    # ------------------------------------------------------------------
+    def express_interest(
+        self,
+        name: Union[str, Name],
+        scope: Optional[int] = None,
+        private: bool = False,
+        lifetime: float = 4000.0,
+    ) -> Signal:
+        """Send one interest; the returned signal fires with a FetchResult.
+
+        Multiple outstanding interests for the same name are each satisfied
+        (oldest first) as matching content arrives.
+        """
+        if self.face is None:
+            raise RuntimeError(f"consumer {self.name} has no face attached")
+        target = name_of(name)
+        interest = Interest(
+            name=target, scope=scope, private=private, lifetime=lifetime
+        )
+        signal = Signal(name=f"{self.name}:fetch:{target}")
+        self._pending.setdefault(target, []).append((signal, self.engine.now))
+        self.monitor.count("interests_sent")
+        self.face.send_interest(interest)
+        return signal
+
+    def fetch(
+        self,
+        name: Union[str, Name],
+        scope: Optional[int] = None,
+        private: bool = False,
+        lifetime: float = 4000.0,
+        timeout: Optional[float] = None,
+    ):
+        """Coroutine helper: ``result = yield from consumer.fetch(...)``.
+
+        Returns the :class:`FetchResult`, or None on timeout (``timeout``
+        defaults to the interest lifetime).
+        """
+        signal = self.express_interest(
+            name, scope=scope, private=private, lifetime=lifetime
+        )
+        wait = timeout if timeout is not None else lifetime
+        result = yield WaitSignal(signal, timeout=wait)
+        if result is TIMED_OUT:
+            self.monitor.count("fetch_timeouts")
+            # Withdraw the stale pending entry so late or retried data is
+            # not consumed by this abandoned fetch (which would starve a
+            # later fetch of the same name).
+            self._cancel_pending(name_of(name), signal)
+            return None
+        return result
+
+    def _cancel_pending(self, name: Name, signal: Signal) -> None:
+        """Remove one abandoned (signal, send-time) record for ``name``."""
+        waiters = self._pending.get(name)
+        if not waiters:
+            return
+        self._pending[name] = [
+            entry for entry in waiters if entry[0] is not signal
+        ]
+        if not self._pending[name]:
+            del self._pending[name]
+
+    # ------------------------------------------------------------------
+    # PacketHandler interface
+    # ------------------------------------------------------------------
+    def receive_data(self, data: Data, face: Face) -> None:
+        """Match returning content against pending interests (prefix rule)."""
+        matched = False
+        for pending_name in list(self._pending):
+            if not pending_name.is_prefix_of(data.name):
+                continue
+            waiters = self._pending[pending_name]
+            signal, send_time = waiters.pop(0)
+            if not waiters:
+                del self._pending[pending_name]
+            result = FetchResult(
+                data=data, send_time=send_time, receive_time=self.engine.now
+            )
+            self.rtts.append(result.rtt)
+            self.monitor.count("data_received")
+            self.monitor.record("rtt", self.engine.now, result.rtt)
+            signal.trigger(result, time=self.engine.now)
+            matched = True
+            break
+        if not matched:
+            self.monitor.count("unsolicited_data")
+
+    def receive_interest(self, interest: Interest, face: Face) -> None:
+        """Consumers do not serve content."""
+        self.monitor.count("unexpected_interest")
+
+    @property
+    def pending_count(self) -> int:
+        """Number of interests still awaiting content."""
+        return sum(len(v) for v in self._pending.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Consumer({self.name}, pending={self.pending_count})"

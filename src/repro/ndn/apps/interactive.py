@@ -1,0 +1,159 @@
+"""Interactive (VoIP-like) endpoints using unpredictable names (Section V-A).
+
+Each endpoint of an interactive session is producer *and* consumer at once:
+it publishes its own frames under per-frame unpredictable names and fetches
+the peer's frames by predicting their names from the shared secret.  Frames
+are published ``exact_match_only`` per footnote 5, so a router never leaks
+them to prefix probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # avoid a runtime ndn->naming->ndn import cycle
+    from repro.naming.session import SessionNamer
+
+from repro.ndn.link import Face
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, Interest
+from repro.sim.engine import Engine
+from repro.sim.events import Signal
+from repro.sim.monitor import Monitor
+from repro.sim.process import TIMED_OUT, Timeout, WaitSignal
+
+
+@dataclass(frozen=True)
+class FrameStats:
+    """Per-frame delivery outcome for one endpoint."""
+
+    sequence: int
+    latency: float
+    retransmitted: bool
+
+
+class InteractiveEndpoint:
+    """One party of a two-way interactive session over NDN."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        namer: SessionNamer,
+        label: str = "endpoint",
+        frame_size: int = 256,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.engine = engine
+        self.namer = namer
+        self.label = label
+        self.frame_size = frame_size
+        self.monitor = monitor if monitor is not None else Monitor()
+        self.face: Optional[Face] = None
+        self.repo: Dict[Name, Data] = {}
+        self._pending: Dict[Name, Tuple[Signal, float]] = {}
+        self.frame_stats: List[FrameStats] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def create_face(self, label: str = "") -> Face:
+        """Create the endpoint's (single) network face."""
+        face = Face(self, label=label or f"{self.label}:face")
+        self.face = face
+        return face
+
+    # ------------------------------------------------------------------
+    # Producing
+    # ------------------------------------------------------------------
+    def publish_frame(self, sequence: int) -> Data:
+        """Publish the outgoing frame ``sequence`` under its session name."""
+        name = self.namer.outgoing_name(sequence)
+        data = Data(
+            name=name,
+            producer=self.label,
+            private=True,
+            size=self.frame_size,
+            exact_match_only=True,
+        )
+        self.repo[name] = data
+        self.monitor.count("frames_published")
+        return data
+
+    # ------------------------------------------------------------------
+    # Consuming
+    # ------------------------------------------------------------------
+    def request_frame(self, sequence: int, lifetime: float = 4000.0) -> Signal:
+        """Express interest in the peer's frame ``sequence``."""
+        if self.face is None:
+            raise RuntimeError(f"{self.label} has no face attached")
+        name = self.namer.incoming_name(sequence)
+        signal = Signal(name=f"{self.label}:frame:{sequence}")
+        self._pending[name] = (signal, self.engine.now)
+        self.face.send_interest(Interest(name=name, private=True, lifetime=lifetime))
+        self.monitor.count("frames_requested")
+        return signal
+
+    def run_session(
+        self,
+        frames: int,
+        frame_interval: float,
+        retransmit_timeout: float = 200.0,
+        max_retransmits: int = 3,
+    ):
+        """Coroutine: publish and fetch ``frames`` frames at a fixed cadence.
+
+        Lost frames are re-requested up to ``max_retransmits`` times; the
+        re-issued interest is what benefits from router caching near the
+        loss point (the paper's rationale for caching interactive traffic
+        at all).
+        """
+        for seq in range(frames):
+            self.publish_frame(seq)
+            send_time = self.engine.now
+            retransmitted = False
+            result = None
+            for _attempt in range(max_retransmits + 1):
+                signal = self.request_frame(seq, lifetime=retransmit_timeout * 4)
+                result = yield WaitSignal(signal, timeout=retransmit_timeout)
+                if result is not TIMED_OUT:
+                    break
+                retransmitted = True
+                self.monitor.count("retransmits")
+            if result is not None and result is not TIMED_OUT:
+                self.frame_stats.append(
+                    FrameStats(
+                        sequence=seq,
+                        latency=self.engine.now - send_time,
+                        retransmitted=retransmitted,
+                    )
+                )
+            else:
+                self.monitor.count("frames_lost")
+            yield Timeout(frame_interval)
+        return self.frame_stats
+
+    # ------------------------------------------------------------------
+    # PacketHandler interface
+    # ------------------------------------------------------------------
+    def receive_interest(self, interest: Interest, face: Face) -> None:
+        """Serve own frames; exact name match only (footnote 5)."""
+        data = self.repo.get(interest.name)
+        if data is None:
+            self.monitor.count("unknown_interest")
+            return
+        self.monitor.count("frames_served")
+        face.send_data(data)
+
+    def receive_data(self, data: Data, face: Face) -> None:
+        """Resolve a pending frame fetch (exact name)."""
+        pending = self._pending.pop(data.name, None)
+        if pending is None:
+            self.monitor.count("unsolicited_data")
+            return
+        signal, _send_time = pending
+        self.monitor.count("frames_received")
+        signal.trigger(data, time=self.engine.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"InteractiveEndpoint({self.label}, frames={len(self.frame_stats)})"

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the NDN substrate."""
+
+from __future__ import annotations
+
+
+class NdnError(Exception):
+    """Base class for NDN data-plane errors."""
+
+
+class NameError_(NdnError):
+    """Raised on malformed NDN names.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`NameError`.
+    """
+
+
+class PacketError(NdnError):
+    """Raised on malformed interests or content objects."""
+
+
+class CacheError(NdnError):
+    """Raised on Content Store misuse (e.g. inserting unnamed content)."""
+
+
+class PitError(NdnError):
+    """Raised on Pending Interest Table misuse."""
+
+
+class FibError(NdnError):
+    """Raised on Forwarding Interest Base misuse."""
+
+
+class TopologyError(NdnError):
+    """Raised when a topology is mis-wired (unknown node, dangling face)."""

@@ -1,0 +1,81 @@
+"""The Forwarding Interest Base (FIB).
+
+Maps name prefixes to next-hop faces; interests are routed by
+longest-prefix match (Section II).  Multiple next hops per prefix are
+supported with costs; the forwarder uses the lowest-cost face (best route)
+and may fall back to alternates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ndn.errors import FibError
+from repro.ndn.name import Name
+
+
+@dataclass(frozen=True)
+class FibNextHop:
+    """One candidate next hop for a prefix."""
+
+    face: object
+    cost: int = 0
+
+
+class Fib:
+    """Longest-prefix-match routing table."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Name, List[FibNextHop]] = {}
+
+    def add_route(self, prefix: Name, face: object, cost: int = 0) -> None:
+        """Register ``face`` as a next hop for ``prefix``.
+
+        Duplicate (prefix, face) registrations update the cost in place.
+        """
+        hops = self._routes.setdefault(prefix, [])
+        for i, hop in enumerate(hops):
+            if hop.face is face:
+                hops[i] = FibNextHop(face=face, cost=cost)
+                break
+        else:
+            hops.append(FibNextHop(face=face, cost=cost))
+        hops.sort(key=lambda h: h.cost)
+
+    def remove_route(self, prefix: Name, face: object) -> None:
+        """Remove the (prefix, face) route; raises if absent."""
+        hops = self._routes.get(prefix)
+        if not hops:
+            raise FibError(f"no routes for prefix {prefix}")
+        remaining = [h for h in hops if h.face is not face]
+        if len(remaining) == len(hops):
+            raise FibError(f"face not registered for prefix {prefix}")
+        if remaining:
+            self._routes[prefix] = remaining
+        else:
+            del self._routes[prefix]
+
+    def longest_prefix_match(self, name: Name) -> Optional[List[FibNextHop]]:
+        """Next hops for the longest registered prefix of ``name``, or None."""
+        for prefix in name.prefixes():
+            hops = self._routes.get(prefix)
+            if hops:
+                return list(hops)
+        return None
+
+    def next_hop(self, name: Name) -> Optional[object]:
+        """The single best (lowest-cost) next-hop face for ``name``."""
+        hops = self.longest_prefix_match(name)
+        return hops[0].face if hops else None
+
+    @property
+    def prefixes(self) -> List[Name]:
+        """All registered prefixes (sorted)."""
+        return sorted(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Name) -> bool:
+        return prefix in self._routes

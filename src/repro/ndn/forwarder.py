@@ -1,0 +1,235 @@
+"""The NDN forwarder: one router (or host daemon) of the data plane.
+
+Interest pipeline (Section II, plus the privacy hooks of Sections V–VI):
+
+1. **Content Store lookup** — prefix-match, honoring the footnote-5
+   exclusion of unpredictable names.  The entry is refreshed on lookup even
+   when the eventual response is delayed or disguised (Section VII).
+2. **Privacy scheme consultation** — the marking rules fix the entry's
+   effective privacy, then the configured :class:`CacheScheme` decides:
+   serve now (HIT), serve after an artificial delay (DELAYED_HIT), or
+   behave like a miss and re-fetch upstream (MISS).
+3. **PIT** — misses insert or collapse into the pending-interest table.
+4. **Scope** — an interest whose scope budget is exhausted at this node is
+   not forwarded (routers may be configured to disregard scope, as the
+   paper notes they are allowed to).
+5. **FIB** — longest-prefix-match forward to the best next hop.
+
+Data pipeline: PIT match → record the interest-in→content-out delay γ_C →
+cache admission (with the scheme's per-entry state initialization) →
+fan-out to all collapsed faces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.schemes.base import CacheScheme, DecisionKind
+from repro.core.schemes.marking import MarkingPolicy
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.ndn.cs import ContentStore
+from repro.ndn.fib import Fib
+from repro.ndn.link import Face
+from repro.ndn.packets import Data, Interest
+from repro.ndn.pit import Pit
+from repro.sim.engine import Engine
+from repro.sim.monitor import Monitor
+
+
+class Forwarder:
+    """An NDN node: CS + PIT + FIB + privacy scheme."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        cs: Optional[ContentStore] = None,
+        scheme: Optional[CacheScheme] = None,
+        marking: Optional[MarkingPolicy] = None,
+        monitor: Optional[Monitor] = None,
+        honor_scope: bool = True,
+        processing_delay: float = 0.0,
+        cache_filter: Optional[Callable[[Data], bool]] = None,
+        strategy: str = "best-route",
+    ) -> None:
+        """``strategy`` selects among FIB next hops: ``best-route``
+        forwards to the single cheapest face; ``multicast`` forwards to
+        every registered next hop (duplicate data returning on the losing
+        paths is dropped as unsolicited)."""
+        if strategy not in ("best-route", "multicast"):
+            raise ValueError(
+                f"unknown strategy {strategy!r}; use 'best-route' or 'multicast'"
+            )
+        self.engine = engine
+        self.name = name
+        self.cs = cs if cs is not None else ContentStore()
+        self.pit = Pit()
+        self.fib = Fib()
+        self.scheme = scheme if scheme is not None else NoPrivacyScheme()
+        self.marking = marking if marking is not None else MarkingPolicy()
+        self.monitor = monitor if monitor is not None else Monitor()
+        self.honor_scope = honor_scope
+        self.processing_delay = processing_delay
+        self.cache_filter = cache_filter
+        self.strategy = strategy
+        self.faces: List[Face] = []
+        self.cs.add_evict_listener(self.scheme.on_evict)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def create_face(self, label: str = "") -> Face:
+        """Create and register a new face owned by this forwarder."""
+        face = Face(self, label=label or f"{self.name}:face{len(self.faces)}")
+        self.faces.append(face)
+        return face
+
+    # ------------------------------------------------------------------
+    # Interest pipeline
+    # ------------------------------------------------------------------
+    def receive_interest(self, interest: Interest, face: Face) -> None:
+        """Process an interest arriving on ``face``."""
+        self.monitor.count("interest_in")
+        entry = self.cs.lookup(interest.name, self.engine.now, touch=True)
+        if entry is not None:
+            marking = self.marking.on_request(entry, interest)
+            decision = self.scheme.on_request(entry, marking.private, self.engine.now)
+            if decision.kind is DecisionKind.HIT:
+                self.monitor.count("cs_hit")
+                self._send_data_on(face, entry.data, self.processing_delay)
+                return
+            if decision.kind is DecisionKind.DELAYED_HIT:
+                self.monitor.count("cs_disguised_hit")
+                self._send_data_on(
+                    face, entry.data, self.processing_delay + decision.delay
+                )
+                return
+            self.monitor.count("cs_forced_miss")
+        else:
+            self.monitor.count("cs_miss")
+        self._forward_interest(interest, face)
+
+    def _forward_interest(self, interest: Interest, face: Face) -> None:
+        existing = self.pit.lookup(interest.name)
+        is_retransmission = (
+            existing is not None
+            and face in existing.faces
+            and interest.nonce not in existing.nonces
+        )
+        pit_entry, is_new = self.pit.insert_or_collapse(interest, face, self.engine.now)
+        if not is_new:
+            self.monitor.count("pit_collapse")
+            if is_retransmission and not (self.honor_scope and interest.scope_exhausted):
+                # A fresh nonce from a face that already has an in-record is
+                # a consumer retransmission (the earlier interest or its
+                # data was lost upstream): re-forward instead of swallowing
+                # it.  A *different* face with a fresh nonce is ordinary
+                # aggregation and is not re-forwarded.
+                for upstream in self._select_upstreams(interest.name, face):
+                    self.monitor.count("interest_retransmitted")
+                    self.engine.schedule(
+                        self.processing_delay,
+                        upstream.send_interest,
+                        interest.hop(),
+                        label=f"{self.name}:refwd-interest",
+                    )
+            return
+        if self.honor_scope and interest.scope_exhausted:
+            # Cannot satisfy locally and the scope budget ends here: the
+            # interest dies (the consumer observes a timeout).
+            self.monitor.count("scope_drop")
+            self.pit.remove(interest.name)
+            return
+        upstreams = self._select_upstreams(interest.name, face)
+        if not upstreams:
+            self.monitor.count("no_route")
+            self.pit.remove(interest.name)
+            return
+        pit_entry.timer = self.engine.schedule(
+            interest.lifetime,
+            self._on_pit_expiry,
+            interest.name,
+            label=f"{self.name}:pit-expiry",
+        )
+        for upstream in upstreams:
+            self.monitor.count("interest_forwarded")
+            self.engine.schedule(
+                self.processing_delay,
+                upstream.send_interest,
+                interest.hop(),
+                label=f"{self.name}:fwd-interest",
+            )
+
+    def _select_upstreams(self, name, arrival_face: Face) -> List[Face]:
+        """Next-hop faces per the configured forwarding strategy,
+        excluding the face the interest arrived on."""
+        hops = self.fib.longest_prefix_match(name)
+        if not hops:
+            return []
+        candidates = [h.face for h in hops if h.face is not arrival_face]
+        if not candidates:
+            return []
+        if self.strategy == "best-route":
+            return candidates[:1]
+        return candidates
+
+    def _on_pit_expiry(self, name) -> None:
+        if self.pit.expire(name, self.engine.now) is not None:
+            self.monitor.count("pit_expired")
+
+    # ------------------------------------------------------------------
+    # Data pipeline
+    # ------------------------------------------------------------------
+    def receive_data(self, data: Data, face: Face) -> None:
+        """Process a content object arriving on ``face``."""
+        self.monitor.count("data_in")
+        pit_entry = self.pit.satisfy(data.name)
+        if pit_entry is None:
+            # Content is never forwarded unless preceded by an interest.
+            self.monitor.count("unsolicited_data")
+            return
+        if pit_entry.timer is not None and pit_entry.timer.pending:
+            pit_entry.timer.cancel()
+        fetch_delay = self.engine.now - pit_entry.first_arrival
+        self._maybe_cache(data, fetch_delay, requested_private=pit_entry.all_private)
+        for downstream in pit_entry.faces:
+            self._send_data_on(downstream, data, self.processing_delay)
+
+    def _maybe_cache(
+        self, data: Data, fetch_delay: float, requested_private: bool
+    ) -> None:
+        if self.cache_filter is not None and not self.cache_filter(data):
+            self.monitor.count("cache_skipped")
+            return
+        is_new = data.name not in self.cs
+        private = self.marking.privacy_at_insert(data, requested_private)
+        entry = self.cs.insert(
+            data, self.engine.now, fetch_delay=fetch_delay, private=private
+        )
+        if is_new:
+            self.marking.annotate_entry(entry, data)
+            self.scheme.on_insert(entry, private=private, now=self.engine.now)
+            self.monitor.count("cs_insert")
+
+    def _send_data_on(self, face: Face, data: Data, delay: float) -> None:
+        self.monitor.count("data_out")
+        if delay <= 0:
+            face.send_data(data)
+        else:
+            self.engine.schedule(
+                delay, face.send_data, data, label=f"{self.name}:send-data"
+            )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush_cache(self) -> None:
+        """Empty the CS and reset scheme state (between attack trials)."""
+        self.cs.clear()
+        self.scheme.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Forwarder({self.name}, cs={len(self.cs)}, pit={len(self.pit)}, "
+            f"scheme={self.scheme.name})"
+        )

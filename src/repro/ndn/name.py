@@ -1,0 +1,181 @@
+"""Hierarchical NDN content names.
+
+A name is an immutable sequence of string components, written
+``/cnn/news/2013may20`` in the usual slash-delimited representation
+(Section II of the paper).  Component boundaries are explicit; components
+themselves are opaque to the network.
+
+Matching semantics follow the paper exactly: content named ``X'`` matches an
+interest for ``X`` iff ``X`` is a prefix of ``X'`` (footnote 2), e.g.
+``/cnn/news/2013may20`` matches an interest for ``/cnn/news``.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.ndn.errors import NameError_
+
+#: Reserved component marking producer-designated private content
+#: (Section V, producer-driven marking).
+PRIVATE_COMPONENT = "private"
+
+
+@total_ordering
+class Name:
+    """An immutable, hashable hierarchical content name."""
+
+    __slots__ = ("_components", "_hash")
+
+    def __init__(self, components: Iterable[str] = ()) -> None:
+        comps = tuple(components)
+        for comp in comps:
+            if not isinstance(comp, str):
+                raise NameError_(
+                    f"name components must be str, got {type(comp).__name__}"
+                )
+            if comp == "":
+                raise NameError_("name components must be non-empty")
+            if "/" in comp:
+                raise NameError_(f"name component may not contain '/': {comp!r}")
+        self._components = comps
+        self._hash = hash(comps)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, uri: str) -> "Name":
+        """Parse a slash-delimited name like ``/youtube/alice/video.avi/137``.
+
+        A leading slash is required for non-root names; the bare string
+        ``/`` parses to the root (empty) name.
+        """
+        if uri == "/":
+            return cls(())
+        if not uri.startswith("/"):
+            raise NameError_(f"name URI must start with '/': {uri!r}")
+        parts = uri[1:].split("/")
+        if any(part == "" for part in parts):
+            raise NameError_(f"empty component in name URI: {uri!r}")
+        return cls(parts)
+
+    @classmethod
+    def root(cls) -> "Name":
+        """The zero-component root name (prefix of everything)."""
+        return cls(())
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> Tuple[str, ...]:
+        """The tuple of components."""
+        return self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._components)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[str, "Name"]:
+        if isinstance(index, slice):
+            return Name(self._components[index])
+        return self._components[index]
+
+    @property
+    def last(self) -> str:
+        """The final component; raises on the root name."""
+        if not self._components:
+            raise NameError_("root name has no last component")
+        return self._components[-1]
+
+    # ------------------------------------------------------------------
+    # Hierarchy operations
+    # ------------------------------------------------------------------
+    def append(self, *components: str) -> "Name":
+        """Return a new name with ``components`` appended."""
+        return Name(self._components + tuple(components))
+
+    def parent(self) -> "Name":
+        """Return the name with the last component removed."""
+        if not self._components:
+            raise NameError_("root name has no parent")
+        return Name(self._components[:-1])
+
+    def prefix(self, length: int) -> "Name":
+        """Return the first ``length`` components as a name."""
+        if length < 0 or length > len(self._components):
+            raise NameError_(
+                f"prefix length {length} out of range for {self}"
+            )
+        return Name(self._components[:length])
+
+    def prefixes(self) -> Iterator["Name"]:
+        """Yield every prefix of this name, longest first (self included)."""
+        for length in range(len(self._components), -1, -1):
+            yield Name(self._components[:length])
+
+    def is_prefix_of(self, other: "Name") -> bool:
+        """True iff every component of self matches the start of ``other``.
+
+        This is the paper's content-matching rule: an interest for this name
+        is satisfied by content named ``other``.  A name is a prefix of
+        itself.
+        """
+        if len(self._components) > len(other._components):
+            return False
+        return other._components[: len(self._components)] == self._components
+
+    def matches(self, content_name: "Name") -> bool:
+        """Alias for :meth:`is_prefix_of` reading as interest→content match."""
+        return self.is_prefix_of(content_name)
+
+    def has_component(self, component: str) -> bool:
+        """True if any component equals ``component``."""
+        return component in self._components
+
+    @property
+    def marked_private(self) -> bool:
+        """True if the reserved ``private`` component appears in the name.
+
+        This implements the paper's producer-driven name-based marking: a
+        producer appends ``/private/`` (here, as any component) to flag the
+        content as privacy-sensitive.
+        """
+        return PRIVATE_COMPONENT in self._components
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._components == other._components
+
+    def __lt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._components < other._components
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if not self._components:
+            return "/"
+        return "/" + "/".join(self._components)
+
+    def __repr__(self) -> str:
+        return f"Name({str(self)!r})"
+
+
+def name_of(value: Union[str, Name]) -> Name:
+    """Coerce a string URI or a Name into a Name (convenience for APIs)."""
+    if isinstance(value, Name):
+        return value
+    if isinstance(value, str):
+        return Name.parse(value)
+    raise NameError_(f"cannot convert {type(value).__name__} to Name")

@@ -1,0 +1,201 @@
+"""Network assembly: nodes, links, and routes by name.
+
+:class:`Network` is the convenience layer the topology builders and
+examples use: it owns the engine, RNG registry, and a registry of named
+entities (forwarders and applications); ``connect`` wires two entities with
+a link, and ``add_route`` installs FIB entries by *peer name* so topologies
+read declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.schemes.base import CacheScheme
+from repro.ndn.apps.consumer import Consumer
+from repro.ndn.apps.interactive import InteractiveEndpoint
+from repro.ndn.apps.producer import Producer
+from repro.ndn.cs import ContentStore
+from repro.ndn.errors import TopologyError
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.link import DelayModel, Face, Link
+from repro.ndn.name import Name, name_of
+from repro.ndn.replacement import make_policy
+from repro.sim.engine import Engine
+from repro.sim.monitor import Monitor
+from repro.sim.rng import RngRegistry
+
+Entity = Union[Forwarder, Consumer, Producer, InteractiveEndpoint]
+
+
+class Network:
+    """A named collection of NDN entities wired by links."""
+
+    def __init__(
+        self,
+        engine: Optional[Engine] = None,
+        rng: Optional[RngRegistry] = None,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else Engine()
+        self.rng = rng if rng is not None else RngRegistry(0)
+        self.monitor = monitor if monitor is not None else Monitor()
+        self._entities: Dict[str, Entity] = {}
+        # (a, b) -> (face at a, face at b); stored both directions.
+        self._faces: Dict[Tuple[str, str], Tuple[Face, Face]] = {}
+        self.links: Dict[str, Link] = {}
+
+    # ------------------------------------------------------------------
+    # Entity creation
+    # ------------------------------------------------------------------
+    def _register(self, name: str, entity: Entity) -> Entity:
+        if name in self._entities:
+            raise TopologyError(f"duplicate entity name {name!r}")
+        self._entities[name] = entity
+        return entity
+
+    def add_router(
+        self,
+        name: str,
+        capacity: Optional[int] = None,
+        scheme: Optional[CacheScheme] = None,
+        policy: str = "lru",
+        honor_scope: bool = True,
+        processing_delay: float = 0.0,
+        strategy: str = "best-route",
+    ) -> Forwarder:
+        """Create a caching NDN router."""
+        cs = ContentStore(
+            capacity=capacity,
+            policy=make_policy(policy, self.rng.stream(f"policy:{name}")),
+        )
+        router = Forwarder(
+            engine=self.engine,
+            name=name,
+            cs=cs,
+            scheme=scheme,
+            honor_scope=honor_scope,
+            processing_delay=processing_delay,
+            strategy=strategy,
+        )
+        self._register(name, router)
+        return router
+
+    def add_consumer(self, name: str) -> Consumer:
+        """Create a consumer end host."""
+        consumer = Consumer(self.engine, name=name)
+        self._register(name, consumer)
+        return consumer
+
+    def add_producer(
+        self,
+        name: str,
+        prefix: Union[str, Name],
+        private: bool = False,
+        auto_generate: bool = True,
+        processing_delay: float = 0.0,
+    ) -> Producer:
+        """Create a producer end host serving ``prefix``."""
+        producer = Producer(
+            self.engine,
+            prefix=prefix,
+            producer_id=name,
+            private=private,
+            auto_generate=auto_generate,
+            processing_delay=processing_delay,
+        )
+        self._register(name, producer)
+        return producer
+
+    def add_endpoint(self, name: str, endpoint: InteractiveEndpoint) -> InteractiveEndpoint:
+        """Register a pre-built interactive endpoint under ``name``."""
+        self._register(name, endpoint)
+        return endpoint
+
+    def __getitem__(self, name: str) -> Entity:
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise TopologyError(f"unknown entity {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entities
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        a: str,
+        b: str,
+        delay_model: DelayModel,
+        loss_rate: float = 0.0,
+    ) -> Tuple[Face, Face]:
+        """Create a bidirectional link between entities ``a`` and ``b``."""
+        entity_a, entity_b = self[a], self[b]
+        face_a = entity_a.create_face(label=f"{a}->{b}")
+        face_b = entity_b.create_face(label=f"{b}->{a}")
+        link = Link(
+            engine=self.engine,
+            face_a=face_a,
+            face_b=face_b,
+            delay_model=delay_model,
+            rng=self.rng.stream(f"link:{a}<->{b}"),
+            loss_rate=loss_rate,
+            name=f"{a}<->{b}",
+        )
+        self.links[link.name] = link
+        self._faces[(a, b)] = (face_a, face_b)
+        self._faces[(b, a)] = (face_b, face_a)
+        return face_a, face_b
+
+    def face_between(self, at: str, toward: str) -> Face:
+        """The face on entity ``at`` that leads to entity ``toward``."""
+        try:
+            return self._faces[(at, toward)][0]
+        except KeyError:
+            raise TopologyError(f"no link between {at!r} and {toward!r}") from None
+
+    def add_route(
+        self, router: str, prefix: Union[str, Name], toward: str, cost: int = 0
+    ) -> None:
+        """Install a FIB route on ``router`` for ``prefix`` via ``toward``."""
+        node = self[router]
+        if not isinstance(node, Forwarder):
+            raise TopologyError(f"{router!r} is not a forwarder")
+        node.fib.add_route(name_of(prefix), self.face_between(router, toward), cost)
+
+    def add_route_chain(self, prefix: Union[str, Name], *path: str) -> None:
+        """Install routes for ``prefix`` along ``path`` (first to last).
+
+        Every forwarder on the path gets a route toward its successor; end
+        hosts on the path are skipped (they hold no FIB).
+        """
+        for hop, nxt in zip(path, path[1:]):
+            if isinstance(self[hop], Forwarder):
+                self.add_route(hop, prefix, nxt)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the engine; returns the simulated stop time."""
+        return self.engine.run(until=until)
+
+    def spawn(self, generator, label: str = ""):
+        """Start a simulation process on the network's engine."""
+        return self.engine.spawn(generator, label=label)
+
+    @property
+    def routers(self) -> Dict[str, Forwarder]:
+        """All registered forwarders by name."""
+        return {
+            name: entity
+            for name, entity in self._entities.items()
+            if isinstance(entity, Forwarder)
+        }
+
+    def flush_caches(self) -> None:
+        """Flush every router's CS and scheme state (between trials)."""
+        for router in self.routers.values():
+            router.flush_cache()

@@ -1,0 +1,136 @@
+"""NDN packet types: Interest and Data (content object).
+
+Interest and content are the only two packet types in NDN (Section II).
+Interests carry no source address; the reverse path is reconstructed from
+PIT state.  The fields modeled here are exactly those the paper's attacks
+and countermeasures depend on:
+
+* ``scope`` — maximum number of NDN entities (source included) an interest
+  may traverse; routers may disregard it (Section III),
+* ``private`` on Interest — the consumer-driven privacy bit (Section V),
+* ``private`` on Data — the producer-driven privacy bit,
+* ``producer`` on Data — stands in for the signature, which identifies the
+  producer (Section II notes all content is signed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.ndn.errors import PacketError
+from repro.ndn.name import Name
+
+_nonce_counter = itertools.count(1)
+
+
+def _next_nonce() -> int:
+    """Deterministic monotonically increasing nonce (sufficient for dedup)."""
+    return next(_nonce_counter)
+
+
+@dataclass(frozen=True)
+class Interest:
+    """A request for content by name (the NDN pull model).
+
+    Attributes:
+        name: the requested content name (prefix match against content).
+        nonce: loop/duplicate detection token.
+        scope: max NDN entities the interest may traverse, source included;
+            None means unlimited.  ``scope=2`` confines the interest to the
+            first-hop router — the probing trick of Section III.
+        private: consumer-driven privacy bit (Section V).
+        lifetime: PIT entry lifetime in ms.
+        hops: how many NDN entities have handled this interest so far,
+            source included.  Incremented on each forward; compared against
+            ``scope`` by scope-honoring routers.
+    """
+
+    name: Name
+    nonce: int = field(default_factory=_next_nonce)
+    scope: Optional[int] = None
+    private: bool = False
+    lifetime: float = 4000.0
+    hops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scope is not None and self.scope < 1:
+            raise PacketError(f"interest scope must be >= 1, got {self.scope}")
+        if self.lifetime <= 0:
+            raise PacketError(f"interest lifetime must be > 0, got {self.lifetime}")
+        if self.hops < 1:
+            raise PacketError(f"interest hops must be >= 1, got {self.hops}")
+
+    def hop(self) -> "Interest":
+        """Return a copy with the hop count incremented (same nonce)."""
+        return replace(self, hops=self.hops + 1)
+
+    @property
+    def scope_exhausted(self) -> bool:
+        """True when a scope-honoring entity must not forward this interest.
+
+        The receiving entity's position in the traversal is ``hops + 1``
+        (``hops`` counts entities that handled the interest before this
+        transmission, source included).  Forwarding would place the packet
+        at entity ``hops + 2``, which must not exceed ``scope``.  With
+        ``scope=2`` the first-hop router may answer from its cache but may
+        not forward — the probing configuration of Section III.
+        """
+        return self.scope is not None and self.hops >= self.scope - 1
+
+    def __str__(self) -> str:
+        extras = []
+        if self.scope is not None:
+            extras.append(f"scope={self.scope}")
+        if self.private:
+            extras.append("private")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        return f"Interest({self.name}{suffix})"
+
+
+@dataclass(frozen=True)
+class Data:
+    """A content object.
+
+    Attributes:
+        name: the full content name (interests match it by prefix).
+        producer: identifier of the signing producer; stands in for the
+            signature that, per the paper, lets anyone identify the producer.
+        private: producer-driven privacy bit (Section V).
+        size: payload size in bytes (all-equal by default, as in Section VII).
+        freshness: advisory cache lifetime in ms; None means no limit.
+        exact_match_only: if True, caches must not return this object for
+            interests that are a strict prefix of its name.  This implements
+            footnote 5 of the paper: content whose name ends in an
+            unpredictable ``rand`` component must only satisfy interests that
+            explicitly express that component.
+    """
+
+    name: Name
+    producer: str = "unknown"
+    private: bool = False
+    size: int = 1024
+    freshness: Optional[float] = None
+    exact_match_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise PacketError(f"content size must be >= 0, got {self.size}")
+        if self.freshness is not None and self.freshness <= 0:
+            raise PacketError(
+                f"content freshness must be > 0, got {self.freshness}"
+            )
+
+    @property
+    def effectively_private(self) -> bool:
+        """Producer-marked private via the bit or the reserved name component."""
+        return self.private or self.name.marked_private
+
+    def satisfies(self, interest: Interest) -> bool:
+        """True iff this content object satisfies ``interest`` (prefix rule)."""
+        return interest.name.is_prefix_of(self.name)
+
+    def __str__(self) -> str:
+        marker = " [private]" if self.private else ""
+        return f"Data({self.name}, producer={self.producer}{marker})"

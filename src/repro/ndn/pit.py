@@ -1,0 +1,134 @@
+"""The Pending Interest Table (PIT).
+
+Per Section II: when a router receives an interest for name X with no
+matching PIT entry, it forwards the interest and records the name and the
+arrival face.  Subsequent interests for X are *collapsed* — only the arrival
+face is added.  When content returns, the router forwards it out on every
+recorded face and flushes the entry.
+
+Entries expire after the interest lifetime; expiry is driven by the caller
+(the forwarder schedules timers) so the PIT itself stays engine-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ndn.name import Name
+from repro.ndn.packets import Interest
+
+
+@dataclass
+class PitEntry:
+    """State for one pending name."""
+
+    name: Name
+    expiry: float
+    faces: List[object] = field(default_factory=list)
+    nonces: Set[int] = field(default_factory=set)
+    #: True if any collapsed interest carried the consumer privacy bit.
+    any_private: bool = False
+    #: True only if *every* collapsed interest carried the privacy bit.
+    all_private: bool = True
+    #: Time the first interest arrived (for delay accounting).
+    first_arrival: float = 0.0
+    #: Expiry timer event (cancelled when the entry is satisfied).
+    timer: object = None
+
+    def add_face(self, face: object) -> None:
+        """Record an additional arrival face (idempotent)."""
+        if face not in self.faces:
+            self.faces.append(face)
+
+
+class Pit:
+    """Exact-name pending-interest table with interest collapsing."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Name, PitEntry] = {}
+        self.collapsed = 0
+        self.expired = 0
+
+    def lookup(self, name: Name) -> Optional[PitEntry]:
+        """Return the entry for ``name`` or None."""
+        return self._entries.get(name)
+
+    def insert_or_collapse(
+        self, interest: Interest, face: object, now: float
+    ) -> Tuple[PitEntry, bool]:
+        """Record an arriving interest.
+
+        Returns ``(entry, is_new)``.  ``is_new`` is True when the interest
+        created a fresh entry (and therefore must be forwarded upstream);
+        False when it was collapsed into an existing one.
+
+        A duplicate nonce on an existing entry is still collapsed (the face
+        is recorded) — loop suppression is the forwarder's concern.
+        """
+        entry = self._entries.get(interest.name)
+        if entry is not None:
+            entry.add_face(face)
+            entry.nonces.add(interest.nonce)
+            entry.any_private = entry.any_private or interest.private
+            entry.all_private = entry.all_private and interest.private
+            # A later interest extends the entry's life.
+            entry.expiry = max(entry.expiry, now + interest.lifetime)
+            self.collapsed += 1
+            return entry, False
+        entry = PitEntry(
+            name=interest.name,
+            expiry=now + interest.lifetime,
+            faces=[face],
+            nonces={interest.nonce},
+            any_private=interest.private,
+            all_private=interest.private,
+            first_arrival=now,
+        )
+        self._entries[interest.name] = entry
+        return entry, True
+
+    def satisfy(self, name: Name) -> Optional[PitEntry]:
+        """Pop and return the entry matched by returning content.
+
+        Content named X satisfies a pending interest for any prefix of X;
+        the longest pending prefix wins (most specific interest).
+        """
+        best: Optional[Name] = None
+        for prefix in Name(name.components).prefixes():
+            if prefix in self._entries:
+                best = prefix
+                break  # prefixes() yields longest first
+        if best is None:
+            return None
+        return self._entries.pop(best)
+
+    def expire(self, name: Name, now: float) -> Optional[PitEntry]:
+        """Remove ``name`` if its entry has expired; return it if removed."""
+        entry = self._entries.get(name)
+        if entry is None:
+            return None
+        if entry.expiry > now:
+            return None
+        self.expired += 1
+        return self._entries.pop(name)
+
+    def remove(self, name: Name) -> Optional[PitEntry]:
+        """Unconditionally remove and return the entry for ``name``."""
+        return self._entries.pop(name, None)
+
+    def has_seen_nonce(self, name: Name, nonce: int) -> bool:
+        """True if ``nonce`` was already recorded for ``name`` (loop check)."""
+        entry = self._entries.get(name)
+        return entry is not None and nonce in entry.nonces
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: Name) -> bool:
+        return name in self._entries
+
+    @property
+    def names(self) -> List[Name]:
+        """All pending names (sorted)."""
+        return sorted(self._entries)

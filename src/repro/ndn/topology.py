@@ -1,0 +1,248 @@
+"""Topology builders for the paper's four measurement settings (Figure 3).
+
+Each builder returns an :class:`AttackTopology` wiring the entities of
+Figure 1 (user U, shared first-hop router R, producer P, adversary Adv) or
+Figure 2 (applications sharing a local ``ccnd`` daemon) with link-delay
+models calibrated so the *shape* of the hit/miss RTT distributions matches
+the corresponding paper subfigure:
+
+* :func:`local_lan` — Fig. 3(a): Fast-Ethernet LAN, wide hit/miss gap,
+* :func:`wan` — Fig. 3(b): several hops to R, jittery but separable,
+* :func:`wan_producer` — Fig. 3(c): P adjacent to R, U/Adv three WAN hops
+  away; the one-link difference drowns in path jitter (weak single probe),
+* :func:`local_host` — Fig. 3(d): malicious app probing the node-local
+  cache, microsecond-scale hits.
+
+Absolute milliseconds are calibrated, not measured on the NDN testbed the
+paper used; EXPERIMENTS.md records the substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.schemes.base import CacheScheme
+from repro.ndn.apps.consumer import Consumer
+from repro.ndn.apps.producer import Producer
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.link import GaussianJitterDelay, LogNormalDelay
+from repro.ndn.name import Name
+from repro.ndn.network import Network
+from repro.sim.rng import RngRegistry
+
+#: Default prefix all experiment content lives under.
+CONTENT_PREFIX = "/content"
+
+
+@dataclass
+class AttackTopology:
+    """A wired attack scenario: Fig. 1 / Fig. 2 plus calibration notes."""
+
+    network: Network
+    user: Consumer
+    adversary: Consumer
+    router: Forwarder
+    producer: Producer
+    content_prefix: Name
+    description: str
+    #: Routers between Adv/U and R (empty in the LAN/local-host settings).
+    access_path: List[Forwarder] = field(default_factory=list)
+    #: Routers between R and P (empty when P is adjacent to R).
+    producer_path: List[Forwarder] = field(default_factory=list)
+
+    @property
+    def engine(self):
+        """The topology's simulation engine."""
+        return self.network.engine
+
+    def flush_caches(self) -> None:
+        """Empty every router cache (fresh attack trial)."""
+        self.network.flush_caches()
+
+
+def _network(seed: int) -> Network:
+    return Network(rng=RngRegistry(seed))
+
+
+def local_lan(
+    seed: int = 0,
+    scheme: Optional[CacheScheme] = None,
+    cache_capacity: Optional[int] = None,
+) -> AttackTopology:
+    """Fig. 3(a): U, Adv and R on one Fast-Ethernet segment, P behind R.
+
+    Calibration: hit RTTs ≈ 3.3–4.5 ms, miss RTTs ≈ 6–12 ms with a
+    queueing tail — comfortably separable (the paper reports >99.9%
+    classification success).
+    """
+    net = _network(seed)
+    router = net.add_router("R", capacity=cache_capacity, scheme=scheme)
+    user = net.add_consumer("U")
+    adversary = net.add_consumer("Adv")
+    producer = net.add_producer("P", CONTENT_PREFIX)
+    lan = lambda: GaussianJitterDelay(base=1.8, jitter_std=0.12, floor=1.5)  # noqa: E731
+    net.connect("U", "R", lan())
+    net.connect("Adv", "R", lan())
+    net.connect("R", "P", LogNormalDelay(base=1.0, tail_scale=0.7, sigma=0.8))
+    net.add_route("R", CONTENT_PREFIX, "P")
+    return AttackTopology(
+        network=net,
+        user=user,
+        adversary=adversary,
+        router=router,
+        producer=producer,
+        content_prefix=Name.parse(CONTENT_PREFIX),
+        description="LAN: U/Adv on Fast Ethernet to shared first-hop router R",
+    )
+
+
+def wan(
+    seed: int = 0,
+    scheme: Optional[CacheScheme] = None,
+    cache_capacity: Optional[int] = None,
+    producer_hops: int = 3,
+) -> AttackTopology:
+    """Fig. 3(b): U/Adv several (non-NDN) hops from R; P ``producer_hops``
+    NDN hops past R.
+
+    Calibration: hit RTTs ≈ 4.5–7 ms, miss RTTs ≈ 9–22 ms with heavy
+    jitter — still separable with ~99% success.
+    """
+    if producer_hops < 1:
+        raise ValueError(f"producer_hops must be >= 1, got {producer_hops}")
+    net = _network(seed)
+    router = net.add_router("R", capacity=cache_capacity, scheme=scheme)
+    user = net.add_consumer("U")
+    adversary = net.add_consumer("Adv")
+    producer = net.add_producer("P", CONTENT_PREFIX)
+    access = lambda: LogNormalDelay(base=2.2, tail_scale=0.35, sigma=0.9)  # noqa: E731
+    net.connect("U", "R", access())
+    net.connect("Adv", "R", access())
+    # Chain R - R1 - ... - P; intermediate routers cache normally.
+    producer_path: List[Forwarder] = []
+    chain = ["R"]
+    for i in range(1, producer_hops):
+        name = f"R{i}"
+        producer_path.append(net.add_router(name))
+        chain.append(name)
+    chain.append("P")
+    wan_link = lambda: LogNormalDelay(base=1.0, tail_scale=0.4, sigma=0.9)  # noqa: E731
+    for a, b in zip(chain, chain[1:]):
+        net.connect(a, b, wan_link())
+    net.add_route_chain(CONTENT_PREFIX, *chain)
+    return AttackTopology(
+        network=net,
+        user=user,
+        adversary=adversary,
+        router=router,
+        producer=producer,
+        content_prefix=Name.parse(CONTENT_PREFIX),
+        description=f"WAN: shared first-hop R, producer {producer_hops} hops upstream",
+        producer_path=producer_path,
+    )
+
+
+def wan_producer(
+    seed: int = 0,
+    scheme: Optional[CacheScheme] = None,
+    cache_capacity: Optional[int] = None,
+    access_hops: int = 3,
+    cache_on_access_path: bool = False,
+) -> AttackTopology:
+    """Fig. 3(c): producer privacy.  P adjacent to R; U/Adv ``access_hops``
+    WAN hops away.
+
+    The observable difference between "C cached at R" and "C only at P" is
+    a single short link inside a long, jittery path, so a single probe
+    succeeds only ≈55–65% of the time (the paper measures 59%).
+
+    ``cache_on_access_path=False`` (default) disables caching on the
+    routers between Adv and R, isolating R's cache as the only oracle —
+    the configuration under which the paper's fetch-twice probe is
+    informative (otherwise Adv's own first fetch would be answered by its
+    first-hop router on the second probe).
+    """
+    if access_hops < 1:
+        raise ValueError(f"access_hops must be >= 1, got {access_hops}")
+    net = _network(seed)
+    router = net.add_router("R", capacity=cache_capacity, scheme=scheme)
+    user = net.add_consumer("U")
+    adversary = net.add_consumer("Adv")
+    producer = net.add_producer("P", CONTENT_PREFIX)
+    long_haul = lambda: LogNormalDelay(base=30.0, tail_scale=2.5, sigma=0.9)  # noqa: E731
+
+    def build_access_chain(tag: str, consumer_name: str) -> List[Forwarder]:
+        chain = [consumer_name]
+        routers = []
+        for i in range(1, access_hops):
+            name = f"{tag}{i}"
+            node = net.add_router(name)
+            if not cache_on_access_path:
+                node.cache_filter = lambda data: False
+            routers.append(node)
+            chain.append(name)
+        chain.append("R")
+        for a, b in zip(chain, chain[1:]):
+            net.connect(a, b, long_haul())
+        net.add_route_chain(CONTENT_PREFIX, *chain)
+        return routers
+
+    access_path = build_access_chain("A", "Adv")
+    access_path += build_access_chain("B", "U")
+    net.connect("R", "P", GaussianJitterDelay(base=2.5, jitter_std=0.3, floor=1.8))
+    net.add_route("R", CONTENT_PREFIX, "P")
+    return AttackTopology(
+        network=net,
+        user=user,
+        adversary=adversary,
+        router=router,
+        producer=producer,
+        content_prefix=Name.parse(CONTENT_PREFIX),
+        description=(
+            f"WAN producer privacy: P adjacent to R, U/Adv {access_hops} hops away"
+        ),
+        access_path=access_path,
+    )
+
+
+def local_host(
+    seed: int = 0,
+    scheme: Optional[CacheScheme] = None,
+    cache_capacity: Optional[int] = None,
+) -> AttackTopology:
+    """Fig. 3(d) / Fig. 2: malicious app probing the node-local cache.
+
+    The honest application and the malicious application share the local
+    NDN daemon's (``ccnd``) cache over IPC-speed faces; the producer sits
+    across the network.  Calibration: hits ≈ 0.4–0.9 ms, misses ≈ 2–12 ms
+    — the cleanest separation of the four settings.
+    """
+    net = _network(seed)
+    daemon = net.add_router("ccnd", capacity=cache_capacity, scheme=scheme)
+    honest = net.add_consumer("honest-app")
+    malicious = net.add_consumer("malicious-app")
+    producer = net.add_producer("P", CONTENT_PREFIX)
+    ipc = lambda: GaussianJitterDelay(base=0.22, jitter_std=0.05, floor=0.05)  # noqa: E731
+    net.connect("honest-app", "ccnd", ipc())
+    net.connect("malicious-app", "ccnd", ipc())
+    net.connect("ccnd", "P", LogNormalDelay(base=0.8, tail_scale=0.8, sigma=1.0))
+    net.add_route("ccnd", CONTENT_PREFIX, "P")
+    return AttackTopology(
+        network=net,
+        user=honest,
+        adversary=malicious,
+        router=daemon,
+        producer=producer,
+        content_prefix=Name.parse(CONTENT_PREFIX),
+        description="Local host: malicious application probing the ccnd cache",
+    )
+
+
+#: Builder registry keyed by the Figure-3 subfigure each reproduces.
+TOPOLOGIES = {
+    "fig3a_lan": local_lan,
+    "fig3b_wan": wan,
+    "fig3c_wan_producer": wan_producer,
+    "fig3d_local_host": local_host,
+}

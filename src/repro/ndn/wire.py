@@ -1,0 +1,236 @@
+"""NDN TLV wire encoding for Interest and Data packets.
+
+A compact implementation of the NDN packet format's Type-Length-Value
+framing (variable-length numbers per the NDN spec: 1-byte values < 253,
+then 253/254/255 prefixes for 2/4/8-byte lengths), sufficient to
+round-trip this simulator's packets and to measure realistic on-wire
+sizes.  Type codes follow the NDN packet spec where a field exists there
+(Interest=0x05, Data=0x06, Name=0x07, GenericNameComponent=0x08,
+Nonce=0x0a); simulator-specific fields (privacy bit, scope, producer id)
+use the application range (>= 0x80, marked below).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.ndn.errors import PacketError
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, Interest
+
+# Spec-assigned types.
+TLV_INTEREST = 0x05
+TLV_DATA = 0x06
+TLV_NAME = 0x07
+TLV_NAME_COMPONENT = 0x08
+TLV_NONCE = 0x0A
+TLV_INTEREST_LIFETIME = 0x0C
+TLV_FRESHNESS_PERIOD = 0x19
+# Application-range types for simulator-specific fields.
+TLV_APP_SCOPE = 0x80
+TLV_APP_PRIVATE = 0x81
+TLV_APP_HOPS = 0x82
+TLV_APP_PRODUCER = 0x83
+TLV_APP_SIZE = 0x84
+TLV_APP_EXACT_MATCH_ONLY = 0x85
+
+
+# ----------------------------------------------------------------------
+# Variable-length numbers (NDN TLV-VAR-NUMBER)
+# ----------------------------------------------------------------------
+def encode_var_number(value: int) -> bytes:
+    """Encode a TLV type or length."""
+    if value < 0:
+        raise PacketError(f"TLV numbers are unsigned, got {value}")
+    if value < 253:
+        return bytes([value])
+    if value <= 0xFFFF:
+        return b"\xfd" + struct.pack("!H", value)
+    if value <= 0xFFFFFFFF:
+        return b"\xfe" + struct.pack("!I", value)
+    return b"\xff" + struct.pack("!Q", value)
+
+
+def decode_var_number(buffer: bytes, offset: int) -> Tuple[int, int]:
+    """Decode a TLV number at ``offset``; returns (value, next offset)."""
+    if offset >= len(buffer):
+        raise PacketError("truncated TLV number")
+    first = buffer[offset]
+    if first < 253:
+        return first, offset + 1
+    widths = {253: ("!H", 2), 254: ("!I", 4), 255: ("!Q", 8)}
+    fmt, width = widths[first]
+    end = offset + 1 + width
+    if end > len(buffer):
+        raise PacketError("truncated TLV number body")
+    return struct.unpack(fmt, buffer[offset + 1:end])[0], end
+
+
+def _tlv(type_code: int, payload: bytes) -> bytes:
+    return encode_var_number(type_code) + encode_var_number(len(payload)) + payload
+
+
+def _nonneg_int_bytes(value: int) -> bytes:
+    """Shortest big-endian encoding of a non-negative integer."""
+    if value == 0:
+        return b"\x00"
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def iter_tlvs(buffer: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Yield (type, value) pairs from a TLV sequence; raises on garbage."""
+    offset = 0
+    while offset < len(buffer):
+        type_code, offset = decode_var_number(buffer, offset)
+        length, offset = decode_var_number(buffer, offset)
+        end = offset + length
+        if end > len(buffer):
+            raise PacketError(
+                f"TLV {type_code:#x} claims {length} bytes past the end"
+            )
+        yield type_code, buffer[offset:end]
+        offset = end
+
+
+# ----------------------------------------------------------------------
+# Names
+# ----------------------------------------------------------------------
+def encode_name(name: Name) -> bytes:
+    """Encode a Name TLV (components as GenericNameComponent)."""
+    payload = b"".join(
+        _tlv(TLV_NAME_COMPONENT, component.encode("utf-8")) for component in name
+    )
+    return _tlv(TLV_NAME, payload)
+
+
+def decode_name(payload: bytes) -> Name:
+    """Decode the *payload* of a Name TLV."""
+    components: List[str] = []
+    for type_code, value in iter_tlvs(payload):
+        if type_code != TLV_NAME_COMPONENT:
+            raise PacketError(f"unexpected TLV {type_code:#x} inside Name")
+        components.append(value.decode("utf-8"))
+    return Name(components)
+
+
+# ----------------------------------------------------------------------
+# Interests
+# ----------------------------------------------------------------------
+def encode_interest(interest: Interest) -> bytes:
+    """Encode an Interest packet to its TLV wire form."""
+    body = encode_name(interest.name)
+    body += _tlv(TLV_NONCE, _nonneg_int_bytes(interest.nonce))
+    body += _tlv(
+        TLV_INTEREST_LIFETIME, _nonneg_int_bytes(int(interest.lifetime))
+    )
+    if interest.scope is not None:
+        body += _tlv(TLV_APP_SCOPE, _nonneg_int_bytes(interest.scope))
+    if interest.private:
+        body += _tlv(TLV_APP_PRIVATE, b"\x01")
+    body += _tlv(TLV_APP_HOPS, _nonneg_int_bytes(interest.hops))
+    return _tlv(TLV_INTEREST, body)
+
+
+def _decode_interest_body(body: bytes) -> Interest:
+    name: Optional[Name] = None
+    nonce: Optional[int] = None
+    lifetime = 4000.0
+    scope: Optional[int] = None
+    private = False
+    hops = 1
+    for type_code, value in iter_tlvs(body):
+        if type_code == TLV_NAME:
+            name = decode_name(value)
+        elif type_code == TLV_NONCE:
+            nonce = int.from_bytes(value, "big")
+        elif type_code == TLV_INTEREST_LIFETIME:
+            lifetime = float(int.from_bytes(value, "big"))
+        elif type_code == TLV_APP_SCOPE:
+            scope = int.from_bytes(value, "big")
+        elif type_code == TLV_APP_PRIVATE:
+            private = bool(value and value[0])
+        elif type_code == TLV_APP_HOPS:
+            hops = int.from_bytes(value, "big")
+        # Unknown fields are skipped (forward compatibility).
+    if name is None or nonce is None:
+        raise PacketError("Interest missing Name or Nonce")
+    return Interest(
+        name=name, nonce=nonce, scope=scope, private=private,
+        lifetime=lifetime, hops=hops,
+    )
+
+
+# ----------------------------------------------------------------------
+# Data
+# ----------------------------------------------------------------------
+def encode_data(data: Data) -> bytes:
+    """Encode a Data packet to its TLV wire form."""
+    body = encode_name(data.name)
+    body += _tlv(TLV_APP_PRODUCER, data.producer.encode("utf-8"))
+    body += _tlv(TLV_APP_SIZE, _nonneg_int_bytes(data.size))
+    if data.private:
+        body += _tlv(TLV_APP_PRIVATE, b"\x01")
+    if data.freshness is not None:
+        body += _tlv(TLV_FRESHNESS_PERIOD, _nonneg_int_bytes(int(data.freshness)))
+    if data.exact_match_only:
+        body += _tlv(TLV_APP_EXACT_MATCH_ONLY, b"\x01")
+    return _tlv(TLV_DATA, body)
+
+
+def _decode_data_body(body: bytes) -> Data:
+    name: Optional[Name] = None
+    producer = "unknown"
+    size = 1024
+    private = False
+    freshness: Optional[float] = None
+    exact_match_only = False
+    for type_code, value in iter_tlvs(body):
+        if type_code == TLV_NAME:
+            name = decode_name(value)
+        elif type_code == TLV_APP_PRODUCER:
+            producer = value.decode("utf-8")
+        elif type_code == TLV_APP_SIZE:
+            size = int.from_bytes(value, "big")
+        elif type_code == TLV_APP_PRIVATE:
+            private = bool(value and value[0])
+        elif type_code == TLV_FRESHNESS_PERIOD:
+            freshness = float(int.from_bytes(value, "big"))
+        elif type_code == TLV_APP_EXACT_MATCH_ONLY:
+            exact_match_only = bool(value and value[0])
+    if name is None:
+        raise PacketError("Data missing Name")
+    return Data(
+        name=name, producer=producer, private=private, size=size,
+        freshness=freshness, exact_match_only=exact_match_only,
+    )
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+def encode_packet(packet: Union[Interest, Data]) -> bytes:
+    """Encode either packet type."""
+    if isinstance(packet, Interest):
+        return encode_interest(packet)
+    if isinstance(packet, Data):
+        return encode_data(packet)
+    raise PacketError(f"cannot encode {type(packet).__name__}")
+
+
+def decode_packet(buffer: bytes) -> Union[Interest, Data]:
+    """Decode one packet; raises :class:`PacketError` on malformed input."""
+    tlvs = list(iter_tlvs(buffer))
+    if len(tlvs) != 1:
+        raise PacketError(f"expected exactly one top-level TLV, got {len(tlvs)}")
+    type_code, body = tlvs[0]
+    if type_code == TLV_INTEREST:
+        return _decode_interest_body(body)
+    if type_code == TLV_DATA:
+        return _decode_data_body(body)
+    raise PacketError(f"unknown top-level TLV type {type_code:#x}")
+
+
+def wire_size(packet: Union[Interest, Data]) -> int:
+    """On-wire byte size of a packet (header only; payload is ``size``)."""
+    return len(encode_packet(packet))

@@ -1,0 +1,170 @@
+"""The discrete-event simulation engine.
+
+Time is a float in **milliseconds** throughout the codebase, matching the
+unit the paper reports RTTs in (Figure 3 axes are msec).
+
+The engine is a classic binary-heap event loop.  Determinism guarantees:
+
+* ties in event time break by insertion order (monotonic sequence number),
+* all stochastic behavior draws from named streams in
+  :class:`repro.sim.rng.RngRegistry`, never from global random state.
+
+Both plain callbacks (:meth:`Engine.schedule`) and generator-based processes
+(:meth:`Engine.spawn`, see :mod:`repro.sim.process`) are supported; the NDN
+substrate uses callbacks for the forwarding fast path and processes for
+application behavior (consumers, attackers).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.errors import ClockError, SimulationError
+from repro.sim.events import Event, EventState
+
+
+class Engine:
+    """Binary-heap discrete-event simulator with millisecond float time."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now.
+
+        Returns the :class:`Event` handle, which can be cancelled while
+        pending.  Negative delays raise :class:`ClockError`.
+        """
+        if delay < 0:
+            raise ClockError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ClockError(
+                f"cannot schedule at t={time} (now={self._now}): time moves forward"
+            )
+        event = Event(time, self._seq, callback, args, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def spawn(
+        self, generator: Generator, label: str = ""
+    ) -> "Process":  # noqa: F821 - forward ref, resolved at import below
+        """Start a generator-based simulation process immediately.
+
+        The generator may yield the command objects defined in
+        :mod:`repro.sim.process` (``Timeout``, ``WaitSignal``).  Returns the
+        :class:`~repro.sim.process.Process` wrapper.
+        """
+        from repro.sim.process import Process
+
+        proc = Process(self, generator, label=label)
+        proc.start()
+        return proc
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the event loop.
+
+        Stops when the queue drains, when simulated time would exceed
+        ``until``, or after ``max_events`` events — whichever comes first.
+        Returns the simulated time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant: run() called from a callback")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.state is EventState.CANCELLED:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.state = EventState.FIRED
+                event.callback(*event.args)
+                executed += 1
+                self._events_processed += 1
+            else:
+                # Queue drained; if a horizon was given, advance to it so that
+                # back-to-back run(until=...) calls observe monotonic time.
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.state is EventState.CANCELLED:
+                continue
+            self._now = event.time
+            event.state = EventState.FIRED
+            event.callback(*event.args)
+            self._events_processed += 1
+            return True
+        return False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].state is EventState.CANCELLED:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if e.state is EventState.PENDING)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Engine(now={self._now:.3f}, pending={self.pending_count})"

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-engine errors."""
+
+
+class ClockError(SimulationError):
+    """Raised when an event is scheduled in the past."""
+
+
+class EventStateError(SimulationError):
+    """Raised on invalid event state transitions (e.g. cancelling a fired event)."""
+
+
+class ProcessError(SimulationError):
+    """Raised when a simulation process misbehaves (e.g. yields an unknown command)."""
+
+
+class RngError(SimulationError):
+    """Raised on misuse of the named random-stream registry."""

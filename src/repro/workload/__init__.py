@@ -1,0 +1,49 @@
+"""Workloads: synthetic IRCache-style traces and the replay harness."""
+
+from repro.workload.fitting import TraceFit, fit_trace, fit_zipf_exponent
+from repro.workload.hierarchy import (
+    CacheHierarchy,
+    HierarchyStats,
+    LevelConfig,
+    replay_hierarchy,
+)
+from repro.workload.ircache import (
+    DIURNAL_PROFILE,
+    IrcacheConfig,
+    IrcacheGenerator,
+    small_test_trace,
+)
+from repro.workload.marking import (
+    ContentMarking,
+    MarkingRule,
+    NoMarking,
+    RequestMarking,
+)
+from repro.workload.replay import CachedRouter, ReplayStats, RequestOutcome, replay
+from repro.workload.trace import Request, Trace
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "Request",
+    "Trace",
+    "ZipfSampler",
+    "IrcacheConfig",
+    "IrcacheGenerator",
+    "small_test_trace",
+    "DIURNAL_PROFILE",
+    "MarkingRule",
+    "ContentMarking",
+    "RequestMarking",
+    "NoMarking",
+    "CachedRouter",
+    "CacheHierarchy",
+    "TraceFit",
+    "fit_trace",
+    "fit_zipf_exponent",
+    "HierarchyStats",
+    "LevelConfig",
+    "replay_hierarchy",
+    "ReplayStats",
+    "RequestOutcome",
+    "replay",
+]

@@ -1,0 +1,121 @@
+"""Fitting workload models to (real) traces.
+
+When a real proxy trace is dropped in via :meth:`repro.workload.Trace.load`,
+these helpers recover the statistical parameters the synthetic generator
+needs, so sensitivity studies can sweep around the measured operating
+point:
+
+* :func:`fit_zipf_exponent` — maximum-likelihood fit of the Zipf exponent
+  from a popularity histogram (discrete power law over ranks),
+* :func:`fit_trace` — one-call summary: exponent, population sizes, and
+  the resulting calibrated :class:`~repro.workload.ircache.IrcacheConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.ircache import IrcacheConfig
+from repro.workload.trace import Trace
+
+
+def _zipf_log_likelihood(exponent: float, counts: np.ndarray) -> float:
+    """Log-likelihood of rank draws under Zipf(exponent) over n ranks.
+
+    ``counts[r]`` is the number of requests for the rank-r object
+    (ranks sorted by popularity, 0-based).
+    """
+    n = counts.size
+    ranks = np.arange(1, n + 1, dtype=float)
+    log_weights = -exponent * np.log(ranks)
+    log_norm = np.log(np.sum(np.exp(log_weights - log_weights.max()))) + log_weights.max()
+    return float(np.sum(counts * (log_weights - log_norm)))
+
+
+def fit_zipf_exponent(
+    counts_by_rank: np.ndarray,
+    lo: float = 0.0,
+    hi: float = 3.0,
+    tol: float = 1e-4,
+) -> float:
+    """MLE of the Zipf exponent by golden-section search on [lo, hi].
+
+    ``counts_by_rank`` must be sorted descending (rank 0 = most popular).
+    The likelihood is unimodal in the exponent, so golden-section finds
+    the global maximum.
+    """
+    counts = np.asarray(counts_by_rank, dtype=float)
+    if counts.size < 2:
+        raise ValueError("need at least two ranks to fit an exponent")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    if np.any(np.diff(counts) > 0):
+        raise ValueError("counts must be sorted descending (by rank)")
+    phi = (np.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    fc = _zipf_log_likelihood(c, counts)
+    fd = _zipf_log_likelihood(d, counts)
+    while b - a > tol:
+        if fc > fd:
+            b, d, fd = d, c, fc
+            c = b - phi * (b - a)
+            fc = _zipf_log_likelihood(c, counts)
+        else:
+            a, c, fc = c, d, fd
+            d = a + phi * (b - a)
+            fd = _zipf_log_likelihood(d, counts)
+    return (a + b) / 2.0
+
+
+@dataclass(frozen=True)
+class TraceFit:
+    """Summary of a trace's workload parameters."""
+
+    requests: int
+    unique_objects: int
+    unique_users: int
+    zipf_exponent: float
+    duration_hours: float
+    max_hit_rate: float
+
+    def to_config(self, scale: float = 1.0) -> IrcacheConfig:
+        """An :class:`IrcacheConfig` reproducing this trace's statistics.
+
+        ``scale`` shrinks (or grows) request volume proportionally; the
+        object population scales with it so the working-set ratio — which
+        the hit-rate curves depend on — is preserved.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        return IrcacheConfig(
+            requests=max(1, int(self.requests * scale)),
+            users=max(1, self.unique_users),
+            # The generator's object pool is the *catalog*; a trace only
+            # reveals the touched subset, so inflate by the expected
+            # touched fraction under the fitted exponent (coarse: 2x).
+            objects=max(1, int(2 * self.unique_objects * scale)),
+            sites=max(1, self.unique_objects // 30),
+            popularity_exponent=self.zipf_exponent,
+            duration_hours=max(self.duration_hours, 0.01),
+        )
+
+
+def fit_trace(trace: Trace) -> TraceFit:
+    """Fit workload parameters from a trace (real or synthetic)."""
+    if len(trace) < 2:
+        raise ValueError("trace too short to fit")
+    counts = np.asarray(
+        sorted(trace.popularity().values(), reverse=True), dtype=float
+    )
+    return TraceFit(
+        requests=len(trace),
+        unique_objects=trace.unique_objects,
+        unique_users=trace.unique_users,
+        zipf_exponent=fit_zipf_exponent(counts),
+        duration_hours=trace.duration / 3_600_000.0,
+        max_hit_rate=trace.max_hit_rate,
+    )

@@ -1,0 +1,138 @@
+"""Request traces: records, containers, and TSV round-trip.
+
+A trace is an ordered sequence of :class:`Request` records — who asked for
+what, when.  The synthetic IRCache-style generator produces these, the
+replay harness consumes them, and the TSV format lets a real proxy trace
+be dropped in (one line per request: ``time_ms  user_id  name``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.ndn.name import Name, name_of
+
+
+@dataclass(frozen=True)
+class Request:
+    """One content request: timestamp (ms), requesting user, content name."""
+
+    time: float
+    user: int
+    name: Name
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"request time must be >= 0, got {self.time}")
+        if self.user < 0:
+            raise ValueError(f"user id must be >= 0, got {self.user}")
+
+
+class Trace:
+    """An ordered request trace with summary statistics."""
+
+    def __init__(self, requests: Iterable[Request] = ()) -> None:
+        self._requests: List[Request] = list(requests)
+
+    def append(self, request: Request) -> None:
+        """Add one request (caller maintains time ordering)."""
+        self._requests.append(request)
+
+    def sort(self) -> None:
+        """Sort requests by (time, user) in place."""
+        self._requests.sort(key=lambda r: (r.time, r.user))
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __getitem__(self, index: int) -> Request:
+        return self._requests[index]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def unique_objects(self) -> int:
+        """Number of distinct content names requested."""
+        return len({r.name for r in self._requests})
+
+    @property
+    def unique_users(self) -> int:
+        """Number of distinct requesting users."""
+        return len({r.user for r in self._requests})
+
+    @property
+    def duration(self) -> float:
+        """Span from first to last request (ms); 0 for empty traces."""
+        if not self._requests:
+            return 0.0
+        return self._requests[-1].time - self._requests[0].time
+
+    def popularity(self) -> Counter:
+        """Request count per content name."""
+        return Counter(r.name for r in self._requests)
+
+    @property
+    def max_hit_rate(self) -> float:
+        """Hit rate of an unlimited, never-expiring cache: 1 − unique/total.
+
+        The ceiling every scheme in Figure 5 is bounded by at the Inf point.
+        """
+        if not self._requests:
+            return 0.0
+        return 1.0 - self.unique_objects / len(self._requests)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as TSV: ``time_ms<TAB>user<TAB>name``."""
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as handle:
+            for request in self._requests:
+                handle.write(f"{request.time:.3f}\t{request.user}\t{request.name}\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a TSV trace written by :meth:`save` (or a real proxy log
+        converted to the same three-column layout)."""
+        source = Path(path)
+        trace = cls()
+        with source.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.rstrip("\n")
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split("\t")
+                if len(parts) != 3:
+                    raise ValueError(
+                        f"{source}:{line_number}: expected 3 tab-separated "
+                        f"fields, got {len(parts)}"
+                    )
+                time_str, user_str, name_str = parts
+                trace.append(
+                    Request(
+                        time=float(time_str),
+                        user=int(user_str),
+                        name=name_of(name_str),
+                    )
+                )
+        return trace
+
+    def head(self, count: int) -> "Trace":
+        """A new trace containing only the first ``count`` requests."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return Trace(self._requests[:count])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Trace(requests={len(self)}, objects={self.unique_objects}, "
+            f"users={self.unique_users})"
+        )

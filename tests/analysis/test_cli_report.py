@@ -1,0 +1,30 @@
+"""Tests for the CLI report command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReportCommand:
+    def test_report_written_with_all_sections(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([
+            "report", "--out", str(out),
+            "--requests", "2000", "--objects", "6", "--trials", "1",
+        ]) == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "## Figure 3" in text
+        assert "fig3a_lan" in text and "fig3d_local_host" in text
+        assert "## Section III — amplification" in text
+        assert "## Figure 4" in text
+        assert "peak utility differences" in text
+        assert "## Figure 5" in text
+        assert "Figure 5(b)" in text
+        assert "wrote reproduction report" in capsys.readouterr().out
+
+    def test_report_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["report"])

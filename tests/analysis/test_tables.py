@@ -1,0 +1,63 @@
+"""Unit tests for plain-text result rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import (
+    format_histogram_ascii,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.23456], ["b", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.2346" in text  # float formatting
+        assert "2" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_no_title(self):
+        text = format_table(["x"], [[1]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].startswith("x")
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        text = format_series(
+            "c", [1, 2], {"uniform": [0.1, 0.2], "expo": [0.15, 0.25]}
+        )
+        header = text.splitlines()[0]
+        assert "c" in header and "uniform" in header and "expo" in header
+        assert "0.2500" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("c", [1, 2], {"bad": [0.1]})
+
+
+class TestHistogramAscii:
+    def test_bars_scale_with_density(self):
+        text = format_histogram_ascii([1.0, 2.0], [0.5, 1.0], width=10, label="pdf")
+        lines = text.splitlines()
+        assert lines[0] == "pdf"
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_zero_density(self):
+        text = format_histogram_ascii([1.0], [0.0], width=10)
+        assert "#" not in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_histogram_ascii([1.0], [0.5, 0.6])

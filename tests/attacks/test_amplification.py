@@ -1,0 +1,107 @@
+"""Unit tests for multi-fragment amplification (Section III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.amplification import (
+    amplified_success,
+    empirical_amplified_success,
+    fragments_needed,
+    majority_vote,
+    mean_rtt_vote,
+    success_curve,
+)
+from repro.attacks.classifier import ThresholdClassifier
+
+
+class TestAnalyticFormula:
+    def test_paper_headline_number(self):
+        """p = 0.59, n = 8 → 1 − 0.41^8 ≈ 0.999 (Section III)."""
+        assert amplified_success(0.59, 8) == pytest.approx(0.999, abs=0.001)
+
+    def test_single_fragment_is_identity(self):
+        assert amplified_success(0.7, 1) == pytest.approx(0.7)
+
+    def test_monotone_in_fragments(self):
+        curve = success_curve(0.3, 20)
+        assert all(a < b for a, b in zip(curve, curve[1:]))
+
+    def test_certainty_preserved(self):
+        assert amplified_success(1.0, 5) == 1.0
+        assert amplified_success(0.0, 5) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            amplified_success(1.5, 2)
+        with pytest.raises(ValueError):
+            amplified_success(0.5, 0)
+        with pytest.raises(ValueError):
+            success_curve(0.5, 0)
+
+
+class TestFragmentsNeeded:
+    def test_inverts_formula(self):
+        n = fragments_needed(0.59, 0.999)
+        assert n == 8
+        assert amplified_success(0.59, n) >= 0.999
+        assert amplified_success(0.59, n - 1) < 0.999
+
+    def test_strong_single_probe_needs_one(self):
+        assert fragments_needed(0.999, 0.99) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fragments_needed(0.0, 0.9)
+        with pytest.raises(ValueError):
+            fragments_needed(0.5, 1.0)
+
+
+class TestVoting:
+    def test_majority_vote(self):
+        clf = ThresholdClassifier(threshold=5.0, training_accuracy=1.0)
+        verdict = majority_vote([1.0, 2.0, 9.0], clf)
+        assert verdict.decided_hit
+        assert verdict.fragment_votes == (True, True, False)
+
+    def test_majority_vote_tie_is_miss(self):
+        clf = ThresholdClassifier(threshold=5.0, training_accuracy=1.0)
+        assert not majority_vote([1.0, 9.0], clf).decided_hit
+
+    def test_majority_vote_empty_rejected(self):
+        clf = ThresholdClassifier(threshold=5.0, training_accuracy=1.0)
+        with pytest.raises(ValueError):
+            majority_vote([], clf)
+
+    def test_mean_rtt_vote(self):
+        verdict = mean_rtt_vote([3.0, 3.2, 2.9], hit_mean=3.0, miss_mean=6.0)
+        assert verdict.decided_hit
+        verdict = mean_rtt_vote([5.8, 6.1], hit_mean=3.0, miss_mean=6.0)
+        assert not verdict.decided_hit
+
+    def test_mean_rtt_vote_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_rtt_vote([], 1.0, 2.0)
+
+
+class TestEmpiricalAmplification:
+    def test_amplification_improves_weak_probe(self):
+        rng = np.random.default_rng(0)
+        hits = rng.normal(200.0, 10.0, 3000)
+        misses = rng.normal(205.0, 10.0, 3000)
+        single = empirical_amplified_success(hits, misses, fragments=1)
+        eight = empirical_amplified_success(hits, misses, fragments=8)
+        assert 0.5 < single < 0.7  # the weak Figure 3(c) regime
+        assert eight > single + 0.1
+
+    def test_strong_probe_saturates(self):
+        hits = [1.0] * 100
+        misses = [10.0] * 100
+        assert empirical_amplified_success(hits, misses, fragments=2) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            empirical_amplified_success([1.0], [2.0], fragments=0)
+        with pytest.raises(ValueError):
+            empirical_amplified_success([], [2.0], fragments=1)

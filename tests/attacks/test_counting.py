@@ -1,0 +1,99 @@
+"""Unit tests for the counting attack on the naive threshold scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.counting import (
+    CountingAttack,
+    counting_attack_accuracy,
+)
+from repro.core.schemes.naive_threshold import NaiveThresholdScheme
+from repro.core.schemes.uniform import UniformRandomCache
+from tests.conftest import make_entry
+
+
+def prepared_scheme(k: int, victim_requests: int):
+    scheme = NaiveThresholdScheme(k, rng=np.random.default_rng(0))
+    entry = make_entry()
+    if victim_requests >= 1:
+        scheme.on_insert(entry, private=True, now=0.0)
+        for _ in range(victim_requests - 1):
+            scheme.on_request(entry, private=True, now=0.0)
+    return scheme, entry
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("victim_requests", [1, 2, 3, 4, 5])
+    def test_recovers_victim_count_exactly(self, victim_requests):
+        """The paper's claim: Adv learns exactly k − c' prior requests."""
+        k = 5
+        scheme, entry = prepared_scheme(k, victim_requests)
+        attack = CountingAttack(k)
+        result = attack.run(scheme, entry, content_cached=True)
+        assert result.inferred_prior_requests == victim_requests
+
+    def test_zero_requests_detected(self):
+        k = 5
+        scheme, entry = prepared_scheme(k, 0)
+        attack = CountingAttack(k)
+        result = attack.run(scheme, entry, content_cached=False)
+        assert result.inferred_prior_requests == 0
+        assert result.probes_until_hit == k + 2
+
+    def test_saturated_content_flagged(self):
+        k = 3
+        scheme, entry = prepared_scheme(k, 10)  # already past threshold
+        attack = CountingAttack(k)
+        result = attack.run(scheme, entry, content_cached=True)
+        assert result.saturated
+        assert result.inferred_prior_requests == k + 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            CountingAttack(-1)
+
+    def test_no_hit_raises(self):
+        # A mismatched (huge) scheme threshold starves the attack.
+        scheme, entry = prepared_scheme(50, 1)
+        attack = CountingAttack(5)
+        with pytest.raises(RuntimeError):
+            attack.run(scheme, entry, content_cached=True, max_probes=10)
+
+
+class TestAccuracySweep:
+    def test_naive_scheme_fully_leaks(self):
+        """100% recovery over every victim count up to k."""
+        assert counting_attack_accuracy(k=5, max_victim_requests=5) == 1.0
+
+    def test_saturation_handled(self):
+        assert counting_attack_accuracy(k=3, max_victim_requests=6) == 1.0
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            counting_attack_accuracy(k=3, max_victim_requests=-1)
+
+
+class TestRandomizedSchemeResists:
+    def test_uniform_random_cache_breaks_counting(self):
+        """Against Random-Cache the same inference is mostly wrong —
+        the randomized k_C is exactly what defeats the attack."""
+        rng = np.random.default_rng(7)
+        k, K = 5, 100
+        correct = 0
+        trials = 300
+        for trial in range(trials):
+            victim_requests = trial % (k + 1)
+            scheme = UniformRandomCache(K=K, rng=rng)
+            entry = make_entry()
+            if victim_requests >= 1:
+                scheme.on_insert(entry, private=True, now=0.0)
+                for _ in range(victim_requests - 1):
+                    scheme.on_request(entry, private=True, now=0.0)
+            attack = CountingAttack(k)
+            result = attack.run(
+                scheme, entry, content_cached=victim_requests >= 1
+            )
+            correct += int(result.inferred_prior_requests == victim_requests)
+        assert correct / trials < 0.3

@@ -1,0 +1,61 @@
+"""Integration tests for the scope-field probe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.scope_probe import ScopeProbeAttack
+from repro.ndn.topology import local_lan
+from repro.sim.process import Timeout
+
+
+def run_scope_attack(honor_scope: bool, seed: int = 0):
+    topo = local_lan(seed=seed)
+    topo.router.honor_scope = honor_scope
+    hot = [f"/content/hot-{i}" for i in range(5)]
+    cold = [f"/content/cold-{i}" for i in range(5)]
+    attack = ScopeProbeAttack(topo, probe_timeout=500.0)
+
+    def user_proc():
+        for name in hot:
+            result = yield from topo.user.fetch(name)
+            assert result is not None
+            yield Timeout(2.0)
+
+    def adv_proc():
+        yield Timeout(200.0)
+        yield from attack.run(hot + cold)
+
+    topo.engine.spawn(user_proc(), label="user")
+    topo.engine.spawn(adv_proc(), label="adv")
+    topo.engine.run()
+    return attack, hot
+
+
+class TestScopeProbe:
+    def test_scope_honoring_router_is_perfect_oracle(self):
+        """Answered scope-2 probe == definitive cache hit (Section III)."""
+        attack, hot = run_scope_attack(honor_scope=True)
+        assert attack.accuracy(hot) == 1.0
+
+    def test_hits_have_finite_rtt_misses_infinite(self):
+        attack, hot = run_scope_attack(honor_scope=True)
+        for verdict in attack.verdicts:
+            if verdict.decided_hit:
+                assert verdict.rtt < float("inf")
+            else:
+                assert verdict.rtt == float("inf")
+
+    def test_scope_ignoring_router_answers_everything(self):
+        """The countermeasure: disregard scope; all probes are answered
+        and the oracle degrades to timing analysis."""
+        attack, hot = run_scope_attack(honor_scope=False)
+        assert all(v.answered for v in attack.verdicts)
+        # The answered-implies-hit decision now mislabels every cold probe.
+        assert attack.accuracy(hot) == pytest.approx(0.5)
+
+    def test_accuracy_requires_verdicts(self):
+        topo = local_lan(seed=0)
+        attack = ScopeProbeAttack(topo)
+        with pytest.raises(RuntimeError):
+            attack.accuracy([])

@@ -1,0 +1,76 @@
+"""Integration-level tests for the consumer-privacy timing attack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.timing import (
+    RttDistributions,
+    attack_accuracy,
+    collect_rtt_distributions,
+)
+from repro.ndn.topology import local_host, local_lan
+
+
+class TestRttDistributions:
+    def test_extend_merges(self):
+        a = RttDistributions(hit_rtts=[1.0], miss_rtts=[5.0])
+        b = RttDistributions(hit_rtts=[1.1], miss_rtts=[5.1])
+        a.extend(b)
+        assert a.hit_rtts == [1.0, 1.1]
+        assert a.miss_rtts == [5.0, 5.1]
+
+    def test_bayes_success_property(self):
+        dists = RttDistributions(hit_rtts=[1.0] * 20, miss_rtts=[9.0] * 20)
+        assert dists.bayes_success_probability == pytest.approx(1.0)
+
+
+class TestCollectDistributions:
+    def test_lan_campaign_separates_classes(self):
+        dists = collect_rtt_distributions(
+            local_lan, objects_per_trial=20, trials=2
+        )
+        assert len(dists.hit_rtts) == 40
+        assert len(dists.miss_rtts) == 40
+        assert max(dists.hit_rtts) < min(dists.miss_rtts)
+        assert dists.bayes_success_probability > 0.99
+
+    def test_local_host_campaign(self):
+        dists = collect_rtt_distributions(
+            local_host, objects_per_trial=15, trials=2
+        )
+        assert dists.bayes_success_probability > 0.99
+
+    def test_trials_are_reproducible(self):
+        a = collect_rtt_distributions(local_lan, objects_per_trial=5, trials=1)
+        b = collect_rtt_distributions(local_lan, objects_per_trial=5, trials=1)
+        assert a.hit_rtts == b.hit_rtts
+        assert a.miss_rtts == b.miss_rtts
+
+    def test_different_seeds_differ(self):
+        a = collect_rtt_distributions(
+            local_lan, objects_per_trial=5, trials=1, base_seed=0
+        )
+        b = collect_rtt_distributions(
+            local_lan, objects_per_trial=5, trials=1, base_seed=99
+        )
+        assert a.hit_rtts != b.hit_rtts
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            collect_rtt_distributions(local_lan, objects_per_trial=0)
+        with pytest.raises(ValueError):
+            collect_rtt_distributions(local_lan, trials=0)
+
+
+class TestEndToEndAttack:
+    def test_adversary_procedure_accuracy_on_lan(self):
+        """The full d1-vs-d2 decision procedure, scored with ground truth."""
+        accuracy = attack_accuracy(
+            local_lan, targets_per_trial=20, trials=2
+        )
+        assert accuracy > 0.95
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            attack_accuracy(local_lan, targets_per_trial=1)

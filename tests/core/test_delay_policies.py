@@ -1,0 +1,77 @@
+"""Unit tests for artificial-delay policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes.delay_policies import (
+    ConstantDelay,
+    ContentSpecificDelay,
+    DynamicDelay,
+)
+from tests.conftest import make_entry
+
+
+class TestConstantDelay:
+    def test_returns_gamma_regardless_of_entry(self):
+        policy = ConstantDelay(25.0)
+        assert policy.delay_for(make_entry(fetch_delay=5.0), now=0.0) == 25.0
+        assert policy.delay_for(make_entry(fetch_delay=500.0), now=0.0) == 25.0
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(-1.0)
+
+    def test_zero_gamma_allowed(self):
+        assert ConstantDelay(0.0).delay_for(make_entry(), now=0.0) == 0.0
+
+
+class TestContentSpecificDelay:
+    def test_replays_recorded_fetch_delay(self):
+        policy = ContentSpecificDelay()
+        assert policy.delay_for(make_entry(fetch_delay=42.0), now=0.0) == 42.0
+
+    def test_different_entries_different_delays(self):
+        policy = ContentSpecificDelay()
+        near = make_entry(uri="/near", fetch_delay=2.0)
+        far = make_entry(uri="/far", fetch_delay=200.0)
+        assert policy.delay_for(near, 0.0) == 2.0
+        assert policy.delay_for(far, 0.0) == 200.0
+
+
+class TestDynamicDelay:
+    def test_starts_at_fetch_delay(self):
+        policy = DynamicDelay(floor=1.0, decay=0.9)
+        entry = make_entry(fetch_delay=100.0)
+        entry.access_count = 0
+        assert policy.delay_for(entry, 0.0) == 100.0
+
+    def test_decays_with_popularity(self):
+        policy = DynamicDelay(floor=1.0, decay=0.5)
+        entry = make_entry(fetch_delay=100.0)
+        entry.access_count = 2
+        assert policy.delay_for(entry, 0.0) == pytest.approx(25.0)
+
+    def test_never_below_floor(self):
+        """Definition IV.2 constraint: never faster than two-hop content."""
+        policy = DynamicDelay(floor=8.0, decay=0.5)
+        entry = make_entry(fetch_delay=100.0)
+        entry.access_count = 50
+        assert policy.delay_for(entry, 0.0) == 8.0
+
+    def test_monotone_nonincreasing_in_popularity(self):
+        policy = DynamicDelay(floor=2.0, decay=0.8)
+        entry = make_entry(fetch_delay=60.0)
+        delays = []
+        for count in range(20):
+            entry.access_count = count
+            delays.append(policy.delay_for(entry, 0.0))
+        assert all(a >= b for a, b in zip(delays, delays[1:]))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicDelay(floor=-1.0)
+        with pytest.raises(ValueError):
+            DynamicDelay(floor=1.0, decay=0.0)
+        with pytest.raises(ValueError):
+            DynamicDelay(floor=1.0, decay=1.5)

@@ -1,0 +1,129 @@
+"""Unit tests for the first-hit distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.privacy.distributions import (
+    DegenerateK,
+    TruncatedGeometric,
+    UniformK,
+)
+
+
+class TestUniformK:
+    def test_pmf_uniform(self):
+        d = UniformK(5)
+        assert all(d.pmf(r) == pytest.approx(0.2) for r in range(5))
+        assert d.pmf(-1) == 0.0
+        assert d.pmf(5) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        d = UniformK(17)
+        assert sum(d.pmf(r) for r in range(17)) == pytest.approx(1.0)
+
+    def test_cdf(self):
+        d = UniformK(4)
+        assert d.cdf(-1) == 0.0
+        assert d.cdf(0) == pytest.approx(0.25)
+        assert d.cdf(3) == pytest.approx(1.0)
+        assert d.cdf(10) == 1.0
+
+    def test_mean(self):
+        assert UniformK(5).mean() == 2.0
+        assert UniformK(1).mean() == 0.0
+
+    def test_samples_in_domain(self, rng):
+        d = UniformK(8)
+        samples = [d.sample(rng) for _ in range(1000)]
+        assert min(samples) >= 0
+        assert max(samples) <= 7
+
+    def test_sample_mean_converges(self, rng):
+        d = UniformK(100)
+        samples = [d.sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(d.mean(), abs=1.0)
+
+    def test_invalid_K(self):
+        with pytest.raises(ValueError):
+            UniformK(0)
+
+
+class TestTruncatedGeometric:
+    def test_pmf_formula(self):
+        d = TruncatedGeometric(0.5, 4)
+        # (1-a) a^r / (1 - a^K) with a=0.5, K=4: norm = 15/16.
+        assert d.pmf(0) == pytest.approx(0.5 / (15 / 16))
+        assert d.pmf(3) == pytest.approx(0.0625 / (15 / 16))
+        assert d.pmf(4) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        d = TruncatedGeometric(0.7, 12)
+        assert sum(d.pmf(r) for r in range(12)) == pytest.approx(1.0)
+
+    def test_untruncated_pmf(self):
+        d = TruncatedGeometric(0.3)
+        assert d.pmf(0) == pytest.approx(0.7)
+        assert d.pmf(2) == pytest.approx(0.7 * 0.09)
+        assert sum(d.pmf(r) for r in range(100)) == pytest.approx(1.0)
+
+    def test_cdf_matches_pmf_sums(self):
+        d = TruncatedGeometric(0.6, 9)
+        running = 0.0
+        for r in range(9):
+            running += d.pmf(r)
+            assert d.cdf(r) == pytest.approx(running)
+
+    def test_mean_matches_summation(self):
+        d = TruncatedGeometric(0.8, 15)
+        expected = sum(r * d.pmf(r) for r in range(15))
+        assert d.mean() == pytest.approx(expected)
+
+    def test_untruncated_mean(self):
+        assert TruncatedGeometric(0.5).mean() == pytest.approx(1.0)
+
+    def test_samples_in_domain(self, rng):
+        d = TruncatedGeometric(0.9, 6)
+        samples = [d.sample(rng) for _ in range(2000)]
+        assert min(samples) >= 0
+        assert max(samples) <= 5
+
+    def test_sample_distribution_matches_pmf(self, rng):
+        d = TruncatedGeometric(0.5, 8)
+        samples = np.array([d.sample(rng) for _ in range(40000)])
+        for r in range(8):
+            assert np.mean(samples == r) == pytest.approx(d.pmf(r), abs=0.01)
+
+    def test_untruncated_sample_mean(self, rng):
+        d = TruncatedGeometric(0.75)
+        samples = [d.sample(rng) for _ in range(40000)]
+        assert np.mean(samples) == pytest.approx(3.0, abs=0.1)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            TruncatedGeometric(0.0)
+        with pytest.raises(ValueError):
+            TruncatedGeometric(1.0)
+
+    def test_invalid_K(self):
+        with pytest.raises(ValueError):
+            TruncatedGeometric(0.5, 0)
+
+
+class TestDegenerateK:
+    def test_point_mass(self):
+        d = DegenerateK(3)
+        assert d.pmf(3) == 1.0
+        assert d.pmf(2) == 0.0
+        assert d.cdf(2) == 0.0
+        assert d.cdf(3) == 1.0
+        assert d.mean() == 3.0
+
+    def test_sample_is_constant(self, rng):
+        d = DegenerateK(7)
+        assert all(d.sample(rng) == 7 for _ in range(10))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            DegenerateK(-1)

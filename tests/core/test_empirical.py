@@ -1,0 +1,107 @@
+"""Monte-Carlo validation: running scheme code matches the theory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.privacy.distributions import TruncatedGeometric, UniformK
+from repro.core.privacy.empirical import (
+    estimate_privacy,
+    estimate_utility,
+    simulate_probe_prefix,
+)
+from repro.core.privacy.oracle import prefix_length_distribution
+from repro.core.privacy.utility import exponential_utility, uniform_utility
+from repro.core.schemes.exponential import ExponentialRandomCache
+from repro.core.schemes.uniform import UniformRandomCache
+
+
+def uniform_factory(K):
+    return lambda rng: UniformRandomCache(K=K, rng=rng)
+
+
+def expo_factory(alpha, K):
+    return lambda rng: ExponentialRandomCache(alpha=alpha, K=K, rng=rng)
+
+
+class TestProbePrefixSimulation:
+    def test_matches_oracle_s0(self):
+        K, t = 6, 8
+        empirical = simulate_probe_prefix(uniform_factory(K), 0, t, trials=8000)
+        exact = prefix_length_distribution(UniformK(K), 0, t)
+        for outcome, p in exact.items():
+            assert empirical.get(outcome, 0.0) == pytest.approx(p, abs=0.03)
+
+    def test_matches_oracle_s1(self):
+        K, x, t = 6, 2, 8
+        empirical = simulate_probe_prefix(uniform_factory(K), x, t, trials=8000)
+        exact = prefix_length_distribution(UniformK(K), x, t)
+        for outcome, p in exact.items():
+            assert empirical.get(outcome, 0.0) == pytest.approx(p, abs=0.03)
+
+    def test_exponential_matches_oracle(self):
+        alpha, K, t = 0.7, 8, 10
+        empirical = simulate_probe_prefix(expo_factory(alpha, K), 1, t, trials=8000)
+        exact = prefix_length_distribution(TruncatedGeometric(alpha, K), 1, t)
+        for outcome, p in exact.items():
+            assert empirical.get(outcome, 0.0) == pytest.approx(p, abs=0.03)
+
+    def test_probabilities_sum_to_one(self):
+        d = simulate_probe_prefix(uniform_factory(5), 0, 6, trials=1000)
+        assert sum(d.values()) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_probe_prefix(uniform_factory(5), 0, 0, trials=10)
+        with pytest.raises(ValueError):
+            simulate_probe_prefix(uniform_factory(5), 0, 5, trials=0)
+
+
+class TestEmpiricalPrivacy:
+    # Strict ε=0 is degenerate on sampled distributions (any sampling noise
+    # breaks an exact-ratio test), so the empirical checks use a small ε
+    # that absorbs noise while still catching every one-sided outcome.
+    NOISE_EPS = 0.2
+
+    def test_uniform_delta_near_theorem(self):
+        """Sampled δ approximates 2k/K (Theorem VI.1)."""
+        k, K = 2, 10
+        result = estimate_privacy(
+            uniform_factory(K), k=k, t=K + k + 1, epsilon=self.NOISE_EPS,
+            trials=20000,
+        )
+        assert result.delta == pytest.approx(2 * k / K, abs=0.05)
+
+    def test_stronger_scheme_smaller_delta(self):
+        weak = estimate_privacy(
+            uniform_factory(6), 1, 10, self.NOISE_EPS, trials=8000
+        )
+        strong = estimate_privacy(
+            uniform_factory(30), 1, 34, self.NOISE_EPS, trials=8000
+        )
+        assert strong.delta < weak.delta
+
+
+class TestEmpiricalUtility:
+    def test_uniform_matches_theorem_vi2(self):
+        K = 10
+        for c in (1, 5, 12):
+            measured = estimate_utility(uniform_factory(K), c=c, trials=6000)
+            assert measured == pytest.approx(uniform_utility(c, K), abs=0.02)
+
+    def test_exponential_matches_theorem_vi4(self):
+        alpha, K = 0.8, 15
+        for c in (1, 4, 20):
+            measured = estimate_utility(expo_factory(alpha, K), c=c, trials=6000)
+            assert measured == pytest.approx(
+                exponential_utility(c, alpha, K), abs=0.02
+            )
+
+    def test_first_request_never_hits(self):
+        assert estimate_utility(uniform_factory(5), c=1, trials=500) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_utility(uniform_factory(5), c=0)
+        with pytest.raises(ValueError):
+            estimate_utility(uniform_factory(5), c=1, trials=0)

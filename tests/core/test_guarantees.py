@@ -1,0 +1,124 @@
+"""Unit tests for the closed-form privacy theorems and their solvers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.privacy.guarantees import (
+    PrivacyGuarantee,
+    exponential_privacy,
+    max_exponential_epsilon,
+    solve_exponential_params,
+    solve_uniform_K,
+    uniform_privacy,
+)
+
+
+class TestUniformGuarantee:
+    def test_theorem_vi1_formula(self):
+        g = uniform_privacy(k=5, K=200)
+        assert g.epsilon == 0.0
+        assert g.delta == pytest.approx(2 * 5 / 200)
+
+    def test_delta_capped_at_one(self):
+        assert uniform_privacy(k=10, K=10).delta == 1.0
+
+    def test_delta_shrinks_with_K(self):
+        deltas = [uniform_privacy(5, K).delta for K in (50, 100, 500, 1000)]
+        assert all(a > b for a, b in zip(deltas, deltas[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            uniform_privacy(0, 10)
+        with pytest.raises(ValueError):
+            uniform_privacy(1, 0)
+
+
+class TestExponentialGuarantee:
+    def test_theorem_vi3_epsilon(self):
+        g = exponential_privacy(k=3, alpha=0.9, K=100)
+        assert g.epsilon == pytest.approx(-3 * math.log(0.9))
+
+    def test_theorem_vi3_delta_formula(self):
+        k, alpha, K = 2, 0.8, 20
+        g = exponential_privacy(k, alpha, K)
+        expected = (1 - alpha**k + alpha ** (K - k) - alpha**K) / (1 - alpha**K)
+        assert g.delta == pytest.approx(expected)
+
+    def test_untruncated_delta_floor(self):
+        g = exponential_privacy(k=4, alpha=0.95, K=None)
+        assert g.delta == pytest.approx(1 - 0.95**4)
+
+    def test_delta_decreases_toward_floor_as_K_grows(self):
+        k, alpha = 3, 0.9
+        floor = 1 - alpha**k
+        deltas = [exponential_privacy(k, alpha, K).delta for K in (10, 50, 200, 2000)]
+        assert all(a > b for a, b in zip(deltas, deltas[1:]))
+        assert deltas[-1] == pytest.approx(floor, abs=1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            exponential_privacy(0, 0.5, 10)
+        with pytest.raises(ValueError):
+            exponential_privacy(1, 1.5, 10)
+        with pytest.raises(ValueError):
+            exponential_privacy(1, 0.5, 0)
+
+
+class TestSolvers:
+    def test_solve_uniform_inverts_theorem(self):
+        K = solve_uniform_K(k=5, delta=0.05)
+        assert K == 200
+        assert uniform_privacy(5, K).delta <= 0.05
+
+    def test_solve_uniform_rounds_up(self):
+        K = solve_uniform_K(k=3, delta=0.07)
+        assert uniform_privacy(3, K).delta <= 0.07
+        assert uniform_privacy(3, K - 1).delta > 0.07
+
+    def test_solve_exponential_meets_target(self):
+        for eps in (0.01, 0.03, 0.045):
+            alpha, K = solve_exponential_params(k=5, epsilon=eps, delta=0.05)
+            achieved = exponential_privacy(5, alpha, K)
+            assert achieved.epsilon == pytest.approx(eps)
+            assert achieved.delta <= 0.05 + 1e-9
+
+    def test_solve_exponential_boundary_gives_untruncated(self):
+        delta = 0.05
+        eps = max_exponential_epsilon(delta)
+        alpha, K = solve_exponential_params(k=1, epsilon=eps, delta=delta)
+        assert K is None
+        assert alpha == pytest.approx(1 - delta)
+
+    def test_solve_exponential_infeasible_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_exponential_params(k=1, epsilon=0.2, delta=0.05)
+
+    def test_max_epsilon_formula(self):
+        assert max_exponential_epsilon(0.05) == pytest.approx(-math.log(0.95))
+
+    def test_smaller_epsilon_needs_smaller_K_at_fixed_delta(self):
+        # Smaller eps -> alpha closer to 1 -> the delta floor rises, so a
+        # tighter truncation (smaller K) is what meets the same delta.
+        _, K_small_eps = solve_exponential_params(k=1, epsilon=0.03, delta=0.05)
+        _, K_large_eps = solve_exponential_params(k=1, epsilon=0.045, delta=0.05)
+        assert K_small_eps < K_large_eps
+
+
+class TestGuaranteeOrdering:
+    def test_dominates(self):
+        strong = PrivacyGuarantee(k=5, epsilon=0.01, delta=0.01)
+        weak = PrivacyGuarantee(k=5, epsilon=0.05, delta=0.05)
+        assert strong.dominates(weak)
+        assert not weak.dominates(strong)
+
+    def test_dominates_requires_k(self):
+        a = PrivacyGuarantee(k=2, epsilon=0.01, delta=0.01)
+        b = PrivacyGuarantee(k=5, epsilon=0.05, delta=0.05)
+        assert not a.dominates(b)
+
+    def test_str_format(self):
+        text = str(PrivacyGuarantee(k=5, epsilon=0.0, delta=0.05))
+        assert text.startswith("(5, 0, 0.05)")

@@ -1,0 +1,118 @@
+"""Unit tests for (ε, δ)-probabilistic indistinguishability (Def. IV.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.privacy.indistinguishability import (
+    min_delta,
+    min_epsilon,
+    total_variation,
+    tradeoff_curve,
+)
+
+
+class TestMinDelta:
+    def test_identical_distributions_need_nothing(self):
+        d = {0: 0.5, 1: 0.5}
+        result = min_delta(d, d, epsilon=0.0)
+        assert result.delta == 0.0
+        assert result.bad_outcomes == ()
+
+    def test_disjoint_supports_are_maximally_distinguishable(self):
+        result = min_delta({0: 1.0}, {1: 1.0}, epsilon=10.0)
+        assert result.delta == pytest.approx(2.0)
+
+    def test_one_sided_outcome_counts_both_masses(self):
+        d1 = {0: 0.9, 1: 0.1}
+        d2 = {0: 1.0}
+        result = min_delta(d1, d2, epsilon=1.0)
+        # Outcome 1 exists only in d1; outcome 0 ratio 0.9 within e^1.
+        assert result.delta == pytest.approx(0.1)
+        assert result.bad_outcomes == (1,)
+
+    def test_epsilon_bound_respected(self):
+        d1 = {0: 0.8, 1: 0.2}
+        d2 = {0: 0.2, 1: 0.8}
+        tight = min_delta(d1, d2, epsilon=math.log(4.0) + 1e-9)
+        assert tight.delta == pytest.approx(0.0, abs=1e-12)
+        loose = min_delta(d1, d2, epsilon=math.log(4.0) - 0.1)
+        assert loose.delta == pytest.approx(2.0)
+
+    def test_uniform_shift_structure(self):
+        """The Theorem VI.1 structure: shifted uniforms differ only on the
+        non-overlapping tails, each of mass x/K."""
+        K, x = 10, 2
+        d0 = {m: 1.0 / K for m in range(1, K + 1)}           # prefix = k+1
+        d1 = {m: 1.0 / K for m in range(-x + 1, K - x + 1)}  # shifted by x
+        result = min_delta(d0, d1, epsilon=0.0)
+        assert result.delta == pytest.approx(2.0 * x / K)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            min_delta({0: 1.0}, {0: 1.0}, epsilon=-0.1)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValueError):
+            min_delta({0: 0.5}, {0: 1.0}, epsilon=0.0)
+
+    def test_satisfied_by(self):
+        result = min_delta({0: 0.6, 1: 0.4}, {0: 0.4, 1: 0.6}, epsilon=0.0)
+        assert result.satisfied_by(0.0, 2.0)
+        assert not result.satisfied_by(0.0, result.delta / 2)
+
+
+class TestMinEpsilon:
+    def test_identical_needs_zero(self):
+        d = {0: 0.5, 1: 0.5}
+        assert min_epsilon(d, d, delta=0.0) == 0.0
+
+    def test_budget_covers_worst_outcomes(self):
+        d1 = {0: 0.8, 1: 0.1, 2: 0.1}
+        d2 = {0: 0.8, 1: 0.2}
+        # Outcome 2 (one-sided, mass 0.1) must go into the delta budget;
+        # outcome 1 then needs eps >= ln 2.
+        eps = min_epsilon(d1, d2, delta=0.15)
+        assert eps == pytest.approx(math.log(2.0))
+
+    def test_infinite_when_budget_too_small(self):
+        assert min_epsilon({0: 1.0}, {1: 1.0}, delta=0.5) == math.inf
+
+    def test_consistency_with_min_delta(self):
+        d1 = {0: 0.5, 1: 0.3, 2: 0.2}
+        d2 = {0: 0.3, 1: 0.5, 2: 0.2}
+        eps = min_epsilon(d1, d2, delta=0.0)
+        assert min_delta(d1, d2, eps).delta == pytest.approx(0.0, abs=1e-12)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            min_epsilon({0: 1.0}, {0: 1.0}, delta=-0.1)
+
+
+class TestCurveAndTv:
+    def test_curve_is_monotone_nonincreasing(self):
+        d1 = {0: 0.5, 1: 0.3, 2: 0.2}
+        d2 = {0: 0.2, 1: 0.5, 2: 0.3}
+        curve = tradeoff_curve(d1, d2)
+        deltas = [delta for _eps, delta in curve]
+        assert all(a >= b for a, b in zip(deltas, deltas[1:]))
+
+    def test_curve_ends_at_zero_delta(self):
+        d1 = {0: 0.5, 1: 0.5}
+        d2 = {0: 0.4, 1: 0.6}
+        curve = tradeoff_curve(d1, d2)
+        assert curve[-1][1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_total_variation(self):
+        assert total_variation({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+        assert total_variation({0: 0.5, 1: 0.5}, {0: 0.5, 1: 0.5}) == 0.0
+        assert total_variation({0: 0.7, 1: 0.3}, {0: 0.3, 1: 0.7}) == pytest.approx(0.4)
+
+    def test_delta_at_zero_eps_at_least_2tv(self):
+        # Every outcome with p1 != p2 violates the exact-ratio test, and
+        # contributes p1 + p2 >= |p1 - p2|, so delta(0) >= 2 TV.
+        d1 = {0: 0.6, 1: 0.4}
+        d2 = {0: 0.5, 1: 0.5}
+        assert min_delta(d1, d2, 0.0).delta >= 2 * total_variation(d1, d2) - 1e-12

@@ -1,0 +1,105 @@
+"""Unit tests for privacy marking and the trigger rule (Section V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes.marking import MarkingPolicy
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, Interest
+from tests.conftest import make_entry
+
+
+def make_policy():
+    return MarkingPolicy()
+
+
+class TestInsertMarking:
+    def test_producer_bit_makes_private(self):
+        policy = make_policy()
+        data = Data(name=Name.parse("/a"), private=True)
+        assert policy.privacy_at_insert(data, requested_private=False)
+
+    def test_reserved_name_component_makes_private(self):
+        policy = make_policy()
+        data = Data(name=Name.parse("/a/private/x"))
+        assert policy.privacy_at_insert(data, requested_private=False)
+
+    def test_consumer_request_makes_private(self):
+        policy = make_policy()
+        data = Data(name=Name.parse("/a"))
+        assert policy.privacy_at_insert(data, requested_private=True)
+
+    def test_unmarked_is_public(self):
+        policy = make_policy()
+        data = Data(name=Name.parse("/a"))
+        assert not policy.privacy_at_insert(data, requested_private=False)
+
+
+class TestTriggerRule:
+    def test_producer_marked_stays_private_despite_public_interest(self):
+        policy = make_policy()
+        entry = make_entry(private=True, producer_private=True)
+        policy.annotate_entry(entry, entry.data)
+        decision = policy.on_request(
+            entry, Interest(name=entry.name, private=False)
+        )
+        assert decision.private
+        assert not decision.demoted
+        assert entry.private
+
+    def test_consumer_marked_demoted_by_public_interest(self):
+        policy = make_policy()
+        entry = make_entry(private=True, producer_private=False)
+        policy.annotate_entry(entry, entry.data)
+        decision = policy.on_request(
+            entry, Interest(name=entry.name, private=False)
+        )
+        assert not decision.private
+        assert decision.demoted
+        assert not entry.private
+
+    def test_demotion_is_permanent_for_cache_residency(self):
+        """Once non-private, later private interests cannot re-promote —
+        the paper's rule preventing the delayed/delayed distinguisher."""
+        policy = make_policy()
+        entry = make_entry(private=True, producer_private=False)
+        policy.annotate_entry(entry, entry.data)
+        policy.on_request(entry, Interest(name=entry.name, private=False))
+        decision = policy.on_request(
+            entry, Interest(name=entry.name, private=True)
+        )
+        assert not decision.private
+        assert not entry.private
+
+    def test_private_interests_keep_entry_private(self):
+        policy = make_policy()
+        entry = make_entry(private=True, producer_private=False)
+        policy.annotate_entry(entry, entry.data)
+        for _ in range(5):
+            decision = policy.on_request(
+                entry, Interest(name=entry.name, private=True)
+            )
+            assert decision.private
+
+    def test_public_entry_stays_public(self):
+        policy = make_policy()
+        entry = make_entry(private=False, producer_private=False)
+        policy.annotate_entry(entry, entry.data)
+        decision = policy.on_request(
+            entry, Interest(name=entry.name, private=True)
+        )
+        assert not decision.private
+
+    def test_effective_privacy_flag_api(self):
+        policy = make_policy()
+        entry = make_entry(private=True, producer_private=False)
+        policy.annotate_entry(entry, entry.data)
+        assert policy.effective_privacy(entry, request_private=True).private
+        assert not policy.effective_privacy(entry, request_private=False).private
+
+    def test_unannotated_entry_treated_by_flag_only(self):
+        policy = make_policy()
+        entry = make_entry(private=True)
+        decision = policy.effective_privacy(entry, request_private=True)
+        assert decision.private

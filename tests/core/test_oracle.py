@@ -1,0 +1,123 @@
+"""Unit tests for the exact Q_S oracle analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.privacy.distributions import TruncatedGeometric, UniformK
+from repro.core.privacy.guarantees import exponential_privacy, uniform_privacy
+from repro.core.privacy.oracle import (
+    oracle_guarantee,
+    oracle_min_epsilon,
+    prefix_length_distribution,
+)
+
+
+class TestPrefixDistribution:
+    def test_s0_distribution_structure(self):
+        """Under S0 the prefix is min(k+1, t): pmf shifts by one."""
+        d = prefix_length_distribution(UniformK(4), prior_requests=0, t=10)
+        # k in {0..3} uniformly: prefix in {1..4} each 1/4.
+        assert d == pytest.approx({1: 0.25, 2: 0.25, 3: 0.25, 4: 0.25})
+
+    def test_s0_truncated_by_probe_budget(self):
+        d = prefix_length_distribution(UniformK(4), prior_requests=0, t=2)
+        # prefix = 1 iff k=0; prefix = 2 iff k >= 1.
+        assert d == pytest.approx({1: 0.25, 2: 0.75})
+
+    def test_s1_can_start_with_hit(self):
+        d = prefix_length_distribution(UniformK(4), prior_requests=2, t=10)
+        # m=0 iff k <= 1: probability 1/2.
+        assert d[0] == pytest.approx(0.5)
+
+    def test_distributions_sum_to_one(self):
+        for x in range(4):
+            for t in (1, 3, 8):
+                d = prefix_length_distribution(TruncatedGeometric(0.8, 12), x, t)
+                assert sum(d.values()) == pytest.approx(1.0)
+
+    def test_s1_is_shift_of_s0(self):
+        """Qt1(C, r) = Qt0(C, r − x) on the overlap (the theorem's Ω2)."""
+        K, x, t = 12, 3, 30
+        d0 = prefix_length_distribution(UniformK(K), 0, t)
+        d1 = prefix_length_distribution(UniformK(K), x, t)
+        for m in range(1, K - x):
+            assert d1.get(m, 0.0) == pytest.approx(d0.get(m + x, 0.0))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            prefix_length_distribution(UniformK(4), -1, 5)
+        with pytest.raises(ValueError):
+            prefix_length_distribution(UniformK(4), 0, 0)
+
+
+class TestOracleVsTheorems:
+    def test_uniform_oracle_matches_theorem_vi1(self):
+        """Exact δ at ε=0 equals 2k/K once t covers the domain."""
+        k, K = 3, 30
+        analysis = oracle_guarantee(UniformK(K), k=k, t=K + k + 1, epsilon=0.0)
+        assert analysis.delta_at_zero == pytest.approx(
+            uniform_privacy(k, K).delta
+        )
+
+    def test_uniform_oracle_epsilon_is_zero(self):
+        """Uniform shifts need no ε at all — the overlap ratios are 1."""
+        k, K = 2, 20
+        analysis = oracle_guarantee(UniformK(K), k=k, t=K + k + 1, epsilon=0.0)
+        assert analysis.delta_at_epsilon == analysis.delta_at_zero
+
+    def test_exponential_oracle_matches_theorem_vi3(self):
+        k, alpha, K = 2, 0.9, 25
+        theorem = exponential_privacy(k, alpha, K)
+        analysis = oracle_guarantee(
+            TruncatedGeometric(alpha, K), k=k, t=K + k + 1, epsilon=theorem.epsilon
+        )
+        assert analysis.delta_at_epsilon == pytest.approx(theorem.delta, abs=1e-9)
+
+    def test_small_probe_budgets_need_truncation_epsilon(self):
+        """For t < K the 'all probes missed' outcome aggregates different
+        tail masses under S0 and S1 — its ratio is (K−t+1)/(K−x−t+1), not 1.
+        A small ε absorbing that ratio restores δ <= 2k/K; at strict ε=0
+        the aggregated outcome must instead be covered by δ (which is why
+        the theorem's (0, 2k/K) statement is a large-t/worst-strategy
+        bound)."""
+        import math
+
+        k, K = 3, 30
+        bound = uniform_privacy(k, K).delta
+        for t in (2, 5, 10):
+            eps_t = max(
+                math.log((K - t + 1) / (K - x - t + 1)) for x in range(1, k + 1)
+            )
+            analysis = oracle_guarantee(UniformK(K), k=k, t=t, epsilon=eps_t)
+            assert analysis.delta_at_epsilon <= bound + 1e-12
+            # ...and the strict-zero-epsilon cost is indeed larger.
+            strict = oracle_guarantee(UniformK(K), k=k, t=t, epsilon=0.0)
+            assert strict.delta_at_zero > bound
+
+    def test_degenerate_scheme_fully_leaks(self):
+        """The naive threshold's oracle distributions are disjoint: δ = 2."""
+        from repro.core.privacy.distributions import DegenerateK
+
+        analysis = oracle_guarantee(DegenerateK(5), k=1, t=10, epsilon=0.0)
+        assert analysis.delta_at_zero == pytest.approx(2.0)
+
+    def test_oracle_min_epsilon_uniform_needs_none(self):
+        k, K = 2, 20
+        delta_budget = uniform_privacy(k, K).delta
+        eps = oracle_min_epsilon(UniformK(K), k=k, t=K + k + 1, delta=delta_budget)
+        assert eps == pytest.approx(0.0, abs=1e-9)
+
+    def test_exponential_min_epsilon_at_most_theorem(self):
+        k, alpha, K = 2, 0.85, 25
+        theorem = exponential_privacy(k, alpha, K)
+        eps = oracle_min_epsilon(
+            TruncatedGeometric(alpha, K), k=k, t=K + k + 1, delta=theorem.delta
+        )
+        assert eps <= theorem.epsilon + 1e-9
+
+    def test_as_guarantee(self):
+        analysis = oracle_guarantee(UniformK(10), k=1, t=12, epsilon=0.0)
+        guarantee = analysis.as_guarantee()
+        assert guarantee.k == 1
+        assert guarantee.delta == analysis.delta_at_epsilon

@@ -1,0 +1,73 @@
+"""Unit tests for the scheme interface and Decision type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes.base import CacheScheme, Decision, DecisionKind
+from tests.conftest import make_entry
+
+
+class TestDecision:
+    def test_hit_factory(self):
+        d = Decision.hit()
+        assert d.kind is DecisionKind.HIT
+        assert d.counts_as_hit
+        assert d.delay == 0.0
+
+    def test_miss_factory(self):
+        d = Decision.miss()
+        assert d.kind is DecisionKind.MISS
+        assert not d.counts_as_hit
+
+    def test_delayed_factory(self):
+        d = Decision.delayed(15.0)
+        assert d.kind is DecisionKind.DELAYED_HIT
+        assert d.delay == 15.0
+        assert not d.counts_as_hit
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Decision.delayed(-0.1)
+
+    def test_decision_is_frozen(self):
+        d = Decision.hit()
+        with pytest.raises(Exception):
+            d.delay = 5.0  # type: ignore[misc]
+
+
+class RecordingScheme(CacheScheme):
+    """Always answers MISS for private content; records calls."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.private_calls = 0
+
+    def decide_private(self, entry, now):
+        self.private_calls += 1
+        return Decision.miss()
+
+
+class TestBaseDispatch:
+    def test_non_private_requests_always_hit(self):
+        scheme = RecordingScheme()
+        decision = scheme.on_request(make_entry(), private=False, now=0.0)
+        assert decision.kind is DecisionKind.HIT
+        assert scheme.private_calls == 0
+
+    def test_private_requests_dispatch_to_subclass(self):
+        scheme = RecordingScheme()
+        decision = scheme.on_request(make_entry(), private=True, now=0.0)
+        assert decision.kind is DecisionKind.MISS
+        assert scheme.private_calls == 1
+
+    def test_default_hooks_are_noops(self):
+        scheme = RecordingScheme()
+        entry = make_entry()
+        scheme.on_insert(entry, private=True, now=0.0)
+        scheme.on_evict(entry)
+        scheme.reset()  # none of these should raise
+
+    def test_repr_contains_name(self):
+        assert "recording" in repr(RecordingScheme())

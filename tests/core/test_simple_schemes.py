@@ -1,0 +1,63 @@
+"""Unit tests for the No-Privacy and Always-Delay schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.core.schemes.base import DecisionKind
+from repro.core.schemes.delay_policies import ConstantDelay
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from tests.conftest import make_entry
+
+
+class TestNoPrivacy:
+    def test_private_content_served_immediately(self):
+        scheme = NoPrivacyScheme()
+        decision = scheme.on_request(make_entry(), private=True, now=0.0)
+        assert decision.kind is DecisionKind.HIT
+        assert decision.delay == 0.0
+
+    def test_non_private_content_served_immediately(self):
+        scheme = NoPrivacyScheme()
+        assert scheme.on_request(make_entry(), private=False, now=0.0).counts_as_hit
+
+    def test_repeated_requests_always_hit(self):
+        scheme = NoPrivacyScheme()
+        entry = make_entry()
+        for _ in range(100):
+            assert scheme.on_request(entry, private=True, now=0.0).counts_as_hit
+
+
+class TestAlwaysDelay:
+    def test_private_hit_disguised_with_fetch_delay(self):
+        scheme = AlwaysDelayScheme()
+        entry = make_entry(fetch_delay=33.0)
+        decision = scheme.on_request(entry, private=True, now=0.0)
+        assert decision.kind is DecisionKind.DELAYED_HIT
+        assert decision.delay == 33.0
+
+    def test_non_private_hit_not_delayed(self):
+        scheme = AlwaysDelayScheme()
+        decision = scheme.on_request(make_entry(), private=False, now=0.0)
+        assert decision.kind is DecisionKind.HIT
+
+    def test_never_reveals_hit_for_private(self):
+        """Perfect privacy: no request count ever produces a fast hit."""
+        scheme = AlwaysDelayScheme()
+        entry = make_entry()
+        for _ in range(500):
+            decision = scheme.on_request(entry, private=True, now=0.0)
+            assert not decision.counts_as_hit
+
+    def test_custom_delay_policy(self):
+        scheme = AlwaysDelayScheme(delay_policy=ConstantDelay(9.0))
+        decision = scheme.on_request(make_entry(fetch_delay=100.0), True, 0.0)
+        assert decision.delay == 9.0
+
+    def test_delay_matches_entry_specific_gamma(self):
+        scheme = AlwaysDelayScheme()
+        near = make_entry(uri="/near", fetch_delay=1.5)
+        far = make_entry(uri="/far", fetch_delay=180.0)
+        assert scheme.on_request(near, True, 0.0).delay == 1.5
+        assert scheme.on_request(far, True, 0.0).delay == 180.0

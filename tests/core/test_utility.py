@@ -1,0 +1,143 @@
+"""Unit tests for the utility closed forms (Theorems VI.2/VI.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.privacy.distributions import TruncatedGeometric, UniformK
+from repro.core.privacy.utility import (
+    expected_misses,
+    exponential_expected_misses,
+    exponential_utility,
+    max_utility_difference,
+    uniform_expected_misses,
+    uniform_expected_misses_paper,
+    uniform_utility,
+    utility_difference,
+    utility_from_misses,
+)
+
+
+class TestGenericExpectedMisses:
+    def test_first_request_always_miss(self):
+        """u(1) = 0 for every scheme: E[M(1)] = 1."""
+        assert expected_misses(1, UniformK(10)) == pytest.approx(1.0)
+        assert expected_misses(1, TruncatedGeometric(0.9, 10)) == pytest.approx(1.0)
+
+    def test_matches_uniform_closed_form(self):
+        for K in (1, 5, 40):
+            for c in (1, 2, K, K + 1, 3 * K):
+                assert expected_misses(c, UniformK(K)) == pytest.approx(
+                    uniform_expected_misses(c, K)
+                )
+
+    def test_matches_exponential_closed_form(self):
+        for alpha, K in ((0.5, 10), (0.9, 50), (0.99, 200)):
+            for c in (1, 2, K - 1, K, K + 10):
+                assert expected_misses(c, TruncatedGeometric(alpha, K)) == pytest.approx(
+                    exponential_expected_misses(c, alpha, K)
+                )
+
+    def test_matches_untruncated_closed_form(self):
+        for c in (1, 5, 50):
+            assert expected_misses(c, TruncatedGeometric(0.8)) == pytest.approx(
+                exponential_expected_misses(c, 0.8, None)
+            )
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            expected_misses(0, UniformK(5))
+
+
+class TestUniformUtility:
+    def test_saturation_beyond_K(self):
+        assert uniform_expected_misses(100, 10) == pytest.approx(5.5)  # (K+1)/2
+
+    def test_utility_monotone_in_c(self):
+        utilities = [uniform_utility(c, 40) for c in range(1, 200)]
+        assert all(a <= b + 1e-12 for a, b in zip(utilities, utilities[1:]))
+
+    def test_utility_decreases_with_K(self):
+        """Larger K = more privacy = worse utility (Theorem VI.1/VI.2)."""
+        assert uniform_utility(50, 40) > uniform_utility(50, 400)
+
+    def test_utility_zero_at_c1(self):
+        assert uniform_utility(1, 40) == pytest.approx(0.0)
+
+    def test_paper_variant_close_to_exact(self):
+        """The printed Theorem VI.2 differs by a one-unit shift, O(1/K)."""
+        for c in range(2, 39):
+            exact = uniform_expected_misses(c, 40)
+            printed = uniform_expected_misses_paper(c, 40)
+            assert abs(exact - printed) <= c / 40 + 1e-9
+
+    def test_paper_variant_u1_anomaly(self):
+        """As printed, the paper formula gives E[M(1)] < 1 — the typo we
+        document in EXPERIMENTS.md."""
+        assert uniform_expected_misses_paper(1, 40) < 1.0
+        assert uniform_expected_misses(1, 40) == 1.0
+
+
+class TestExponentialUtility:
+    def test_utility_zero_at_c1(self):
+        assert exponential_utility(1, 0.95, 100) == pytest.approx(0.0)
+
+    def test_utility_monotone_in_c(self):
+        utilities = [exponential_utility(c, 0.95, 100) for c in range(1, 300)]
+        assert all(a <= b + 1e-12 for a, b in zip(utilities, utilities[1:]))
+
+    def test_branch_continuity_at_K(self):
+        """The c < K and c >= K branches agree at the boundary."""
+        alpha, K = 0.9, 30
+        from repro.core.privacy.distributions import TruncatedGeometric
+
+        direct = expected_misses(K, TruncatedGeometric(alpha, K))
+        assert exponential_expected_misses(K, alpha, K) == pytest.approx(direct)
+
+    def test_smaller_alpha_better_utility(self):
+        """Mass on small k_C (small α) means fewer disguised misses."""
+        assert exponential_utility(20, 0.5, 100) > exponential_utility(20, 0.99, 100)
+
+    def test_untruncated_formula(self):
+        # E[M(c)] = (1 - a^c) / (1 - a).
+        assert exponential_expected_misses(10, 0.5, None) == pytest.approx(
+            (1 - 0.5**10) / 0.5
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            exponential_expected_misses(0, 0.5, 10)
+        with pytest.raises(ValueError):
+            exponential_expected_misses(1, 1.5, 10)
+        with pytest.raises(ValueError):
+            exponential_expected_misses(1, 0.5, 0)
+
+
+class TestFigure4Quantities:
+    def test_paper_headline_12_percent(self):
+        """Figure 4(b): the exponential scheme beats uniform by up to ~12%."""
+        # delta = 0.05, k = 1, eps = -ln(1-delta): alpha = 0.95, K_uni = 40.
+        diff = max_utility_difference(alpha=0.95, K_expo=None, K_uni=40)
+        assert 0.10 < diff < 0.14
+
+    def test_difference_positive_somewhere(self):
+        diffs = [
+            utility_difference(c, 0.95, None, 40) for c in range(2, 101)
+        ]
+        assert max(diffs) > 0.0
+
+    def test_larger_delta_larger_peak_difference(self):
+        """Figure 4(b) ordering across δ."""
+        import math
+
+        peaks = []
+        for delta in (0.01, 0.03, 0.05):
+            alpha = 1 - delta  # k=1 at the eps boundary
+            K_uni = math.ceil(2 / delta)
+            peaks.append(max_utility_difference(alpha, None, K_uni))
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_utility_from_misses(self):
+        assert utility_from_misses(10, 4.0) == pytest.approx(0.6)
+        with pytest.raises(ValueError):
+            utility_from_misses(0, 1.0)

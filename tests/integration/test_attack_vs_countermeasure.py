@@ -1,0 +1,157 @@
+"""Integration: the timing attack against defended routers, end to end.
+
+The headline security claim — probing a router running a delay-based
+countermeasure yields (almost) nothing — exercised in the packet-level
+simulator on the Figure 1 topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.classifier import bayes_success
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.core.schemes.naive_threshold import NaiveThresholdScheme
+from repro.core.schemes.uniform import UniformRandomCache
+from repro.ndn.topology import local_lan
+from repro.sim.process import Timeout
+
+
+def probe_campaign(scheme_factory, objects=25, trials=3, producer_private=True):
+    """U prefetches `objects` private objects; Adv probes them plus as
+    many cold names.  Returns (hot RTTs, cold RTTs) pooled over trials."""
+    hot_rtts, cold_rtts = [], []
+    for trial in range(trials):
+        topo = local_lan(seed=100 + trial, scheme=scheme_factory())
+        topo.producer.private_by_default = producer_private
+        hot = [f"/content/h{trial}-{i}" for i in range(objects)]
+        cold = [f"/content/c{trial}-{i}" for i in range(objects)]
+
+        def user_proc():
+            for name in hot:
+                result = yield from topo.user.fetch(name, private=True)
+                assert result is not None
+                yield Timeout(2.0)
+
+        def adv_proc():
+            yield Timeout(1000.0)
+            for name in hot:
+                result = yield from topo.adversary.fetch(name, private=True)
+                if result is not None:
+                    hot_rtts.append(result.rtt)
+                yield Timeout(2.0)
+            for name in cold:
+                result = yield from topo.adversary.fetch(name, private=True)
+                if result is not None:
+                    cold_rtts.append(result.rtt)
+                yield Timeout(2.0)
+
+        topo.engine.spawn(user_proc(), label="user")
+        topo.engine.spawn(adv_proc(), label="adv")
+        topo.engine.run()
+    return hot_rtts, cold_rtts
+
+
+class TestUndefendedRouter:
+    def test_attack_succeeds_without_countermeasure(self):
+        from repro.core.schemes.no_privacy import NoPrivacyScheme
+
+        hot, cold = probe_campaign(NoPrivacyScheme)
+        assert bayes_success(hot, cold) > 0.99
+
+
+class TestAlwaysDelayDefense:
+    def test_probes_indistinguishable(self):
+        """Perfect privacy: disguised hits replay γ_C, so hot and cold
+        probes draw from (nearly) the same distribution."""
+        hot, cold = probe_campaign(AlwaysDelayScheme)
+        success = bayes_success(hot, cold, bins=20)
+        assert success < 0.75  # residual = jitter resampling, not signal
+
+    def test_mean_rtts_close(self):
+        hot, cold = probe_campaign(AlwaysDelayScheme)
+        gap = abs(float(np.mean(hot)) - float(np.mean(cold)))
+        spread = float(np.std(cold))
+        assert gap < spread  # the means sit within one jitter sigma
+
+
+class TestRandomCacheDefense:
+    def test_single_probe_leak_bounded(self):
+        """With K large relative to probes, a single probe per object is
+        near-useless: hot objects still answer disguised misses."""
+        scheme_factory = lambda: UniformRandomCache(  # noqa: E731
+            K=100, rng=np.random.default_rng(7)
+        )
+        hot, cold = probe_campaign(scheme_factory)
+        assert bayes_success(hot, cold, bins=20) < 0.75
+
+    def test_naive_threshold_leaks_on_second_probe(self):
+        """Knowing k, the adversary probes k+1 times: against the naive
+        scheme (k=1) the second probe of victim-fetched content is a fast
+        hit while never-fetched content still misses — near-perfect
+        distinguishing.  Uniform-Random-Cache with K=100 keeps the second
+        probe quiet (hit probability 2/K)."""
+
+        def second_probe_campaign(scheme_factory, objects=20, trials=2):
+            hot_rtts, cold_rtts = [], []
+            for trial in range(trials):
+                topo = local_lan(seed=300 + trial, scheme=scheme_factory())
+                topo.producer.private_by_default = True
+                hot = [f"/content/h{trial}-{i}" for i in range(objects)]
+                cold = [f"/content/c{trial}-{i}" for i in range(objects)]
+
+                def user_proc():
+                    for name in hot:
+                        result = yield from topo.user.fetch(name, private=True)
+                        assert result is not None
+                        yield Timeout(2.0)
+
+                def adv_proc():
+                    yield Timeout(1000.0)
+                    for name, sink in [(n, hot_rtts) for n in hot] + [
+                        (n, cold_rtts) for n in cold
+                    ]:
+                        yield from topo.adversary.fetch(name, private=True)
+                        yield Timeout(2.0)
+                        second = yield from topo.adversary.fetch(
+                            name, private=True
+                        )
+                        if second is not None:
+                            sink.append(second.rtt)
+                        yield Timeout(2.0)
+
+                topo.engine.spawn(user_proc(), label="user")
+                topo.engine.spawn(adv_proc(), label="adv")
+                topo.engine.run()
+            return hot_rtts, cold_rtts
+
+        naive_hot, naive_cold = second_probe_campaign(
+            lambda: NaiveThresholdScheme(1)
+        )
+        uni_hot, uni_cold = second_probe_campaign(
+            lambda: UniformRandomCache(K=100, rng=np.random.default_rng(3))
+        )
+        naive_success = bayes_success(naive_hot, naive_cold, bins=20)
+        uni_success = bayes_success(uni_hot, uni_cold, bins=20)
+        assert naive_success > 0.95
+        assert uni_success < 0.75
+        assert naive_success > uni_success
+
+
+class TestBandwidthPreservation:
+    def test_always_delay_still_serves_from_cache(self):
+        """Disguised hits do not re-contact the producer (Section V-B:
+        bandwidth utilization remains intact)."""
+        topo = local_lan(seed=9, scheme=AlwaysDelayScheme())
+        topo.producer.private_by_default = True
+
+        def proc():
+            yield from topo.user.fetch("/content/x", private=True)
+            yield Timeout(100.0)
+            yield from topo.adversary.fetch("/content/x", private=True)
+
+        topo.engine.spawn(proc(), label="both")
+        topo.engine.run()
+        assert topo.producer.monitor.counter("data_served") == 1
+        assert topo.router.monitor.counter("cs_disguised_hit") == 1

@@ -1,0 +1,167 @@
+"""Failure injection: loss, outages, timeouts, and late data.
+
+The substrate must behave sanely when things break: lossy links, a
+producer with no route, PIT entries expiring before data returns, and
+content arriving after the requester gave up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.link import FixedDelay, GaussianJitterDelay
+from repro.ndn.name import Name
+from repro.ndn.network import Network
+from repro.sim.process import Timeout
+from repro.sim.rng import RngRegistry
+
+
+def chain(seed=0, loss_c_r=0.0, loss_r_p=0.0, producer_delay=5.0):
+    net = Network(rng=RngRegistry(seed))
+    router = net.add_router("R")
+    consumer = net.add_consumer("c")
+    net.add_producer("p", "/data", processing_delay=producer_delay)
+    net.connect("c", "R", FixedDelay(1.0), loss_rate=loss_c_r)
+    net.connect("R", "p", FixedDelay(3.0), loss_rate=loss_r_p)
+    net.add_route("R", "/data", "p")
+    return net, router, consumer
+
+
+class TestLossyLinks:
+    def test_consumer_retransmission_recovers_interest_loss(self):
+        net, router, consumer = chain(seed=5, loss_c_r=0.4)
+        delivered = []
+
+        def proc():
+            for i in range(30):
+                for _attempt in range(12):
+                    result = yield from consumer.fetch(
+                        f"/data/obj-{i}", timeout=60.0
+                    )
+                    if result is not None:
+                        delivered.append(i)
+                        break
+                yield Timeout(5.0)
+
+        net.spawn(proc(), "driver")
+        net.run()
+        # Per-attempt failure is 1 - 0.6^2 = 0.64; 12 attempts make a
+        # stuck object a ~0.5% event, so at most one of 30 may fail.
+        assert len(delivered) >= 29
+        # The abandoned-fetch cleanup must leave no stale pending state.
+        assert consumer.pending_count == 0
+
+    def test_upstream_loss_recovered_via_router_cache(self):
+        """Data lost on the consumer link after R cached it: the
+        retransmitted interest is served from R, not the producer."""
+        net, router, consumer = chain(seed=6, loss_r_p=0.5)
+        producer = net["p"]
+        done = []
+
+        def proc():
+            for _attempt in range(10):
+                result = yield from consumer.fetch("/data/x", timeout=60.0)
+                if result is not None:
+                    done.append(result)
+                    break
+            # Once cached at R, later fetches never touch the lossy leg.
+            served_before = producer.monitor.counter("data_served")
+            for _ in range(5):
+                result = yield from consumer.fetch("/data/x", timeout=60.0)
+                assert result is not None
+                yield Timeout(2.0)
+            done.append(producer.monitor.counter("data_served") - served_before)
+
+        net.spawn(proc(), "driver")
+        net.run()
+        assert done[0] is not None
+        assert done[1] == 0  # all five follow-ups were R-cache hits
+
+
+class TestNoRouteAndOutage:
+    def test_unroutable_prefix_times_out_cleanly(self):
+        net, router, consumer = chain()
+        outcome = []
+
+        def proc():
+            result = yield from consumer.fetch("/other/thing", timeout=100.0)
+            outcome.append(result)
+
+        net.spawn(proc(), "driver")
+        net.run()
+        assert outcome == [None]
+        assert router.monitor.counter("no_route") == 1
+        assert len(router.pit) == 0  # no dangling state
+
+    def test_silent_producer_expires_pit(self):
+        net, router, consumer = chain()
+        net["p"].auto_generate = False  # knows nothing; serves nothing
+        outcome = []
+
+        def proc():
+            result = yield from consumer.fetch(
+                "/data/ghost", lifetime=200.0, timeout=150.0
+            )
+            outcome.append(result)
+
+        net.spawn(proc(), "driver")
+        net.run()
+        assert outcome == [None]
+        # The PIT entry expired on its own timer after the lifetime.
+        assert len(router.pit) == 0
+        assert router.monitor.counter("pit_expired") == 1
+
+
+class TestLateData:
+    def test_data_after_pit_expiry_is_unsolicited(self, engine):
+        """Content arriving after its PIT entry expired is dropped, not
+        cached: 'a content named X is never forwarded or routed unless it
+        is preceded by an interest for X'."""
+        from repro.ndn.forwarder import Forwarder
+        from repro.ndn.link import Face, Link
+        from repro.ndn.packets import Data, Interest
+        import numpy as np
+
+        router = Forwarder(engine, "R")
+
+        class Sink:
+            def __init__(self):
+                self.data = []
+
+            def receive_interest(self, interest, face):
+                pass  # never answers
+
+            def receive_data(self, data, face):
+                self.data.append(data)
+
+        consumer, producer = Sink(), Sink()
+        c_face = Face(consumer, "c")
+        r_down = router.create_face()
+        Link(engine, c_face, r_down, FixedDelay(1.0), np.random.default_rng(0))
+        p_face = Face(producer, "p")
+        r_up = router.create_face()
+        Link(engine, r_up, p_face, FixedDelay(1.0), np.random.default_rng(1))
+        router.fib.add_route(Name.root(), r_up)
+
+        c_face.send_interest(Interest(name=Name.parse("/slow"), lifetime=50.0))
+        engine.run(until=100.0)  # PIT entry expired at ~51
+        assert len(router.pit) == 0
+        p_face.send_data(Data(name=Name.parse("/slow")))
+        engine.run()
+        assert router.monitor.counter("unsolicited_data") == 1
+        assert Name.parse("/slow") not in router.cs
+        assert consumer.data == []
+
+    def test_loss_rate_statistics_tracked(self):
+        net, router, consumer = chain(seed=7, loss_c_r=0.3)
+
+        def proc():
+            for i in range(40):
+                yield from consumer.fetch(f"/data/o{i}", timeout=30.0)
+                yield Timeout(2.0)
+
+        net.spawn(proc(), "driver")
+        net.run()
+        link = net.links["c<->R"]
+        assert link.packets_lost > 0
+        assert link.packets_sent > link.packets_lost

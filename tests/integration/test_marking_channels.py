@@ -1,0 +1,151 @@
+"""Integration: the three marking channels of Section V, end to end.
+
+Producer-driven (privacy bit or reserved name component), consumer-driven
+(interest bit), and their interaction under the trigger rule — exercised
+through the full forwarder pipeline, not just the marking policy object.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.ndn.name import Name
+from repro.ndn.topology import local_lan
+from repro.sim.process import Timeout
+
+
+def topo_with_delay(seed=0):
+    return local_lan(seed=seed, scheme=AlwaysDelayScheme())
+
+
+def fetch_rtts(topo, plan):
+    """Run (who, name, private) steps sequentially; return RTT list."""
+    rtts = []
+
+    def proc():
+        for who, name, private in plan:
+            consumer = topo.user if who == "user" else topo.adversary
+            result = yield from consumer.fetch(name, private=private)
+            assert result is not None, name
+            rtts.append(result.rtt)
+            yield Timeout(10.0)
+
+    topo.engine.spawn(proc(), label="plan")
+    topo.engine.run()
+    return rtts
+
+
+class TestProducerBitMarking:
+    def test_producer_bit_always_honored(self):
+        """Producer-marked content is delayed even for unmarked interests."""
+        topo = topo_with_delay()
+        topo.producer.publish("/content/secret", private=True)
+        rtts = fetch_rtts(topo, [
+            ("user", "/content/secret", False),
+            ("adv", "/content/secret", False),   # cached now
+            ("adv", "/content/secret", False),
+        ])
+        # Probes 2 and 3 are disguised: no fast hit ever appears.
+        assert rtts[1] == pytest.approx(rtts[0], abs=1.5)
+        assert rtts[2] == pytest.approx(rtts[0], abs=1.5)
+
+
+class TestNameComponentMarking:
+    def test_private_name_component_honored(self):
+        """The reserved /private/ component marks without any bit."""
+        topo = topo_with_delay()
+        topo.producer.publish("/content/private/diary")
+        rtts = fetch_rtts(topo, [
+            ("user", "/content/private/diary", False),
+            ("adv", "/content/private/diary", False),
+        ])
+        assert rtts[1] == pytest.approx(rtts[0], abs=1.5)
+
+    def test_unmarked_sibling_still_fast(self):
+        topo = topo_with_delay()
+        topo.producer.publish("/content/public/news")
+        rtts = fetch_rtts(topo, [
+            ("user", "/content/public/news", False),
+            ("adv", "/content/public/news", False),
+        ])
+        assert rtts[1] < rtts[0] * 0.7  # genuine fast cache hit
+
+
+class TestConsumerBitMarking:
+    def test_consumer_marked_content_protected(self):
+        topo = topo_with_delay()
+        topo.producer.publish("/content/habit")  # producer does not mark
+        rtts = fetch_rtts(topo, [
+            ("user", "/content/habit", True),   # requested with privacy
+            ("adv", "/content/habit", True),    # probe honors marking
+        ])
+        assert rtts[1] == pytest.approx(rtts[0], abs=1.5)
+
+    def test_trigger_rule_first_public_interest_demotes(self):
+        """Once requested without the bit, the content stays non-private
+        for its cache residency — the paper's anti-oscillation rule."""
+        topo = topo_with_delay()
+        topo.producer.publish("/content/habit")
+        rtts = fetch_rtts(topo, [
+            ("user", "/content/habit", True),
+            ("adv", "/content/habit", False),   # public interest: demotes
+            ("adv", "/content/habit", True),    # privacy bit can't restore
+        ])
+        assert rtts[1] < rtts[0] * 0.7
+        assert rtts[2] < rtts[0] * 0.7
+
+    def test_probing_demoted_content_reveals_nothing_new(self):
+        """The rationale: after demotion the adversary's two probes see
+        hit/hit whether or not the victim's private request happened —
+        compare against the never-requested world where it sees miss/hit."""
+        # World A: victim requested privately first.
+        topo_a = topo_with_delay(seed=1)
+        topo_a.producer.publish("/content/x")
+        rtts_a = fetch_rtts(topo_a, [
+            ("user", "/content/x", True),
+            ("adv", "/content/x", False),
+            ("adv", "/content/x", False),
+        ])
+        # World B: nobody requested before the adversary.
+        topo_b = topo_with_delay(seed=1)
+        topo_b.producer.publish("/content/x")
+        rtts_b = fetch_rtts(topo_b, [
+            ("adv", "/content/x", False),
+            ("adv", "/content/x", False),
+        ])
+        # In world A the adversary's first probe is already served from
+        # cache (fast); in world B it is a genuine miss.  The *second*
+        # probe is a fast hit in both worlds: miss/hit vs hit/hit is the
+        # unavoidable leak the paper accepts — but crucially, had the rule
+        # delayed demoted content instead, world A would read
+        # delayed/delayed and the leak would be total.
+        assert rtts_a[2] == pytest.approx(rtts_b[1], abs=1.5)
+
+
+class TestMutualMarkingOpaqueness:
+    def test_unpredictable_names_need_no_router_support(self):
+        """The mutual channel works through a *vanilla* router: privacy
+        comes from the namespace, not from any router feature."""
+        from repro.naming.unpredictable import make_unpredictable_name
+
+        topo = local_lan(seed=2)  # NoPrivacyScheme — undefended router
+        topo.producer.auto_generate = False  # only the published frame exists
+        secret = b"pair-secret"
+        frame = make_unpredictable_name(secret, "/content/session", 0)
+        topo.producer.publish(frame, exact_match_only=True)
+        results = []
+
+        def proc():
+            result = yield from topo.user.fetch(frame)
+            results.append(result)
+            yield Timeout(10.0)
+            probe = yield from topo.adversary.fetch(
+                "/content/session", timeout=200.0
+            )
+            results.append(probe)
+
+        topo.engine.spawn(proc(), label="plan")
+        topo.engine.run()
+        assert results[0] is not None       # the insider fetches fine
+        assert results[1] is None           # the prefix probe gets nothing

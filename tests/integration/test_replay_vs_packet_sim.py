@@ -1,0 +1,99 @@
+"""Model validation: the fast replay harness against the packet simulator.
+
+Figure 5 is produced by the network-free replay harness.  This test
+replays the *same request sequence* through (a) the packet-level
+simulator — a consumer app driving a real forwarder — and (b) the
+``CachedRouter`` replay model, and requires identical hit/miss accounting
+for deterministic schemes.  Divergence here would mean Figure 5 measures
+the replay model rather than NDN caching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.ndn.link import FixedDelay
+from repro.ndn.network import Network
+from repro.workload.ircache import small_test_trace
+from repro.workload.marking import ContentMarking
+from repro.workload.replay import CachedRouter, RequestOutcome
+from repro.sim.process import Timeout
+
+
+def packet_sim_counts(requests, scheme, marking, cache_size):
+    """Drive the request list through a real forwarder; count outcomes."""
+    net = Network()
+    router = net.add_router("R", capacity=cache_size, scheme=scheme)
+    consumer = net.add_consumer("c")
+    net.add_producer("p", "/", processing_delay=0.0)
+    net.connect("c", "R", FixedDelay(1.0))
+    net.connect("R", "p", FixedDelay(5.0))
+    net.add_route("R", "/", "p")
+
+    def proc():
+        for index, (name, private) in enumerate(requests):
+            result = yield from consumer.fetch(str(name), private=private)
+            assert result is not None, name
+            yield Timeout(1.0)
+
+    net.spawn(proc(), "driver")
+    net.run()
+    return {
+        "hits": router.monitor.counter("cs_hit"),
+        "disguised": router.monitor.counter("cs_disguised_hit"),
+        "misses": router.monitor.counter("cs_miss"),
+        "evictions": router.cs.evictions,
+    }
+
+
+def replay_counts(requests, scheme, cache_size):
+    router = CachedRouter(cache_size=cache_size, scheme=scheme)
+    counts = {"hits": 0, "disguised": 0, "misses": 0}
+    clock = 0.0
+    for name, private in requests:
+        clock += 1.0
+        outcome = router.request(name, private, clock)
+        if outcome is RequestOutcome.HIT:
+            counts["hits"] += 1
+        elif outcome is RequestOutcome.DISGUISED_HIT:
+            counts["disguised"] += 1
+        else:
+            counts["misses"] += 1
+    counts["evictions"] = router.cs.evictions
+    return counts
+
+
+def build_requests(n=1500, private_fraction=0.3, seed=3):
+    trace = small_test_trace(requests=n, seed=seed)
+    marking = ContentMarking(private_fraction, salt=seed)
+    request_index = {}
+    requests = []
+    for record in trace:
+        idx = request_index.get(record.name, 0)
+        request_index[record.name] = idx + 1
+        requests.append((record.name, marking.is_private(record.name, idx)))
+    return requests
+
+
+class TestModelsAgree:
+    @pytest.mark.parametrize("cache_size", [None, 300, 50])
+    def test_no_privacy_counts_identical(self, cache_size):
+        requests = build_requests()
+        sim = packet_sim_counts(requests, NoPrivacyScheme(), None, cache_size)
+        fast = replay_counts(requests, NoPrivacyScheme(), cache_size)
+        assert sim["hits"] == fast["hits"]
+        assert sim["misses"] == fast["misses"]
+        assert sim["evictions"] == fast["evictions"]
+
+    @pytest.mark.parametrize("cache_size", [None, 300])
+    def test_always_delay_counts_identical(self, cache_size):
+        requests = build_requests()
+        sim = packet_sim_counts(
+            requests, AlwaysDelayScheme(), None, cache_size
+        )
+        fast = replay_counts(requests, AlwaysDelayScheme(), cache_size)
+        assert sim["hits"] == fast["hits"]
+        assert sim["disguised"] == fast["disguised"]
+        assert sim["misses"] == fast["misses"]

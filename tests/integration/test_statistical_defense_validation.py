@@ -1,0 +1,76 @@
+"""Integration: statistical validation that disguised responses are
+distributionally indistinguishable from genuine misses.
+
+The Bayes-success metric bounds what a classifier achieves; these tests
+add the orthodox hypothesis-testing view: a two-sample KS test between
+disguised-hit RTTs and genuine-miss RTTs must not reject against a
+content-specific-delay defense, and the Mann-Whitney AUC must sit near
+0.5 — while both fire loudly against an undefended router.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hypothesis_tests import ks_two_sample, mann_whitney_auc
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.ndn.topology import local_lan
+from repro.sim.process import Timeout
+
+
+def collect_probe_classes(scheme_factory, objects=40, trials=3):
+    """(probe RTTs on victim-fetched names, probe RTTs on fresh names)."""
+    hot_rtts, cold_rtts = [], []
+    for trial in range(trials):
+        topo = local_lan(seed=700 + trial, scheme=scheme_factory())
+        topo.producer.private_by_default = True
+        hot = [f"/content/h{trial}-{i}" for i in range(objects)]
+        cold = [f"/content/c{trial}-{i}" for i in range(objects)]
+
+        def victim():
+            for name in hot:
+                result = yield from topo.user.fetch(name, private=True)
+                assert result is not None
+                yield Timeout(2.0)
+
+        def probe():
+            yield Timeout(1000.0)
+            for name, sink in [(n, hot_rtts) for n in hot] + [
+                (n, cold_rtts) for n in cold
+            ]:
+                result = yield from topo.adversary.fetch(name, private=True)
+                if result is not None:
+                    sink.append(result.rtt)
+                yield Timeout(2.0)
+
+        topo.engine.spawn(victim(), "victim")
+        topo.engine.spawn(probe(), "probe")
+        topo.engine.run()
+    return hot_rtts, cold_rtts
+
+
+class TestDefendedRouterPassesKs:
+    def test_ks_does_not_reject_always_delay(self):
+        hot, cold = collect_probe_classes(AlwaysDelayScheme)
+        result = ks_two_sample(hot, cold)
+        assert result.indistinguishable_at(0.01), (
+            f"KS rejected: D={result.statistic:.3f}, p={result.p_value:.4f}"
+        )
+
+    def test_auc_near_half_for_always_delay(self):
+        hot, cold = collect_probe_classes(AlwaysDelayScheme)
+        auc = mann_whitney_auc(hot, cold)
+        assert auc == pytest.approx(0.5, abs=0.08)
+
+
+class TestUndefendedRouterFailsKs:
+    def test_ks_rejects_no_privacy(self):
+        hot, cold = collect_probe_classes(NoPrivacyScheme)
+        result = ks_two_sample(hot, cold)
+        assert not result.indistinguishable_at(0.01)
+        assert result.statistic > 0.9  # nearly disjoint classes
+
+    def test_auc_near_one_for_no_privacy(self):
+        hot, cold = collect_probe_classes(NoPrivacyScheme)
+        assert mann_whitney_auc(hot, cold) > 0.95

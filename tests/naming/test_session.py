@@ -1,0 +1,61 @@
+"""Unit tests for interactive-session naming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.naming.session import SessionNamer
+from repro.ndn.name import Name
+
+SECRET = b"alice-and-bob"
+
+
+def pair():
+    alice = SessionNamer(SECRET, "/alice/voip", "/bob/voip")
+    bob = SessionNamer(SECRET, "/bob/voip", "/alice/voip")
+    return alice, bob
+
+
+class TestSessionNamer:
+    def test_endpoints_agree_on_names(self):
+        alice, bob = pair()
+        # Bob predicts Alice's outgoing frame names and vice versa.
+        assert bob.incoming_name(0) == alice.outgoing_name(0)
+        assert alice.incoming_name(5) == bob.outgoing_name(5)
+
+    def test_next_outgoing_advances(self):
+        alice, _ = pair()
+        first = alice.next_outgoing_name()
+        second = alice.next_outgoing_name()
+        assert first != second
+        assert alice.sent_frames == 2
+        assert first == alice.outgoing_name(0)
+
+    def test_outgoing_name_does_not_advance(self):
+        alice, _ = pair()
+        alice.outgoing_name(9)
+        assert alice.sent_frames == 0
+
+    def test_names_under_correct_prefixes(self):
+        alice, _ = pair()
+        assert Name.parse("/alice/voip").is_prefix_of(alice.outgoing_name(0))
+        assert Name.parse("/bob/voip").is_prefix_of(alice.incoming_name(0))
+
+    def test_verify_own_and_peer_names(self):
+        alice, bob = pair()
+        assert alice.verify(bob.outgoing_name(3))
+        assert bob.verify(alice.outgoing_name(3))
+
+    def test_outsider_cannot_forge(self):
+        alice, _ = pair()
+        outsider = SessionNamer(b"wrong", "/alice/voip", "/bob/voip")
+        assert not alice.verify(outsider.outgoing_name(0))
+
+    def test_distinct_sessions_distinct_names(self):
+        session1 = SessionNamer(b"s1", "/alice/voip", "/bob/voip")
+        session2 = SessionNamer(b"s2", "/alice/voip", "/bob/voip")
+        assert session1.outgoing_name(0) != session2.outgoing_name(0)
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            SessionNamer(b"", "/a", "/b")

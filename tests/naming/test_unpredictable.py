@@ -1,0 +1,85 @@
+"""Unit tests for unpredictable name derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.naming.unpredictable import (
+    RAND_LENGTH,
+    derive_rand,
+    make_unpredictable_name,
+    verify_unpredictable_name,
+)
+from repro.ndn.name import Name
+
+
+SECRET = b"shared-session-secret"
+
+
+class TestDeriveRand:
+    def test_deterministic(self):
+        base = Name.parse("/alice/skype")
+        assert derive_rand(SECRET, base, 0) == derive_rand(SECRET, base, 0)
+
+    def test_varies_with_sequence(self):
+        base = Name.parse("/alice/skype")
+        assert derive_rand(SECRET, base, 0) != derive_rand(SECRET, base, 1)
+
+    def test_varies_with_secret(self):
+        base = Name.parse("/alice/skype")
+        assert derive_rand(SECRET, base, 0) != derive_rand(b"other", base, 0)
+
+    def test_varies_with_base_name(self):
+        assert derive_rand(SECRET, Name.parse("/a"), 0) != derive_rand(
+            SECRET, Name.parse("/b"), 0
+        )
+
+    def test_length(self):
+        assert len(derive_rand(SECRET, Name.parse("/a"), 0)) == RAND_LENGTH
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rand(b"", Name.parse("/a"), 0)
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rand(SECRET, Name.parse("/a"), -1)
+
+
+class TestMakeAndVerify:
+    def test_layout(self):
+        name = make_unpredictable_name(SECRET, "/alice/skype", 7)
+        assert len(name) == 4
+        assert name.prefix(2) == Name.parse("/alice/skype")
+        assert name[2] == "7"
+
+    def test_roundtrip_verification(self):
+        name = make_unpredictable_name(SECRET, "/alice/skype", 3)
+        assert verify_unpredictable_name(SECRET, name)
+
+    def test_wrong_secret_fails_verification(self):
+        name = make_unpredictable_name(SECRET, "/alice/skype", 3)
+        assert not verify_unpredictable_name(b"eavesdropper-guess", name)
+
+    def test_tampered_rand_fails(self):
+        name = make_unpredictable_name(SECRET, "/alice/skype", 3)
+        forged = name.parent().append("0" * RAND_LENGTH)
+        assert not verify_unpredictable_name(SECRET, forged)
+
+    def test_tampered_sequence_fails(self):
+        name = make_unpredictable_name(SECRET, "/alice/skype", 3)
+        forged = Name.parse("/alice/skype").append("4", name.last)
+        assert not verify_unpredictable_name(SECRET, forged)
+
+    def test_short_names_rejected(self):
+        assert not verify_unpredictable_name(SECRET, Name.parse("/a/b"))
+
+    def test_non_numeric_sequence_rejected(self):
+        assert not verify_unpredictable_name(
+            SECRET, Name.parse("/a/not-a-number/deadbeef")
+        )
+
+    def test_negative_sequence_component_rejected(self):
+        assert not verify_unpredictable_name(
+            SECRET, Name.parse("/a/-3/deadbeef")
+        )

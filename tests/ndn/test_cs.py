@@ -1,0 +1,181 @@
+"""Unit tests for the Content Store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.cs import ContentStore
+from repro.ndn.errors import CacheError
+from repro.ndn.name import Name
+from repro.ndn.packets import Data
+from repro.ndn.replacement import FifoPolicy
+
+
+def data(uri: str, **kwargs) -> Data:
+    return Data(name=Name.parse(uri), **kwargs)
+
+
+class TestInsertLookup:
+    def test_exact_lookup_after_insert(self):
+        cs = ContentStore()
+        cs.insert(data("/a/b"), now=1.0)
+        entry = cs.lookup_exact(Name.parse("/a/b"), now=2.0)
+        assert entry is not None
+        assert entry.data.name == Name.parse("/a/b")
+
+    def test_lookup_missing_returns_none(self):
+        cs = ContentStore()
+        assert cs.lookup_exact(Name.parse("/nope"), now=0.0) is None
+        assert cs.lookup(Name.parse("/nope"), now=0.0) is None
+
+    def test_prefix_lookup_finds_longer_name(self):
+        cs = ContentStore()
+        cs.insert(data("/cnn/news/today"), now=0.0)
+        entry = cs.lookup(Name.parse("/cnn/news"), now=1.0)
+        assert entry is not None
+        assert entry.data.name == Name.parse("/cnn/news/today")
+
+    def test_prefix_lookup_prefers_exact(self):
+        cs = ContentStore()
+        cs.insert(data("/a/b"), now=0.0)
+        cs.insert(data("/a/b/c"), now=0.0)
+        entry = cs.lookup(Name.parse("/a/b"), now=1.0)
+        assert entry.data.name == Name.parse("/a/b")
+
+    def test_prefix_lookup_deterministic_smallest(self):
+        cs = ContentStore()
+        cs.insert(data("/a/z"), now=0.0)
+        cs.insert(data("/a/m"), now=0.0)
+        entry = cs.lookup(Name.parse("/a"), now=1.0)
+        assert entry.data.name == Name.parse("/a/m")
+
+    def test_exact_match_only_excluded_from_prefix(self):
+        """Footnote 5: rand-named content never satisfies prefix interests."""
+        cs = ContentStore()
+        cs.insert(data("/alice/skype/0/deadbeef", exact_match_only=True), now=0.0)
+        assert cs.lookup(Name.parse("/alice/skype"), now=1.0) is None
+        assert cs.lookup(Name.parse("/alice/skype/0/deadbeef"), now=1.0) is not None
+
+    def test_fetch_delay_recorded(self):
+        cs = ContentStore()
+        entry = cs.insert(data("/a"), now=5.0, fetch_delay=12.5)
+        assert entry.fetch_delay == 12.5
+
+    def test_privacy_derived_from_content(self):
+        cs = ContentStore()
+        assert cs.insert(data("/a", private=True), now=0.0).private
+        assert not cs.insert(data("/b"), now=0.0).private
+
+    def test_privacy_override(self):
+        cs = ContentStore()
+        assert cs.insert(data("/a"), now=0.0, private=True).private
+
+    def test_reinsert_refreshes_in_place(self):
+        cs = ContentStore()
+        first = cs.insert(data("/a"), now=0.0)
+        second = cs.insert(data("/a"), now=9.0)
+        assert first is second
+        assert second.last_access == 9.0
+        assert len(cs) == 1
+
+
+class TestTouchSemantics:
+    def test_touch_updates_access_metadata(self):
+        cs = ContentStore()
+        cs.insert(data("/a"), now=0.0)
+        entry = cs.lookup_exact(Name.parse("/a"), now=7.0)
+        assert entry.last_access == 7.0
+        assert entry.access_count == 1
+
+    def test_touch_false_leaves_metadata(self):
+        cs = ContentStore()
+        cs.insert(data("/a"), now=0.0)
+        entry = cs.lookup_exact(Name.parse("/a"), now=7.0, touch=False)
+        assert entry.last_access == 0.0
+        assert entry.access_count == 0
+
+    def test_touch_refreshes_lru_position(self):
+        cs = ContentStore(capacity=2)
+        cs.insert(data("/a"), now=0.0)
+        cs.insert(data("/b"), now=1.0)
+        cs.lookup_exact(Name.parse("/a"), now=2.0)  # refresh /a
+        cs.insert(data("/c"), now=3.0)  # evicts /b, not /a
+        assert Name.parse("/a") in cs
+        assert Name.parse("/b") not in cs
+
+
+class TestEviction:
+    def test_capacity_enforced(self):
+        cs = ContentStore(capacity=3)
+        for i in range(5):
+            cs.insert(data(f"/x/{i}"), now=float(i))
+        assert len(cs) == 3
+        assert cs.evictions == 2
+
+    def test_lru_order_of_eviction(self):
+        cs = ContentStore(capacity=2)
+        cs.insert(data("/a"), now=0.0)
+        cs.insert(data("/b"), now=1.0)
+        cs.insert(data("/c"), now=2.0)
+        assert cs.names == [Name.parse("/b"), Name.parse("/c")]
+
+    def test_evict_listener_called_with_entry(self):
+        cs = ContentStore(capacity=1)
+        evicted = []
+        cs.add_evict_listener(lambda entry: evicted.append(entry.name))
+        cs.insert(data("/a"), now=0.0)
+        cs.insert(data("/b"), now=1.0)
+        assert evicted == [Name.parse("/a")]
+
+    def test_unlimited_capacity_never_evicts(self):
+        cs = ContentStore(capacity=None)
+        for i in range(1000):
+            cs.insert(data(f"/x/{i}"), now=float(i))
+        assert len(cs) == 1000
+        assert cs.evictions == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(CacheError):
+            ContentStore(capacity=0)
+
+    def test_custom_policy(self):
+        cs = ContentStore(capacity=2, policy=FifoPolicy())
+        cs.insert(data("/a"), now=0.0)
+        cs.insert(data("/b"), now=1.0)
+        cs.lookup_exact(Name.parse("/a"), now=2.0)  # FIFO ignores access
+        cs.insert(data("/c"), now=3.0)
+        assert Name.parse("/a") not in cs
+
+
+class TestRemoveAndClear:
+    def test_remove_returns_entry(self):
+        cs = ContentStore()
+        cs.insert(data("/a/b"), now=0.0)
+        entry = cs.remove(Name.parse("/a/b"))
+        assert entry is not None
+        assert len(cs) == 0
+
+    def test_remove_missing_returns_none(self):
+        assert ContentStore().remove(Name.parse("/none")) is None
+
+    def test_remove_cleans_prefix_index(self):
+        cs = ContentStore()
+        cs.insert(data("/a/b/c"), now=0.0)
+        cs.remove(Name.parse("/a/b/c"))
+        assert cs.lookup(Name.parse("/a"), now=1.0) is None
+
+    def test_clear_does_not_fire_listeners(self):
+        cs = ContentStore()
+        fired = []
+        cs.add_evict_listener(lambda e: fired.append(e))
+        cs.insert(data("/a"), now=0.0)
+        cs.clear()
+        assert len(cs) == 0
+        assert fired == []
+
+    def test_iteration_and_insertions_counter(self):
+        cs = ContentStore()
+        cs.insert(data("/a"), now=0.0)
+        cs.insert(data("/b"), now=0.0)
+        assert {e.name for e in cs} == {Name.parse("/a"), Name.parse("/b")}
+        assert cs.insertions == 2

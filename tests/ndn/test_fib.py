@@ -1,0 +1,89 @@
+"""Unit tests for the Forwarding Interest Base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.errors import FibError
+from repro.ndn.fib import Fib
+from repro.ndn.name import Name
+
+
+class TestRoutes:
+    def test_add_and_match(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/cnn"), "faceA")
+        assert fib.next_hop(Name.parse("/cnn/news/today")) == "faceA"
+
+    def test_longest_prefix_wins(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/cnn"), "short")
+        fib.add_route(Name.parse("/cnn/news"), "long")
+        assert fib.next_hop(Name.parse("/cnn/news/today")) == "long"
+        assert fib.next_hop(Name.parse("/cnn/sports")) == "short"
+
+    def test_no_match_returns_none(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/cnn"), "faceA")
+        assert fib.next_hop(Name.parse("/bbc")) is None
+
+    def test_default_route_via_root(self):
+        fib = Fib()
+        fib.add_route(Name.root(), "default")
+        assert fib.next_hop(Name.parse("/anything")) == "default"
+
+    def test_cost_ordering(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "expensive", cost=10)
+        fib.add_route(Name.parse("/a"), "cheap", cost=1)
+        assert fib.next_hop(Name.parse("/a/x")) == "cheap"
+        hops = fib.longest_prefix_match(Name.parse("/a/x"))
+        assert [h.face for h in hops] == ["cheap", "expensive"]
+
+    def test_duplicate_registration_updates_cost(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "f", cost=5)
+        fib.add_route(Name.parse("/a"), "f", cost=1)
+        hops = fib.longest_prefix_match(Name.parse("/a"))
+        assert len(hops) == 1
+        assert hops[0].cost == 1
+
+
+class TestRemoval:
+    def test_remove_route(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "f1")
+        fib.add_route(Name.parse("/a"), "f2")
+        fib.remove_route(Name.parse("/a"), "f1")
+        assert fib.next_hop(Name.parse("/a")) == "f2"
+
+    def test_remove_last_route_clears_prefix(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "f1")
+        fib.remove_route(Name.parse("/a"), "f1")
+        assert Name.parse("/a") not in fib
+        assert len(fib) == 0
+
+    def test_remove_unknown_prefix_raises(self):
+        with pytest.raises(FibError):
+            Fib().remove_route(Name.parse("/a"), "f1")
+
+    def test_remove_unknown_face_raises(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "f1")
+        with pytest.raises(FibError):
+            fib.remove_route(Name.parse("/a"), "other")
+
+
+class TestIntrospection:
+    def test_prefixes_sorted(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/z"), "f")
+        fib.add_route(Name.parse("/a"), "f")
+        assert fib.prefixes == [Name.parse("/a"), Name.parse("/z")]
+
+    def test_contains(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "f")
+        assert Name.parse("/a") in fib
+        assert Name.parse("/b") not in fib

@@ -1,0 +1,283 @@
+"""Unit tests for the NDN forwarder pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.core.schemes.uniform import UniformRandomCache
+from repro.ndn.cs import ContentStore
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.link import Face, FixedDelay, Link
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, Interest
+from repro.sim.engine import Engine
+
+
+class AppRecorder:
+    """End-host stub recording received packets with timestamps."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.interests = []
+        self.data = []
+
+    def receive_interest(self, interest, face):
+        self.interests.append((self.engine.now, interest, face))
+
+    def receive_data(self, data, face):
+        self.data.append((self.engine.now, data, face))
+
+
+class ProducerStub:
+    """Serves any interest instantly with matching (non-private) content."""
+
+    def __init__(self, private=False):
+        self.private = private
+        self.served = 0
+
+    def receive_interest(self, interest, face):
+        self.served += 1
+        face.send_data(Data(name=interest.name, private=self.private))
+
+    def receive_data(self, data, face):
+        raise AssertionError("producer stub received data")
+
+
+def build(engine, scheme=None, consumer_delay=1.0, producer_delay=5.0,
+          capacity=None, honor_scope=True, producer_private=False):
+    """consumer -- R -- producer with fixed link delays."""
+    router = Forwarder(
+        engine, "R",
+        cs=ContentStore(capacity=capacity),
+        scheme=scheme,
+        honor_scope=honor_scope,
+    )
+    consumer = AppRecorder(engine)
+    producer = ProducerStub(private=producer_private)
+    c_face = Face(consumer, "c")
+    r_down = router.create_face("down")
+    Link(engine, c_face, r_down, FixedDelay(consumer_delay), np.random.default_rng(0))
+    p_face = Face(producer, "p")
+    r_up = router.create_face("up")
+    Link(engine, r_up, p_face, FixedDelay(producer_delay), np.random.default_rng(1))
+    router.fib.add_route(Name.root(), r_up)
+    return router, consumer, producer, c_face
+
+
+class TestMissPath:
+    def test_miss_fetches_from_producer(self, engine):
+        router, consumer, producer, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert producer.served == 1
+        assert len(consumer.data) == 1
+        # RTT: 2 * (1 + 5) = 12 ms.
+        assert consumer.data[0][0] == pytest.approx(12.0)
+
+    def test_content_cached_after_miss(self, engine):
+        router, consumer, _, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert Name.parse("/a") in router.cs
+
+    def test_fetch_delay_recorded_on_entry(self, engine):
+        router, consumer, _, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        entry = router.cs.lookup_exact(Name.parse("/a"), engine.now, touch=False)
+        assert entry.fetch_delay == pytest.approx(10.0)  # 2 * producer link
+
+    def test_no_route_drops_interest(self, engine):
+        router, consumer, _, c_face = build(engine)
+        router.fib = type(router.fib)()  # empty FIB
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert consumer.data == []
+        assert router.monitor.counter("no_route") == 1
+        assert len(router.pit) == 0
+
+
+class TestHitPath:
+    def test_second_request_served_from_cache(self, engine):
+        router, consumer, producer, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert producer.served == 1  # not contacted again
+        assert len(consumer.data) == 2
+        # Hit RTT: 2 * 1 = 2 ms.
+        rtt = consumer.data[1][0] - 12.0
+        assert rtt == pytest.approx(2.0)
+        assert router.monitor.counter("cs_hit") == 1
+
+    def test_prefix_interest_hits_cached_longer_name(self, engine):
+        router, consumer, producer, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a/b/c")))
+        engine.run()
+        c_face.send_interest(Interest(name=Name.parse("/a/b")))
+        engine.run()
+        assert producer.served == 1
+        assert len(consumer.data) == 2
+
+
+class TestPitBehavior:
+    def test_same_face_new_nonce_is_retransmission(self, engine):
+        # A fresh nonce from a face that already has an in-record is a
+        # consumer retransmission: collapsed into the PIT but re-forwarded
+        # upstream (the original may have been lost).
+        router, consumer, producer, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert producer.served == 2
+        assert router.monitor.counter("pit_collapse") == 1
+        assert router.monitor.counter("interest_retransmitted") == 1
+        assert len(consumer.data) >= 1
+
+    def test_duplicate_nonce_not_reforwarded(self, engine):
+        # The exact same interest looping back (same nonce) is collapsed
+        # without re-forwarding.
+        router, consumer, producer, c_face = build(engine)
+        interest = Interest(name=Name.parse("/a"))
+        c_face.send_interest(interest)
+        c_face.send_interest(interest)
+        engine.run()
+        assert producer.served == 1
+        assert router.monitor.counter("interest_retransmitted") == 0
+
+    def test_collapsed_interest_from_second_face_gets_data(self, engine):
+        router, consumer, producer, c_face = build(engine)
+        consumer2 = AppRecorder(engine)
+        c2_face = Face(consumer2, "c2")
+        r_down2 = router.create_face("down2")
+        Link(engine, c2_face, r_down2, FixedDelay(1.0), np.random.default_rng(2))
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        c2_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert producer.served == 1
+        assert len(consumer.data) == 1
+        assert len(consumer2.data) == 1
+
+    def test_pit_cleared_after_satisfaction(self, engine):
+        router, consumer, _, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert len(router.pit) == 0
+
+    def test_unsolicited_data_dropped(self, engine):
+        router, consumer, _, c_face = build(engine)
+        upstream_face = router.faces[1]
+        upstream_face.peer.send_data(Data(name=Name.parse("/spam")))
+        engine.run()
+        assert router.monitor.counter("unsolicited_data") == 1
+        assert Name.parse("/spam") not in router.cs
+        assert consumer.data == []
+
+
+class TestScope:
+    def test_scope2_interest_dies_at_router_on_miss(self, engine):
+        router, consumer, producer, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a"), scope=2))
+        engine.run()
+        assert producer.served == 0
+        assert consumer.data == []
+        assert router.monitor.counter("scope_drop") == 1
+
+    def test_scope2_interest_answered_on_hit(self, engine):
+        router, consumer, producer, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        c_face.send_interest(Interest(name=Name.parse("/a"), scope=2))
+        engine.run()
+        assert len(consumer.data) == 2
+        assert producer.served == 1
+
+    def test_scope_ignored_when_disabled(self, engine):
+        router, consumer, producer, c_face = build(engine, honor_scope=False)
+        c_face.send_interest(Interest(name=Name.parse("/a"), scope=2))
+        engine.run()
+        assert producer.served == 1
+        assert len(consumer.data) == 1
+
+
+class TestSchemeIntegration:
+    def test_always_delay_hides_private_hit_timing(self, engine):
+        router, consumer, producer, c_face = build(
+            engine, scheme=AlwaysDelayScheme(), producer_private=True
+        )
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        first_time = consumer.data[0][0]
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        second_rtt = consumer.data[1][0] - first_time
+        # Disguised hit: 2*consumer_link + recorded fetch delay = 2 + 10.
+        assert second_rtt == pytest.approx(12.0)
+        assert producer.served == 1  # bandwidth still saved
+        assert router.monitor.counter("cs_disguised_hit") == 1
+
+    def test_no_privacy_serves_private_hit_fast(self, engine):
+        router, consumer, producer, c_face = build(
+            engine, scheme=NoPrivacyScheme(), producer_private=True
+        )
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        first_time = consumer.data[0][0]
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert consumer.data[1][0] - first_time == pytest.approx(2.0)
+
+    def test_uniform_scheme_eventually_hits(self, engine):
+        scheme = UniformRandomCache(K=4, rng=np.random.default_rng(0))
+        router, consumer, producer, c_face = build(
+            engine, scheme=scheme, producer_private=True
+        )
+        rtts = []
+        last = 0.0
+        for _ in range(8):
+            c_face.send_interest(Interest(name=Name.parse("/a")))
+            engine.run()
+            rtts.append(consumer.data[-1][0] - last)
+            last = consumer.data[-1][0]
+        assert producer.served == 1
+        # Eventually the fast (2 ms) genuine hit appears.
+        assert any(r == pytest.approx(2.0) for r in rtts)
+        # And every disguised miss looks exactly like a real one (12 ms).
+        assert all(r == pytest.approx(2.0) or r == pytest.approx(12.0) for r in rtts)
+
+    def test_scheme_on_evict_called(self, engine):
+        scheme = UniformRandomCache(K=4, rng=np.random.default_rng(0))
+        router, consumer, producer, c_face = build(
+            engine, scheme=scheme, capacity=1, producer_private=True
+        )
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert scheme.tracked_groups == 1
+        c_face.send_interest(Interest(name=Name.parse("/b")))
+        engine.run()
+        # /a evicted by capacity; its group state must be dropped.
+        assert scheme.tracked_groups == 1
+        assert Name.parse("/a") not in router.cs
+
+
+class TestCacheFilter:
+    def test_cache_filter_blocks_admission(self, engine):
+        router, consumer, producer, c_face = build(engine)
+        router.cache_filter = lambda data: False
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        assert Name.parse("/a") not in router.cs
+        assert router.monitor.counter("cache_skipped") == 1
+        # Data still forwarded to the consumer.
+        assert len(consumer.data) == 1
+
+    def test_flush_cache_resets(self, engine):
+        router, consumer, _, c_face = build(engine)
+        c_face.send_interest(Interest(name=Name.parse("/a")))
+        engine.run()
+        router.flush_cache()
+        assert len(router.cs) == 0

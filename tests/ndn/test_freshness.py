@@ -1,0 +1,87 @@
+"""Tests for content-freshness expiry in the Content Store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.cs import ContentStore
+from repro.ndn.name import Name
+from repro.ndn.packets import Data
+
+
+def fresh_data(uri: str, freshness=None) -> Data:
+    return Data(name=Name.parse(uri), freshness=freshness)
+
+
+class TestFreshnessExpiry:
+    def test_fresh_entry_served(self):
+        cs = ContentStore()
+        cs.insert(fresh_data("/a", freshness=100.0), now=0.0)
+        assert cs.lookup_exact(Name.parse("/a"), now=99.0) is not None
+
+    def test_stale_entry_dropped_on_exact_lookup(self):
+        cs = ContentStore()
+        cs.insert(fresh_data("/a", freshness=100.0), now=0.0)
+        assert cs.lookup_exact(Name.parse("/a"), now=101.0) is None
+        assert Name.parse("/a") not in cs
+        assert cs.stale_drops == 1
+
+    def test_stale_entry_dropped_on_prefix_lookup(self):
+        cs = ContentStore()
+        cs.insert(fresh_data("/a/b", freshness=50.0), now=0.0)
+        assert cs.lookup(Name.parse("/a"), now=60.0) is None
+        assert cs.stale_drops == 1
+
+    def test_prefix_lookup_skips_stale_finds_fresh(self):
+        cs = ContentStore()
+        # "aaa-old" sorts before "zzz-new", so the deterministic prefix
+        # scan visits (and drops) the stale entry first.
+        cs.insert(fresh_data("/a/aaa-old", freshness=10.0), now=0.0)
+        cs.insert(fresh_data("/a/zzz-new", freshness=1000.0), now=0.0)
+        entry = cs.lookup(Name.parse("/a"), now=50.0)
+        assert entry is not None
+        assert entry.name == Name.parse("/a/zzz-new")
+        assert cs.stale_drops == 1
+
+    def test_no_freshness_never_expires(self):
+        cs = ContentStore()
+        cs.insert(fresh_data("/a"), now=0.0)
+        assert cs.lookup_exact(Name.parse("/a"), now=1e12) is not None
+
+    def test_boundary_is_inclusive(self):
+        cs = ContentStore()
+        cs.insert(fresh_data("/a", freshness=100.0), now=0.0)
+        assert cs.lookup_exact(Name.parse("/a"), now=100.0) is not None
+
+    def test_stale_drop_fires_evict_listener_but_not_eviction_count(self):
+        # Schemes must release per-entry state when content expires, but
+        # staleness is not capacity pressure: listeners fire, the eviction
+        # counter does not move.
+        cs = ContentStore()
+        fired = []
+        cs.add_evict_listener(lambda e: fired.append(e.name))
+        cs.insert(fresh_data("/a", freshness=10.0), now=0.0)
+        cs.lookup_exact(Name.parse("/a"), now=20.0)
+        assert fired == [Name.parse("/a")]
+        assert cs.evictions == 0
+        assert cs.stale_drops == 1
+
+    def test_stale_drop_releases_scheme_state(self):
+        from repro.core.schemes.uniform import UniformRandomCache
+
+        cs = ContentStore()
+        scheme = UniformRandomCache(K=10)
+        cs.add_evict_listener(scheme.on_evict)
+        entry = cs.insert(fresh_data("/a", freshness=10.0), now=0.0,
+                          private=True)
+        scheme.on_insert(entry, private=True, now=0.0)
+        assert scheme.tracked_groups == 1
+        cs.lookup_exact(Name.parse("/a"), now=20.0)
+        assert scheme.tracked_groups == 0
+
+    def test_reinsert_restarts_freshness_window(self):
+        cs = ContentStore()
+        cs.insert(fresh_data("/a", freshness=100.0), now=0.0)
+        cs.lookup_exact(Name.parse("/a"), now=101.0)  # expires
+        cs.insert(fresh_data("/a", freshness=100.0), now=200.0)
+        assert cs.lookup_exact(Name.parse("/a"), now=250.0) is not None

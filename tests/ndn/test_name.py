@@ -1,0 +1,155 @@
+"""Unit tests for hierarchical NDN names."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.errors import NameError_
+from repro.ndn.name import PRIVATE_COMPONENT, Name, name_of
+
+
+class TestConstruction:
+    def test_parse_roundtrip(self):
+        name = Name.parse("/cnn/news/2013may20")
+        assert str(name) == "/cnn/news/2013may20"
+        assert name.components == ("cnn", "news", "2013may20")
+
+    def test_root_name(self):
+        assert str(Name.root()) == "/"
+        assert len(Name.root()) == 0
+        assert Name.parse("/") == Name.root()
+
+    def test_parse_requires_leading_slash(self):
+        with pytest.raises(NameError_):
+            Name.parse("cnn/news")
+
+    def test_parse_rejects_empty_component(self):
+        with pytest.raises(NameError_):
+            Name.parse("/cnn//news")
+
+    def test_component_with_slash_rejected(self):
+        with pytest.raises(NameError_):
+            Name(("a/b",))
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(NameError_):
+            Name(("",))
+
+    def test_non_string_component_rejected(self):
+        with pytest.raises(NameError_):
+            Name((1,))  # type: ignore[arg-type]
+
+    def test_name_of_coercion(self):
+        assert name_of("/a/b") == Name(("a", "b"))
+        n = Name(("x",))
+        assert name_of(n) is n
+        with pytest.raises(NameError_):
+            name_of(42)  # type: ignore[arg-type]
+
+
+class TestHierarchy:
+    def test_append(self):
+        assert Name.parse("/a").append("b", "c") == Name.parse("/a/b/c")
+
+    def test_parent(self):
+        assert Name.parse("/a/b/c").parent() == Name.parse("/a/b")
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(NameError_):
+            Name.root().parent()
+
+    def test_prefix(self):
+        name = Name.parse("/a/b/c/d")
+        assert name.prefix(2) == Name.parse("/a/b")
+        assert name.prefix(0) == Name.root()
+        assert name.prefix(4) == name
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(NameError_):
+            Name.parse("/a").prefix(2)
+
+    def test_prefixes_longest_first(self):
+        prefixes = list(Name.parse("/a/b").prefixes())
+        assert prefixes == [Name.parse("/a/b"), Name.parse("/a"), Name.root()]
+
+    def test_last_component(self):
+        assert Name.parse("/a/b/137").last == "137"
+        with pytest.raises(NameError_):
+            _ = Name.root().last
+
+    def test_getitem_and_slice(self):
+        name = Name.parse("/a/b/c")
+        assert name[1] == "b"
+        assert name[:2] == Name.parse("/a/b")
+
+
+class TestMatching:
+    """The paper's footnote-2 rule: X matches X' iff X is a prefix of X'."""
+
+    def test_name_is_prefix_of_itself(self):
+        name = Name.parse("/cnn/news")
+        assert name.is_prefix_of(name)
+
+    def test_shorter_prefix_matches(self):
+        assert Name.parse("/cnn/news").is_prefix_of(
+            Name.parse("/cnn/news/2013may20")
+        )
+
+    def test_longer_name_does_not_match_shorter(self):
+        assert not Name.parse("/cnn/news/2013may20").is_prefix_of(
+            Name.parse("/cnn/news")
+        )
+
+    def test_sibling_does_not_match(self):
+        assert not Name.parse("/cnn/sports").is_prefix_of(
+            Name.parse("/cnn/news/x")
+        )
+
+    def test_component_boundary_respected(self):
+        # /cn is NOT a prefix of /cnn at the component level.
+        assert not Name.parse("/cn").is_prefix_of(Name.parse("/cnn"))
+
+    def test_root_matches_everything(self):
+        assert Name.root().is_prefix_of(Name.parse("/anything/at/all"))
+
+    def test_matches_alias(self):
+        assert Name.parse("/a").matches(Name.parse("/a/b"))
+
+
+class TestPrivacyMarking:
+    def test_private_component_detected(self):
+        assert Name.parse(f"/site/{PRIVATE_COMPONENT}/doc").marked_private
+
+    def test_private_as_last_component(self):
+        assert Name.parse(f"/site/doc/{PRIVATE_COMPONENT}").marked_private
+
+    def test_unmarked_name(self):
+        assert not Name.parse("/site/doc").marked_private
+
+    def test_has_component(self):
+        assert Name.parse("/a/b/c").has_component("b")
+        assert not Name.parse("/a/b/c").has_component("z")
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert Name.parse("/a/b") == Name.parse("/a/b")
+        assert hash(Name.parse("/a/b")) == hash(Name.parse("/a/b"))
+        assert Name.parse("/a/b") != Name.parse("/a/c")
+
+    def test_names_usable_as_dict_keys(self):
+        d = {Name.parse("/a"): 1}
+        assert d[Name.parse("/a")] == 1
+
+    def test_ordering(self):
+        assert Name.parse("/a") < Name.parse("/b")
+        assert Name.parse("/a") < Name.parse("/a/b")
+
+    def test_equality_with_other_type(self):
+        assert Name.parse("/a") != "/a"
+
+    def test_iteration(self):
+        assert list(Name.parse("/x/y")) == ["x", "y"]
+
+    def test_repr(self):
+        assert repr(Name.parse("/a")) == "Name('/a')"

@@ -1,0 +1,130 @@
+"""Unit tests for the Pending Interest Table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.name import Name
+from repro.ndn.packets import Interest
+from repro.ndn.pit import Pit
+
+
+def interest(uri: str, **kwargs) -> Interest:
+    return Interest(name=Name.parse(uri), **kwargs)
+
+
+class TestInsertCollapse:
+    def test_first_interest_creates_entry(self):
+        pit = Pit()
+        entry, is_new = pit.insert_or_collapse(interest("/a"), "face1", now=0.0)
+        assert is_new
+        assert entry.faces == ["face1"]
+        assert len(pit) == 1
+
+    def test_second_interest_collapses(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a"), "face1", now=0.0)
+        entry, is_new = pit.insert_or_collapse(interest("/a"), "face2", now=1.0)
+        assert not is_new
+        assert entry.faces == ["face1", "face2"]
+        assert pit.collapsed == 1
+
+    def test_same_face_not_duplicated(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a"), "face1", now=0.0)
+        entry, _ = pit.insert_or_collapse(interest("/a"), "face1", now=1.0)
+        assert entry.faces == ["face1"]
+
+    def test_collapse_extends_expiry(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a", lifetime=100.0), "f1", now=0.0)
+        entry, _ = pit.insert_or_collapse(interest("/a", lifetime=100.0), "f2", now=50.0)
+        assert entry.expiry == 150.0
+
+    def test_privacy_aggregation(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a", private=True), "f1", now=0.0)
+        entry, _ = pit.insert_or_collapse(interest("/a", private=False), "f2", now=0.0)
+        assert entry.any_private
+        assert not entry.all_private
+
+    def test_all_private_when_all_marked(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a", private=True), "f1", now=0.0)
+        entry, _ = pit.insert_or_collapse(interest("/a", private=True), "f2", now=0.0)
+        assert entry.all_private
+
+    def test_first_arrival_recorded(self):
+        pit = Pit()
+        entry, _ = pit.insert_or_collapse(interest("/a"), "f1", now=3.5)
+        assert entry.first_arrival == 3.5
+
+
+class TestSatisfy:
+    def test_exact_name_satisfied(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a/b"), "f1", now=0.0)
+        entry = pit.satisfy(Name.parse("/a/b"))
+        assert entry is not None
+        assert len(pit) == 0
+
+    def test_content_satisfies_prefix_interest(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a"), "f1", now=0.0)
+        entry = pit.satisfy(Name.parse("/a/b/c"))
+        assert entry is not None
+        assert entry.name == Name.parse("/a")
+
+    def test_longest_pending_prefix_wins(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a"), "f1", now=0.0)
+        pit.insert_or_collapse(interest("/a/b"), "f2", now=0.0)
+        entry = pit.satisfy(Name.parse("/a/b/c"))
+        assert entry.name == Name.parse("/a/b")
+        assert Name.parse("/a") in pit  # shorter entry remains
+
+    def test_unsolicited_content_returns_none(self):
+        pit = Pit()
+        assert pit.satisfy(Name.parse("/nobody/asked")) is None
+
+
+class TestExpiry:
+    def test_expire_after_deadline(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a", lifetime=10.0), "f1", now=0.0)
+        assert pit.expire(Name.parse("/a"), now=10.0) is not None
+        assert len(pit) == 0
+        assert pit.expired == 1
+
+    def test_expire_before_deadline_is_noop(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a", lifetime=10.0), "f1", now=0.0)
+        assert pit.expire(Name.parse("/a"), now=5.0) is None
+        assert len(pit) == 1
+
+    def test_expire_missing_returns_none(self):
+        assert Pit().expire(Name.parse("/none"), now=0.0) is None
+
+    def test_remove_unconditional(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/a"), "f1", now=0.0)
+        assert pit.remove(Name.parse("/a")) is not None
+        assert pit.remove(Name.parse("/a")) is None
+
+
+class TestNonces:
+    def test_nonce_tracking(self):
+        pit = Pit()
+        i = interest("/a")
+        pit.insert_or_collapse(i, "f1", now=0.0)
+        assert pit.has_seen_nonce(Name.parse("/a"), i.nonce)
+        assert not pit.has_seen_nonce(Name.parse("/a"), i.nonce + 999)
+
+    def test_nonce_on_missing_entry(self):
+        assert not Pit().has_seen_nonce(Name.parse("/a"), 1)
+
+    def test_names_sorted(self):
+        pit = Pit()
+        pit.insert_or_collapse(interest("/z"), "f1", now=0.0)
+        pit.insert_or_collapse(interest("/a"), "f1", now=0.0)
+        assert pit.names == [Name.parse("/a"), Name.parse("/z")]

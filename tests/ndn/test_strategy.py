@@ -1,0 +1,107 @@
+"""Tests for forwarding strategies (best-route vs multicast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.link import FixedDelay
+from repro.ndn.network import Network
+from repro.sim.process import Timeout
+from repro.sim.rng import RngRegistry
+
+
+def diamond(strategy: str, seed: int = 0, slow_loss: float = 0.0,
+            fast_loss: float = 0.0):
+    """consumer - R - {pathA (fast), pathB (slow)} - producer."""
+    net = Network(rng=RngRegistry(seed))
+    router = net.add_router("R", strategy=strategy)
+    consumer = net.add_consumer("c")
+    pa = net.add_producer("pa", "/data")
+    pb = net.add_producer("pb", "/data")
+    net.connect("c", "R", FixedDelay(1.0))
+    net.connect("R", "pa", FixedDelay(2.0), loss_rate=fast_loss)
+    net.connect("R", "pb", FixedDelay(10.0), loss_rate=slow_loss)
+    net.add_route("R", "/data", "pa", cost=1)
+    net.add_route("R", "/data", "pb", cost=5)
+    return net, router, consumer, pa, pb
+
+
+class TestBestRoute:
+    def test_uses_cheapest_path_only(self):
+        net, router, consumer, pa, pb = diamond("best-route")
+        results = []
+
+        def proc():
+            result = yield from consumer.fetch("/data/x")
+            results.append(result)
+
+        net.spawn(proc(), "driver")
+        net.run()
+        assert results[0].rtt == pytest.approx(6.0)  # 2*(1+2)
+        assert pa.monitor.counter("data_served") == 1
+        assert pb.monitor.counter("data_served") == 0
+
+    def test_lost_best_path_not_recovered_without_retry(self):
+        net, router, consumer, pa, pb = diamond(
+            "best-route", seed=1, fast_loss=0.999
+        )
+        results = []
+
+        def proc():
+            result = yield from consumer.fetch("/data/x", timeout=100.0)
+            results.append(result)
+
+        net.spawn(proc(), "driver")
+        net.run()
+        assert results == [None]  # single path, and it lost the packet
+
+
+class TestMulticast:
+    def test_forwards_on_all_paths(self):
+        net, router, consumer, pa, pb = diamond("multicast")
+        results = []
+
+        def proc():
+            result = yield from consumer.fetch("/data/x")
+            results.append(result)
+
+        net.spawn(proc(), "driver")
+        net.run()
+        # Fast path answers first; the consumer sees the fast RTT.
+        assert results[0].rtt == pytest.approx(6.0)
+        assert pa.monitor.counter("data_served") == 1
+        assert pb.monitor.counter("data_served") == 1
+
+    def test_duplicate_data_dropped_as_unsolicited(self):
+        net, router, consumer, pa, pb = diamond("multicast")
+
+        def proc():
+            yield from consumer.fetch("/data/x")
+
+        net.spawn(proc(), "driver")
+        net.run()
+        # The slow path's copy arrives after the PIT entry was satisfied.
+        assert router.monitor.counter("unsolicited_data") == 1
+
+    def test_survives_total_loss_on_one_path(self):
+        net, router, consumer, pa, pb = diamond(
+            "multicast", seed=2, fast_loss=0.999
+        )
+        results = []
+
+        def proc():
+            result = yield from consumer.fetch("/data/x", timeout=100.0)
+            results.append(result)
+
+        net.spawn(proc(), "driver")
+        net.run()
+        assert results[0] is not None
+        assert results[0].rtt == pytest.approx(22.0)  # served via slow path
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self, engine):
+        from repro.ndn.forwarder import Forwarder
+
+        with pytest.raises(ValueError, match="unknown strategy"):
+            Forwarder(engine, "R", strategy="flooding")

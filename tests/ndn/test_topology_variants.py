@@ -1,0 +1,89 @@
+"""Tests for less-traveled topology configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.topology import local_lan, wan, wan_producer
+from repro.sim.process import Timeout
+
+
+class TestWanProducerVariants:
+    def test_caching_access_path_variant(self):
+        """With caching enabled on the access path, the adversary's own
+        first fetch seeds its first-hop router — the reason the default
+        experiment disables it."""
+        topo = wan_producer(seed=3, cache_on_access_path=True)
+
+        def proc():
+            yield from topo.adversary.fetch("/content/x", timeout=10_000.0)
+
+        topo.engine.spawn(proc(), "adv")
+        topo.engine.run()
+        assert any(len(r.cs) > 0 for r in topo.access_path)
+
+    def test_second_fetch_served_by_access_router_when_caching(self):
+        topo = wan_producer(seed=4, cache_on_access_path=True)
+        rtts = []
+
+        def proc():
+            for _ in range(2):
+                result = yield from topo.adversary.fetch(
+                    "/content/x", timeout=10_000.0
+                )
+                rtts.append(result.rtt)
+                yield Timeout(10.0)
+
+        topo.engine.spawn(proc(), "adv")
+        topo.engine.run()
+        # Second fetch comes from the adversary-adjacent router: much
+        # faster than the first (which crossed three WAN hops).
+        assert rtts[1] < rtts[0] / 2
+
+    def test_access_hops_configurable(self):
+        topo = wan_producer(seed=0, access_hops=2)
+        # One intermediate router per consumer chain (Adv and U).
+        assert len(topo.access_path) == 2
+
+
+class TestWanVariants:
+    def test_single_hop_producer(self):
+        topo = wan(seed=0, producer_hops=1)
+        assert topo.producer_path == []
+        results = []
+
+        def proc():
+            result = yield from topo.adversary.fetch("/content/x")
+            results.append(result)
+
+        topo.engine.spawn(proc(), "adv")
+        topo.engine.run()
+        assert results[0] is not None
+
+    def test_deep_producer_chain(self):
+        topo = wan(seed=0, producer_hops=5)
+        assert len(topo.producer_path) == 4
+
+        def proc():
+            yield from topo.user.fetch("/content/x")
+
+        topo.engine.spawn(proc(), "user")
+        topo.engine.run()
+        # Content cached at every router on the path.
+        assert all(len(r.cs) == 1 for r in topo.producer_path)
+        assert len(topo.router.cs) == 1
+
+
+class TestCacheCapacityInjection:
+    def test_bounded_router_cache(self):
+        topo = local_lan(seed=0, cache_capacity=2)
+
+        def proc():
+            for i in range(5):
+                yield from topo.user.fetch(f"/content/o{i}")
+                yield Timeout(5.0)
+
+        topo.engine.spawn(proc(), "user")
+        topo.engine.run()
+        assert len(topo.router.cs) == 2
+        assert topo.router.cs.evictions == 3

@@ -1,0 +1,155 @@
+"""Tests for the NDN TLV wire codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.errors import PacketError
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, Interest
+from repro.ndn.wire import (
+    decode_name,
+    decode_packet,
+    decode_var_number,
+    encode_name,
+    encode_packet,
+    encode_var_number,
+    iter_tlvs,
+    wire_size,
+)
+
+
+class TestVarNumbers:
+    @pytest.mark.parametrize("value", [0, 1, 252, 253, 254, 255, 65535,
+                                       65536, 2**32 - 1, 2**32, 2**60])
+    def test_roundtrip(self, value):
+        encoded = encode_var_number(value)
+        decoded, offset = decode_var_number(encoded, 0)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_short_form_is_one_byte(self):
+        assert len(encode_var_number(252)) == 1
+        assert len(encode_var_number(253)) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(PacketError):
+            encode_var_number(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PacketError):
+            decode_var_number(b"", 0)
+        with pytest.raises(PacketError):
+            decode_var_number(b"\xfd\x01", 0)  # needs 2 more bytes
+
+
+class TestNameCodec:
+    @pytest.mark.parametrize("uri", ["/", "/a", "/cnn/news/2013may20",
+                                     "/youtube/alice/video-749.avi/137"])
+    def test_roundtrip(self, uri):
+        name = Name.parse(uri)
+        encoded = encode_name(name)
+        tlvs = list(iter_tlvs(encoded))
+        assert len(tlvs) == 1
+        assert decode_name(tlvs[0][1]) == name
+
+    def test_unicode_components(self):
+        name = Name(("café", "日本"))
+        tlvs = list(iter_tlvs(encode_name(name)))
+        assert decode_name(tlvs[0][1]) == name
+
+    def test_foreign_tlv_inside_name_rejected(self):
+        from repro.ndn.wire import _tlv, TLV_NAME
+
+        bogus = _tlv(0x63, b"junk")
+        with pytest.raises(PacketError):
+            decode_name(bogus)
+
+
+class TestInterestCodec:
+    def test_minimal_roundtrip(self):
+        interest = Interest(name=Name.parse("/a/b"))
+        decoded = decode_packet(encode_packet(interest))
+        assert isinstance(decoded, Interest)
+        assert decoded.name == interest.name
+        assert decoded.nonce == interest.nonce
+        assert decoded.scope is None
+        assert not decoded.private
+        assert decoded.hops == 1
+
+    def test_full_roundtrip(self):
+        interest = Interest(
+            name=Name.parse("/x/y/z"), scope=2, private=True,
+            lifetime=250.0, hops=3,
+        )
+        decoded = decode_packet(encode_packet(interest))
+        assert decoded.scope == 2
+        assert decoded.private
+        assert decoded.lifetime == 250.0
+        assert decoded.hops == 3
+
+    def test_missing_name_rejected(self):
+        from repro.ndn.wire import _tlv, TLV_INTEREST, TLV_NONCE
+
+        body = _tlv(TLV_NONCE, b"\x01")
+        with pytest.raises(PacketError, match="missing Name"):
+            decode_packet(_tlv(TLV_INTEREST, body))
+
+    def test_unknown_fields_skipped(self):
+        from repro.ndn.wire import _tlv, TLV_INTEREST, TLV_NAME, TLV_NONCE
+        from repro.ndn.wire import encode_name as en
+
+        body = en(Name.parse("/a")) + _tlv(TLV_NONCE, b"\x07") + _tlv(0x90, b"??")
+        decoded = decode_packet(_tlv(TLV_INTEREST, body))
+        assert decoded.name == Name.parse("/a")
+        assert decoded.nonce == 7
+
+
+class TestDataCodec:
+    def test_minimal_roundtrip(self):
+        data = Data(name=Name.parse("/a"))
+        decoded = decode_packet(encode_packet(data))
+        assert isinstance(decoded, Data)
+        assert decoded == data
+
+    def test_full_roundtrip(self):
+        data = Data(
+            name=Name.parse("/alice/skype/0/deadbeef"),
+            producer="alice",
+            private=True,
+            size=4096,
+            freshness=1500.0,
+            exact_match_only=True,
+        )
+        assert decode_packet(encode_packet(data)) == data
+
+    def test_zero_size(self):
+        data = Data(name=Name.parse("/a"), size=0)
+        assert decode_packet(encode_packet(data)).size == 0
+
+
+class TestTopLevel:
+    def test_unknown_type_rejected(self):
+        from repro.ndn.wire import _tlv
+
+        with pytest.raises(PacketError, match="unknown top-level"):
+            decode_packet(_tlv(0x42, b""))
+
+    def test_trailing_garbage_rejected(self):
+        encoded = encode_packet(Interest(name=Name.parse("/a")))
+        with pytest.raises(PacketError):
+            decode_packet(encoded + encoded)
+
+    def test_overrun_length_rejected(self):
+        encoded = bytearray(encode_packet(Interest(name=Name.parse("/a"))))
+        encoded[1] += 5  # inflate the claimed length
+        with pytest.raises(PacketError):
+            decode_packet(bytes(encoded))
+
+    def test_wire_size_reasonable(self):
+        interest = Interest(name=Name.parse("/cnn/news"))
+        assert 15 < wire_size(interest) < 60
+
+    def test_non_packet_rejected(self):
+        with pytest.raises(PacketError):
+            encode_packet("not a packet")  # type: ignore[arg-type]

@@ -1,0 +1,102 @@
+"""Property-based tests for Content Store invariants under random workloads."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ndn.cs import ContentStore
+from repro.ndn.name import Name
+from repro.ndn.packets import Data
+from repro.ndn.replacement import FifoPolicy, LfuPolicy, LruPolicy
+
+# Operations: (op, object id) with a small id space to force collisions.
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "lookup", "remove"]),
+        st.integers(min_value=0, max_value=30),
+    ),
+    max_size=120,
+)
+
+policies = st.sampled_from([LruPolicy, FifoPolicy, LfuPolicy])
+capacities = st.one_of(st.none(), st.integers(min_value=1, max_value=10))
+
+
+def apply_ops(cs: ContentStore, operations) -> None:
+    clock = 0.0
+    for op, obj in operations:
+        clock += 1.0
+        name = Name.parse(f"/s/o{obj}")
+        if op == "insert":
+            cs.insert(Data(name=name), now=clock)
+        elif op == "lookup":
+            cs.lookup_exact(name, now=clock)
+        else:
+            cs.remove(name)
+
+
+@given(ops, capacities, policies)
+@settings(max_examples=150, deadline=None)
+def test_size_never_exceeds_capacity(operations, capacity, policy_cls):
+    cs = ContentStore(capacity=capacity, policy=policy_cls())
+    apply_ops(cs, operations)
+    if capacity is not None:
+        assert len(cs) <= capacity
+
+
+@given(ops, capacities, policies)
+@settings(max_examples=150, deadline=None)
+def test_policy_tracks_exactly_cached_names(operations, capacity, policy_cls):
+    cs = ContentStore(capacity=capacity, policy=policy_cls())
+    apply_ops(cs, operations)
+    assert len(cs.policy) == len(cs)
+
+
+@given(ops, capacities, policies)
+@settings(max_examples=100, deadline=None)
+def test_accounting_identity(operations, capacity, policy_cls):
+    """insertions == still-cached + evicted + explicitly-removed."""
+    cs = ContentStore(capacity=capacity, policy=policy_cls())
+    removed = 0
+    clock = 0.0
+    for op, obj in operations:
+        clock += 1.0
+        name = Name.parse(f"/s/o{obj}")
+        if op == "insert":
+            cs.insert(Data(name=name), now=clock)
+        elif op == "lookup":
+            cs.lookup_exact(name, now=clock)
+        else:
+            if cs.remove(name) is not None:
+                removed += 1
+    assert cs.insertions == len(cs) + cs.evictions + removed
+
+
+@given(ops, capacities)
+@settings(max_examples=100, deadline=None)
+def test_prefix_index_consistent(operations, capacity):
+    """Prefix lookups find a name iff some cached name extends the prefix."""
+    cs = ContentStore(capacity=capacity)
+    apply_ops(cs, operations)
+    cached = set(cs.names)
+    prefix = Name.parse("/s")
+    found = cs.lookup(prefix, now=9999.0, touch=False)
+    if cached:
+        assert found is not None
+        assert prefix.is_prefix_of(found.name)
+    else:
+        assert found is None
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_eviction_listener_sees_every_eviction(operations):
+    cs = ContentStore(capacity=3)
+    evicted = []
+    cs.add_evict_listener(lambda entry: evicted.append(entry.name))
+    apply_ops(cs, operations)
+    assert len(evicted) == cs.evictions
+    # Evicted names are no longer cached unless re-inserted later; at
+    # minimum the listener got real names.
+    for name in evicted:
+        assert isinstance(name, Name)

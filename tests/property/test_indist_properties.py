@@ -1,0 +1,81 @@
+"""Property-based tests for the indistinguishability machinery."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.privacy.indistinguishability import (
+    min_delta,
+    min_epsilon,
+    total_variation,
+)
+
+
+@st.composite
+def distribution(draw, outcomes=6):
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=outcomes,
+            max_size=outcomes,
+        )
+    )
+    total = sum(weights)
+    assume(total > 1e-6)
+    return {i: w / total for i, w in enumerate(weights) if w > 0}
+
+
+@given(distribution(), distribution(), st.floats(min_value=0.0, max_value=3.0))
+@settings(max_examples=200, deadline=None)
+def test_delta_in_valid_range(d1, d2, eps):
+    result = min_delta(d1, d2, eps)
+    assert 0.0 <= result.delta <= 2.0
+
+
+@given(distribution(), distribution())
+@settings(max_examples=200, deadline=None)
+def test_delta_monotone_in_epsilon(d1, d2):
+    deltas = [min_delta(d1, d2, eps).delta for eps in (0.0, 0.5, 1.0, 2.0)]
+    assert all(a >= b - 1e-12 for a, b in zip(deltas, deltas[1:]))
+
+
+@given(distribution())
+@settings(max_examples=100, deadline=None)
+def test_self_distance_zero(d):
+    assert min_delta(d, d, 0.0).delta == 0.0
+    assert total_variation(d, d) == 0.0
+
+
+@given(distribution(), distribution())
+@settings(max_examples=200, deadline=None)
+def test_symmetry(d1, d2):
+    for eps in (0.0, 0.7):
+        assert min_delta(d1, d2, eps).delta == min_delta(d2, d1, eps).delta
+    assert total_variation(d1, d2) == total_variation(d2, d1)
+
+
+@given(distribution(), distribution())
+@settings(max_examples=150, deadline=None)
+def test_delta_at_least_2tv_at_zero_eps(d1, d2):
+    assert min_delta(d1, d2, 0.0).delta >= 2 * total_variation(d1, d2) - 1e-9
+
+
+@given(distribution(), distribution())
+@settings(max_examples=100, deadline=None)
+def test_min_epsilon_consistent_with_min_delta(d1, d2):
+    """δ_min at the ε returned for a budget must fit within that budget."""
+    budget = 0.3
+    eps = min_epsilon(d1, d2, budget)
+    if math.isfinite(eps):
+        achieved = min_delta(d1, d2, eps + 1e-9).delta
+        assert achieved <= budget + 1e-6
+
+
+@given(distribution(), distribution(), st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=150, deadline=None)
+def test_bad_outcomes_have_combined_mass_delta(d1, d2, eps):
+    result = min_delta(d1, d2, eps)
+    mass = sum(d1.get(o, 0.0) + d2.get(o, 0.0) for o in result.bad_outcomes)
+    assert math.isclose(mass, result.delta, rel_tol=1e-9, abs_tol=1e-9)

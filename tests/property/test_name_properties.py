@@ -1,0 +1,80 @@
+"""Property-based tests for Name invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.ndn.name import Name
+
+component = st.text(
+    alphabet=st.characters(blacklist_characters="/", min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=12,
+)
+components = st.lists(component, min_size=0, max_size=6)
+
+
+@given(components)
+def test_parse_str_roundtrip(comps):
+    name = Name(comps)
+    assert Name.parse(str(name)) == name
+
+
+@given(components)
+def test_prefix_of_self(comps):
+    name = Name(comps)
+    assert name.is_prefix_of(name)
+
+
+@given(components, components)
+def test_prefix_relation_via_components(a, b):
+    na, nb = Name(a), Name(b)
+    expected = tuple(b[: len(a)]) == tuple(a)
+    assert na.is_prefix_of(nb) == expected
+
+
+@given(components, component)
+def test_parent_inverts_append(comps, extra):
+    name = Name(comps)
+    assert name.append(extra).parent() == name
+
+
+@given(components)
+def test_prefixes_are_all_prefixes(comps):
+    name = Name(comps)
+    listed = list(name.prefixes())
+    assert len(listed) == len(name) + 1
+    for prefix in listed:
+        assert prefix.is_prefix_of(name)
+    # Longest first, strictly decreasing length.
+    lengths = [len(p) for p in listed]
+    assert lengths == sorted(lengths, reverse=True)
+
+
+@given(components, components)
+def test_prefix_transitivity(a, b):
+    na, nb = Name(a), Name(b)
+    if na.is_prefix_of(nb):
+        for prefix in na.prefixes():
+            assert prefix.is_prefix_of(nb)
+
+
+@given(components, components)
+def test_equality_consistent_with_hash(a, b):
+    na, nb = Name(a), Name(b)
+    if na == nb:
+        assert hash(na) == hash(nb)
+
+
+@given(components, components)
+def test_mutual_prefix_implies_equal(a, b):
+    na, nb = Name(a), Name(b)
+    if na.is_prefix_of(nb) and nb.is_prefix_of(na):
+        assert na == nb
+
+
+@given(components)
+def test_prefix_lengths(comps):
+    name = Name(comps)
+    for length in range(len(name) + 1):
+        assert len(name.prefix(length)) == length

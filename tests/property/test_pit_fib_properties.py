@@ -1,0 +1,80 @@
+"""Property-based tests for PIT and FIB invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ndn.fib import Fib
+from repro.ndn.name import Name
+from repro.ndn.packets import Interest
+from repro.ndn.pit import Pit
+
+uri = st.lists(
+    st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4
+).map(lambda parts: Name(parts))
+
+
+@given(st.lists(st.tuples(uri, st.integers(0, 3)), max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_pit_satisfy_removes_exactly_one(entries):
+    pit = Pit()
+    clock = 0.0
+    for name, face in entries:
+        clock += 1.0
+        pit.insert_or_collapse(Interest(name=name), f"face{face}", now=clock)
+    for name, _face in entries:
+        before = len(pit)
+        result = pit.satisfy(name)
+        after = len(pit)
+        if result is not None:
+            assert after == before - 1
+            assert result.name.is_prefix_of(name)
+        else:
+            assert after == before
+
+
+@given(st.lists(st.tuples(uri, st.integers(0, 3)), min_size=1, max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_pit_faces_unique_per_entry(entries):
+    pit = Pit()
+    for name, face in entries:
+        pit.insert_or_collapse(Interest(name=name), f"face{face}", now=0.0)
+    for pending in pit.names:
+        entry = pit.lookup(pending)
+        assert len(entry.faces) == len(set(entry.faces))
+
+
+@given(st.lists(st.tuples(uri, st.integers(0, 3)), max_size=30), uri)
+@settings(max_examples=150, deadline=None)
+def test_fib_lpm_is_longest_registered_prefix(routes, query):
+    fib = Fib()
+    for prefix, face in routes:
+        fib.add_route(prefix, f"face{face}")
+    hops = fib.longest_prefix_match(query)
+    registered = {prefix for prefix, _ in routes}
+    matching = [p for p in registered if p.is_prefix_of(query)]
+    if matching:
+        assert hops is not None
+        best_len = max(len(p) for p in matching)
+        # The returned hop set belongs to a prefix of maximal length.
+        returned_prefixes = [
+            p for p in matching
+            if any(h.face in {f"face{f}" for pr, f in routes if pr == p} for h in hops)
+        ]
+        assert any(len(p) == best_len for p in returned_prefixes)
+    else:
+        assert hops is None
+
+
+@given(st.lists(st.tuples(uri, st.integers(0, 3), st.integers(0, 9)), max_size=30))
+@settings(max_examples=150, deadline=None)
+def test_fib_next_hop_is_cheapest(routes):
+    fib = Fib()
+    for prefix, face, cost in routes:
+        fib.add_route(prefix, f"face{face}", cost=cost)
+    for prefix, _face, _cost in routes:
+        hops = fib.longest_prefix_match(prefix)
+        assert hops is not None
+        costs = [h.cost for h in hops]
+        assert costs == sorted(costs)
+        assert fib.next_hop(prefix) is hops[0].face

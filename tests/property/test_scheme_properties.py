@@ -1,0 +1,102 @@
+"""Property-based tests on scheme output laws (Algorithm 1 invariants)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.privacy.distributions import (
+    DegenerateK,
+    TruncatedGeometric,
+    UniformK,
+)
+from repro.core.schemes.base import DecisionKind
+from repro.core.schemes.random_cache import RandomCacheScheme
+from tests.conftest import make_entry
+
+distributions = st.one_of(
+    st.integers(min_value=1, max_value=30).map(UniformK),
+    st.integers(min_value=0, max_value=10).map(DegenerateK),
+    st.tuples(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=1, max_value=30),
+    ).map(lambda t: TruncatedGeometric(*t)),
+)
+
+
+@given(distributions, st.integers(min_value=1, max_value=60), st.integers())
+@settings(max_examples=200, deadline=None)
+def test_output_is_miss_prefix_then_hits(dist, requests, seed):
+    """Algorithm 1's observable is always misses^j then hits — never a
+    miss after a hit (for one content, no eviction)."""
+    scheme = RandomCacheScheme(dist, rng=np.random.default_rng(seed % 2**32))
+    entry = make_entry()
+    scheme.on_insert(entry, private=True, now=0.0)
+    outputs = [
+        scheme.on_request(entry, private=True, now=0.0).kind is DecisionKind.HIT
+        for _ in range(requests)
+    ]
+    if True in outputs:
+        first_hit = outputs.index(True)
+        assert all(outputs[first_hit:])
+
+
+@given(distributions, st.integers())
+@settings(max_examples=200, deadline=None)
+def test_miss_count_equals_drawn_k(dist, seed):
+    """The number of post-insert misses is exactly the drawn k_C."""
+    scheme = RandomCacheScheme(dist, rng=np.random.default_rng(seed % 2**32))
+    entry = make_entry()
+    scheme.on_insert(entry, private=True, now=0.0)
+    drawn_k = scheme.group_state(entry.name).k
+    misses = 0
+    for _ in range(drawn_k + 5):
+        decision = scheme.on_request(entry, private=True, now=0.0)
+        if decision.kind is DecisionKind.DELAYED_HIT:
+            misses += 1
+    assert misses == drawn_k
+
+
+@given(distributions, st.integers())
+@settings(max_examples=100, deadline=None)
+def test_drawn_k_within_support(dist, seed):
+    scheme = RandomCacheScheme(dist, rng=np.random.default_rng(seed % 2**32))
+    entry = make_entry()
+    scheme.on_insert(entry, private=True, now=0.0)
+    k = scheme.group_state(entry.name).k
+    assert k >= 0
+    if dist.domain_size is not None:
+        assert k < dist.domain_size
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=40),
+    st.integers(),
+)
+@settings(max_examples=100, deadline=None)
+def test_disguised_delay_equals_fetch_delay(fetch_delay, requests, seed):
+    """Every disguised miss replays exactly γ_C — the property that makes
+    it indistinguishable from a genuine miss."""
+    scheme = RandomCacheScheme(
+        UniformK(10), rng=np.random.default_rng(seed % 2**32)
+    )
+    entry = make_entry(fetch_delay=float(fetch_delay))
+    scheme.on_insert(entry, private=True, now=0.0)
+    for _ in range(requests):
+        decision = scheme.on_request(entry, private=True, now=0.0)
+        if decision.kind is DecisionKind.DELAYED_HIT:
+            assert decision.delay == float(fetch_delay)
+
+
+@given(st.integers(min_value=1, max_value=50), st.integers())
+@settings(max_examples=100, deadline=None)
+def test_non_private_never_delayed(requests, seed):
+    scheme = RandomCacheScheme(
+        UniformK(10), rng=np.random.default_rng(seed % 2**32)
+    )
+    entry = make_entry(private=False)
+    scheme.on_insert(entry, private=False, now=0.0)
+    for _ in range(requests):
+        decision = scheme.on_request(entry, private=False, now=0.0)
+        assert decision.kind is DecisionKind.HIT

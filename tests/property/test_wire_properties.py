@@ -1,0 +1,64 @@
+"""Property-based round-trip tests for the TLV wire codec."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, Interest
+from repro.ndn.wire import decode_packet, encode_packet
+
+component = st.text(
+    alphabet=st.characters(blacklist_characters="/", min_codepoint=33,
+                           max_codepoint=0x2FFF),
+    min_size=1, max_size=20,
+)
+names = st.lists(component, min_size=0, max_size=6).map(Name)
+
+interests = st.builds(
+    Interest,
+    name=names,
+    nonce=st.integers(min_value=0, max_value=2**40),
+    scope=st.one_of(st.none(), st.integers(min_value=1, max_value=16)),
+    private=st.booleans(),
+    lifetime=st.integers(min_value=1, max_value=100_000).map(float),
+    hops=st.integers(min_value=1, max_value=32),
+)
+
+datas = st.builds(
+    Data,
+    name=names,
+    producer=st.text(min_size=0, max_size=30),
+    private=st.booleans(),
+    size=st.integers(min_value=0, max_value=2**24),
+    freshness=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=10**7).map(float)
+    ),
+    exact_match_only=st.booleans(),
+)
+
+
+@given(interests)
+@settings(max_examples=300, deadline=None)
+def test_interest_roundtrip(interest):
+    assert decode_packet(encode_packet(interest)) == interest
+
+
+@given(datas)
+@settings(max_examples=300, deadline=None)
+def test_data_roundtrip(data):
+    assert decode_packet(encode_packet(data)) == data
+
+
+@given(st.one_of(interests, datas))
+@settings(max_examples=200, deadline=None)
+def test_encoding_is_deterministic(packet):
+    assert encode_packet(packet) == encode_packet(packet)
+
+
+@given(names)
+@settings(max_examples=200, deadline=None)
+def test_wire_size_monotone_in_name_length(name):
+    short = Interest(name=name, nonce=1)
+    longer = Interest(name=name.append("xx"), nonce=1)
+    assert len(encode_packet(longer)) > len(encode_packet(short))

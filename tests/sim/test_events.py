@@ -1,0 +1,79 @@
+"""Unit tests for Event and Signal primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.errors import EventStateError
+from repro.sim.events import Event, EventState, Signal
+
+
+class TestEvent:
+    def test_new_event_is_pending(self, engine):
+        event = engine.schedule(1.0, lambda: None)
+        assert event.pending
+        assert event.state is EventState.PENDING
+
+    def test_fired_event_state(self, engine):
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert event.state is EventState.FIRED
+        assert not event.pending
+
+    def test_cancel_pending(self, engine):
+        event = engine.schedule(1.0, lambda: None)
+        event.cancel()
+        assert event.state is EventState.CANCELLED
+
+    def test_cancel_twice_is_noop(self, engine):
+        event = engine.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.state is EventState.CANCELLED
+
+    def test_cancel_fired_raises(self, engine):
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(EventStateError):
+            event.cancel()
+
+    def test_ordering_by_time_then_seq(self):
+        a = Event(1.0, 0, lambda: None)
+        b = Event(1.0, 1, lambda: None)
+        c = Event(0.5, 2, lambda: None)
+        assert c < a < b
+
+
+class TestSignal:
+    def test_trigger_resumes_waiters(self):
+        sig = Signal("s")
+        seen = []
+        sig.add_waiter(seen.append)
+        sig.add_waiter(seen.append)
+        sig.trigger("payload")
+        assert seen == ["payload", "payload"]
+
+    def test_waiter_added_after_trigger_resumes_immediately(self):
+        sig = Signal("s")
+        sig.trigger(42)
+        seen = []
+        sig.add_waiter(seen.append)
+        assert seen == [42]
+
+    def test_double_trigger_raises(self):
+        sig = Signal("s")
+        sig.trigger()
+        with pytest.raises(EventStateError):
+            sig.trigger()
+
+    def test_trigger_records_time(self):
+        sig = Signal("s")
+        sig.trigger("x", time=12.5)
+        assert sig.trigger_time == 12.5
+        assert sig.payload == "x"
+
+    def test_untriggered_state(self):
+        sig = Signal("s")
+        assert not sig.triggered
+        assert sig.payload is None

@@ -1,0 +1,77 @@
+"""Tests for workload parameter fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.fitting import TraceFit, fit_trace, fit_zipf_exponent
+from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
+from repro.workload.zipf import ZipfSampler
+
+
+class TestZipfFit:
+    @pytest.mark.parametrize("true_exponent", [0.5, 0.7, 1.0, 1.5])
+    def test_recovers_known_exponent(self, true_exponent, rng):
+        sampler = ZipfSampler(2000, true_exponent)
+        draws = sampler.sample(200_000, rng)
+        counts = np.bincount(draws, minlength=2000).astype(float)
+        counts = np.sort(counts)[::-1]
+        fitted = fit_zipf_exponent(counts)
+        assert fitted == pytest.approx(true_exponent, abs=0.05)
+
+    def test_uniform_counts_fit_zero(self):
+        counts = np.full(500, 100.0)
+        assert fit_zipf_exponent(counts) == pytest.approx(0.0, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(np.array([5.0]))
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(np.array([1.0, 5.0]))  # not descending
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(np.array([5.0, -1.0]))
+
+
+class TestTraceFit:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        config = IrcacheConfig(
+            requests=60_000, users=60, objects=40_000, sites=300,
+            popularity_exponent=0.8, seed=21,
+        )
+        return IrcacheGenerator(config).generate()
+
+    def test_recovers_generator_exponent(self, trace):
+        fit = fit_trace(trace)
+        assert fit.zipf_exponent == pytest.approx(0.8, abs=0.1)
+
+    def test_population_summary(self, trace):
+        fit = fit_trace(trace)
+        assert fit.requests == 60_000
+        assert fit.unique_users <= 60
+        assert fit.unique_objects == trace.unique_objects
+        assert 20 < fit.duration_hours <= 24.01
+
+    def test_to_config_roundtrip_hit_rate(self, trace):
+        """A config fitted from a trace must regenerate a workload with a
+        similar unlimited-cache hit rate — the quantity Figure 5 hinges
+        on."""
+        fit = fit_trace(trace)
+        regenerated = IrcacheGenerator(fit.to_config()).generate()
+        assert regenerated.max_hit_rate == pytest.approx(
+            trace.max_hit_rate, abs=0.08
+        )
+
+    def test_to_config_scaling(self, trace):
+        fit = fit_trace(trace)
+        half = fit.to_config(scale=0.5)
+        assert half.requests == 30_000
+        with pytest.raises(ValueError):
+            fit.to_config(scale=0.0)
+
+    def test_short_trace_rejected(self):
+        from repro.workload.trace import Trace
+
+        with pytest.raises(ValueError):
+            fit_trace(Trace())

@@ -1,0 +1,115 @@
+"""Unit tests for the synthetic IRCache trace generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.ircache import (
+    IrcacheConfig,
+    IrcacheGenerator,
+    small_test_trace,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_mirror_paper_scale(self):
+        cfg = IrcacheConfig()
+        assert cfg.users == 185           # the trace's user population
+        assert cfg.duration_hours == 24.0  # 24-hour capture
+        assert len(cfg.diurnal) == 24
+
+    @pytest.mark.parametrize("field,value", [
+        ("requests", 0),
+        ("users", 0),
+        ("objects", 0),
+        ("sites", 0),
+        ("duration_hours", 0.0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            IrcacheConfig(**{field: value})
+
+    def test_invalid_diurnal_rejected(self):
+        with pytest.raises(ValueError):
+            IrcacheConfig(diurnal=())
+        with pytest.raises(ValueError):
+            IrcacheConfig(diurnal=(0.5, -0.1))
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        config = IrcacheConfig(
+            requests=20_000, users=185, objects=30_000, sites=200, seed=1
+        )
+        return IrcacheGenerator(config).generate()
+
+    def test_request_count(self, trace):
+        assert len(trace) == 20_000
+
+    def test_sorted_by_time(self, trace):
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_within_duration(self, trace):
+        assert trace[0].time >= 0.0
+        assert trace[-1].time <= 24 * 3_600_000.0
+
+    def test_all_users_possible(self, trace):
+        assert trace.unique_users > 100  # heavy-tailed but broad
+
+    def test_names_have_site_object_structure(self, trace):
+        name = trace[0].name
+        assert len(name) == 2
+        assert name[0].startswith("s")
+        assert name[1].startswith("o")
+
+    def test_object_site_assignment_is_stable(self, trace):
+        """Every occurrence of an object maps to the same site."""
+        seen = {}
+        for request in trace:
+            site, obj = request.name[0], request.name[1]
+            assert seen.setdefault(obj, site) == site
+
+    def test_popularity_is_skewed(self, trace):
+        counts = sorted(trace.popularity().values(), reverse=True)
+        top_share = sum(counts[:100]) / len(trace)
+        assert top_share > 0.05  # head much hotter than uniform (100/30000)
+
+    def test_diurnal_profile_respected(self, trace):
+        """Night hours (0-5) must be much quieter than peak (9-11)."""
+        ms_per_hour = 3_600_000.0
+        night = sum(1 for r in trace if r.time < 6 * ms_per_hour)
+        peak = sum(
+            1 for r in trace if 9 * ms_per_hour <= r.time < 12 * ms_per_hour
+        )
+        assert peak > 3 * night
+
+    def test_reproducible(self):
+        cfg = IrcacheConfig(requests=500, objects=1000, sites=20, seed=9)
+        a = IrcacheGenerator(cfg).generate()
+        b = IrcacheGenerator(cfg).generate()
+        assert [(r.time, r.user, r.name) for r in a] == [
+            (r.time, r.user, r.name) for r in b
+        ]
+
+
+class TestCalibration:
+    def test_expected_hit_rate_close_to_realized(self):
+        cfg = IrcacheConfig(requests=30_000, objects=50_000, sites=300, seed=3)
+        gen = IrcacheGenerator(cfg)
+        trace = gen.generate()
+        assert trace.max_hit_rate == pytest.approx(
+            gen.expected_unlimited_hit_rate(), abs=0.02
+        )
+
+    def test_default_config_targets_paper_range(self):
+        """Figure 5's y-axis tops out near 50%: the default configuration
+        must land an unlimited-cache hit rate in that neighborhood."""
+        rate = IrcacheGenerator().expected_unlimited_hit_rate()
+        assert 0.40 < rate < 0.55
+
+    def test_small_test_trace_fast_path(self):
+        trace = small_test_trace(requests=2000, seed=0)
+        assert len(trace) == 2000
+        assert trace.unique_users <= 25

@@ -1,0 +1,67 @@
+"""Unit tests for trace privacy-marking rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.name import Name
+from repro.workload.marking import ContentMarking, NoMarking, RequestMarking
+
+
+def names(count):
+    return [Name.parse(f"/s{i % 50}/o{i}") for i in range(count)]
+
+
+class TestContentMarking:
+    def test_stable_per_content(self):
+        rule = ContentMarking(0.3)
+        name = Name.parse("/s1/o1")
+        decisions = {rule.is_private(name, i) for i in range(10)}
+        assert len(decisions) == 1  # same answer for every request
+
+    def test_fraction_approximated(self):
+        rule = ContentMarking(0.2)
+        marked = sum(rule.is_private(n, 0) for n in names(5000))
+        assert marked / 5000 == pytest.approx(0.2, abs=0.03)
+
+    def test_extremes(self):
+        assert not ContentMarking(0.0).is_private(Name.parse("/a"), 0)
+        assert ContentMarking(1.0).is_private(Name.parse("/a"), 0)
+
+    def test_salt_changes_division(self):
+        a = ContentMarking(0.5, salt=1)
+        b = ContentMarking(0.5, salt=2)
+        differing = sum(
+            a.is_private(n, 0) != b.is_private(n, 0) for n in names(500)
+        )
+        assert differing > 100
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            ContentMarking(1.5)
+        with pytest.raises(ValueError):
+            ContentMarking(-0.1)
+
+
+class TestRequestMarking:
+    def test_fraction_approximated(self):
+        rule = RequestMarking(0.4, seed=0)
+        name = Name.parse("/a")
+        marked = sum(rule.is_private(name, i) for i in range(5000))
+        assert marked / 5000 == pytest.approx(0.4, abs=0.03)
+
+    def test_same_content_varies_across_requests(self):
+        rule = RequestMarking(0.5, seed=0)
+        name = Name.parse("/a")
+        decisions = {rule.is_private(name, i) for i in range(50)}
+        assert decisions == {True, False}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            RequestMarking(2.0)
+
+
+class TestNoMarking:
+    def test_nothing_private(self):
+        rule = NoMarking()
+        assert not any(rule.is_private(n, 0) for n in names(100))

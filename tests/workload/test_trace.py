@@ -1,0 +1,96 @@
+"""Unit tests for trace records and TSV round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.name import Name
+from repro.workload.trace import Request, Trace
+
+
+def req(time, user, uri):
+    return Request(time=time, user=user, name=Name.parse(uri))
+
+
+class TestRequest:
+    def test_fields(self):
+        r = req(1.5, 3, "/s1/o1")
+        assert r.time == 1.5
+        assert r.user == 3
+        assert r.name == Name.parse("/s1/o1")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            req(-1.0, 0, "/a")
+
+    def test_negative_user_rejected(self):
+        with pytest.raises(ValueError):
+            req(0.0, -1, "/a")
+
+
+class TestTrace:
+    def test_append_and_len(self):
+        trace = Trace()
+        trace.append(req(0.0, 0, "/a"))
+        trace.append(req(1.0, 1, "/b"))
+        assert len(trace) == 2
+        assert trace[0].name == Name.parse("/a")
+
+    def test_sort(self):
+        trace = Trace([req(5.0, 0, "/b"), req(1.0, 0, "/a")])
+        trace.sort()
+        assert trace[0].time == 1.0
+
+    def test_statistics(self):
+        trace = Trace([
+            req(0.0, 0, "/a"),
+            req(1.0, 1, "/a"),
+            req(2.0, 0, "/b"),
+            req(9.0, 2, "/c"),
+        ])
+        assert trace.unique_objects == 3
+        assert trace.unique_users == 3
+        assert trace.duration == 9.0
+        assert trace.popularity()[Name.parse("/a")] == 2
+
+    def test_max_hit_rate(self):
+        trace = Trace([req(float(i), 0, "/a") for i in range(4)])
+        assert trace.max_hit_rate == pytest.approx(0.75)
+
+    def test_empty_trace_statistics(self):
+        trace = Trace()
+        assert trace.max_hit_rate == 0.0
+        assert trace.duration == 0.0
+
+    def test_head(self):
+        trace = Trace([req(float(i), 0, f"/o/{i}") for i in range(10)])
+        assert len(trace.head(3)) == 3
+        with pytest.raises(ValueError):
+            trace.head(-1)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace([
+            req(0.5, 0, "/s1/o1"),
+            req(1.25, 184, "/s2/o9"),
+        ])
+        path = tmp_path / "trace.tsv"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == 2
+        assert loaded[1].user == 184
+        assert loaded[1].name == Name.parse("/s2/o9")
+        assert loaded[0].time == pytest.approx(0.5)
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.tsv"
+        path.write_text("# header\n\n1.0\t3\t/a/b\n")
+        loaded = Trace.load(path)
+        assert len(loaded) == 1
+
+    def test_load_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1.0\t3\n")
+        with pytest.raises(ValueError, match="expected 3"):
+            Trace.load(path)

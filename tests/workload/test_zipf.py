@@ -1,0 +1,86 @@
+"""Unit tests for the Zipf popularity sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.zipf import ZipfSampler
+
+
+class TestPmf:
+    def test_normalized(self):
+        sampler = ZipfSampler(100, 0.8)
+        assert sum(sampler.pmf(r) for r in range(100)) == pytest.approx(1.0)
+
+    def test_rank_zero_most_popular(self):
+        sampler = ZipfSampler(100, 0.8)
+        pmfs = [sampler.pmf(r) for r in range(100)]
+        assert all(a >= b for a, b in zip(pmfs, pmfs[1:]))
+
+    def test_power_law_ratio(self):
+        sampler = ZipfSampler(1000, 1.0)
+        assert sampler.pmf(0) / sampler.pmf(9) == pytest.approx(10.0)
+
+    def test_out_of_range_zero(self):
+        sampler = ZipfSampler(10, 1.0)
+        assert sampler.pmf(-1) == 0.0
+        assert sampler.pmf(10) == 0.0
+
+    def test_zero_exponent_is_uniform(self):
+        sampler = ZipfSampler(50, 0.0)
+        assert sampler.pmf(0) == pytest.approx(1 / 50)
+        assert sampler.pmf(49) == pytest.approx(1 / 50)
+
+
+class TestSampling:
+    def test_samples_in_range(self, rng):
+        sampler = ZipfSampler(20, 0.8)
+        samples = sampler.sample(5000, rng)
+        assert samples.min() >= 0
+        assert samples.max() < 20
+
+    def test_empirical_matches_pmf(self, rng):
+        sampler = ZipfSampler(10, 1.0)
+        samples = sampler.sample(100_000, rng)
+        for r in range(10):
+            assert np.mean(samples == r) == pytest.approx(sampler.pmf(r), abs=0.01)
+
+    def test_zero_count(self, rng):
+        assert ZipfSampler(5, 1.0).sample(0, rng).size == 0
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ZipfSampler(5, 1.0).sample(-1, rng)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -0.1)
+
+
+class TestExpectedUnique:
+    def test_matches_simulation(self, rng):
+        sampler = ZipfSampler(200, 0.8)
+        analytic = sampler.expected_unique(500)
+        uniques = []
+        for _ in range(60):
+            uniques.append(len(np.unique(sampler.sample(500, rng))))
+        assert np.mean(uniques) == pytest.approx(analytic, rel=0.03)
+
+    def test_zero_requests(self):
+        assert ZipfSampler(10, 1.0).expected_unique(0) == pytest.approx(0.0)
+
+    def test_bounded_by_population(self):
+        sampler = ZipfSampler(50, 0.5)
+        assert sampler.expected_unique(10_000) <= 50.0
+
+    def test_monotone_in_requests(self):
+        sampler = ZipfSampler(100, 0.9)
+        values = [sampler.expected_unique(t) for t in (10, 100, 1000)]
+        assert values[0] < values[1] < values[2]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, 1.0).expected_unique(-1)
