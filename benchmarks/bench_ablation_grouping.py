@@ -92,9 +92,9 @@ def test_grouping_utility_on_correlated_workload(benchmark):
     Random-Cache at comparable domain sizes."""
     from repro.core.schemes.exponential import ExponentialRandomCache
     from repro.core.schemes.grouping import NamespaceGrouping
+    from repro.workload.fast_replay import fast_replay as replay
     from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
     from repro.workload.marking import ContentMarking
-    from repro.workload.replay import replay
 
     def sweep():
         trace = IrcacheGenerator(IrcacheConfig(

@@ -6,6 +6,9 @@ turns that refresh off, so only *observable* hits update LRU recency, and
 measures the hit-rate impact: without the refresh, popular private
 content ages out of small caches while it is still serving disguised
 misses, losing hits it would eventually have earned.
+
+The (scheme × size × refresh) grid runs through
+:func:`repro.perf.parallel.run_replay_sweep` on the fast-replay kernel.
 """
 
 from __future__ import annotations
@@ -13,40 +16,43 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.tables import format_table
-from repro.core.schemes.always_delay import AlwaysDelayScheme
-from repro.core.schemes.exponential import ExponentialRandomCache
+from repro.perf.parallel import ReplaySpec, run_replay_sweep
 from repro.workload.marking import ContentMarking
-from repro.workload.replay import replay
 
 SIZES = (2000, 8000, 32000)
+SCHEMES = (
+    ("exponential", {"k": 5, "epsilon": 0.005, "delta": 0.01}),
+    ("always-delay", {}),
+)
 
 
 def test_delayed_hit_refresh_ablation(benchmark, ircache_trace):
+    specs = [
+        ReplaySpec(
+            scheme=name,
+            scheme_params=params,
+            cache_size=size,
+            marking=ContentMarking(0.4),
+            refresh_delayed_hits=refresh,
+            label=name,
+        )
+        for name, params in SCHEMES
+        for size in SIZES
+        for refresh in (True, False)
+    ]
+
     def sweep():
+        stats = run_replay_sweep(specs, trace=ircache_trace)
         rows = []
-        for label, scheme_factory in (
-            ("exponential", lambda: ExponentialRandomCache.for_privacy_target(
-                k=5, epsilon=0.005, delta=0.01)),
-            ("always-delay", AlwaysDelayScheme),
-        ):
-            for size in SIZES:
-                with_refresh = replay(
-                    ircache_trace, scheme=scheme_factory(),
-                    marking=ContentMarking(0.4), cache_size=size,
-                    refresh_delayed_hits=True,
-                )
-                without = replay(
-                    ircache_trace, scheme=scheme_factory(),
-                    marking=ContentMarking(0.4), cache_size=size,
-                    refresh_delayed_hits=False,
-                )
-                rows.append([
-                    label, size,
-                    100 * with_refresh.bandwidth_hit_rate,
-                    100 * without.bandwidth_hit_rate,
-                    100 * with_refresh.hit_rate,
-                    100 * without.hit_rate,
-                ])
+        for i in range(0, len(stats), 2):
+            with_refresh, without = stats[i], stats[i + 1]
+            rows.append([
+                specs[i].label, specs[i].cache_size,
+                100 * with_refresh.bandwidth_hit_rate,
+                100 * without.bandwidth_hit_rate,
+                100 * with_refresh.hit_rate,
+                100 * without.hit_rate,
+            ])
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)

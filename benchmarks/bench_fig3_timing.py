@@ -18,6 +18,12 @@ import pytest
 from benchmarks.conftest import BENCH_OBJECTS, BENCH_TRIALS
 from repro.analysis.experiments import run_fig3
 
+#: The tight success-probability bands assume the default sample budget;
+#: the histogram estimators are biased at CI-smoke scale
+#: (REPRO_BENCH_TRIALS=2 — see the 3(c) note in EXPERIMENTS.md), so the
+#: smoke keeps only the scale-robust shape assertions.
+FULL_SCALE = BENCH_OBJECTS * BENCH_TRIALS >= 240
+
 
 def _run_panel(benchmark, setting, objects, trials):
     result = benchmark.pedantic(
@@ -49,7 +55,8 @@ def test_fig3c_wan_producer(benchmark):
         benchmark, "fig3c_wan_producer", BENCH_OBJECTS, BENCH_TRIALS
     )
     # Paper: 59% single-probe success; a weak but usable oracle.
-    assert 0.52 < result.bayes_success < 0.75
+    if FULL_SCALE:
+        assert 0.52 < result.bayes_success < 0.75
     assert result.miss_mean > result.hit_mean
 
 
@@ -121,6 +128,9 @@ def test_fig3_classifier_comparison(benchmark):
         print(f"  {label:<10} {score:.4f}")
     # Both practical classifiers land in the weak-probe band and within a
     # few points of the (binning-noise-inflated) ceiling estimate.
-    assert 0.5 < scores["threshold"] < 0.75
-    assert 0.5 < scores["likelihood"] < 0.75
-    assert abs(scores["likelihood"] - scores["threshold"]) < 0.08
+    if FULL_SCALE:
+        assert 0.5 < scores["threshold"] < 0.75
+        assert 0.5 < scores["likelihood"] < 0.75
+        assert abs(scores["likelihood"] - scores["threshold"]) < 0.08
+    for score in scores.values():
+        assert 0.0 <= score <= 1.0

@@ -24,14 +24,11 @@ from repro.core.privacy.utility import (
     exponential_utility,
     uniform_utility,
 )
-from repro.core.schemes.always_delay import AlwaysDelayScheme
 from repro.core.schemes.base import CacheScheme
-from repro.core.schemes.exponential import ExponentialRandomCache
-from repro.core.schemes.no_privacy import NoPrivacyScheme
-from repro.core.schemes.uniform import UniformRandomCache
 from repro.ndn import topology
+from repro.perf.parallel import ReplaySpec, build_scheme, run_replay_sweep
 from repro.workload.marking import ContentMarking
-from repro.workload.replay import ReplayStats, replay
+from repro.workload.replay import ReplayStats
 from repro.workload.trace import Trace
 
 import numpy as np
@@ -240,16 +237,7 @@ FIG5_CACHE_SIZES: Tuple[Optional[int], ...] = (2000, 4000, 8000, 16000, 32000, N
 def _scheme_factory(
     name: str, k: int, epsilon: float, delta: float, seed: int
 ) -> CacheScheme:
-    rng = np.random.default_rng(seed)
-    if name == "no-privacy":
-        return NoPrivacyScheme()
-    if name == "always-delay":
-        return AlwaysDelayScheme()
-    if name == "uniform":
-        return UniformRandomCache.for_privacy_target(k, delta, rng=rng)
-    if name == "exponential":
-        return ExponentialRandomCache.for_privacy_target(k, epsilon, delta, rng=rng)
-    raise ValueError(f"unknown scheme {name!r}")
+    return build_scheme(name, seed=seed, k=k, epsilon=epsilon, delta=delta)
 
 
 @dataclass
@@ -275,14 +263,21 @@ def run_fig5a(
     delta: float = 0.01,
     private_fraction: float = 0.2,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
     """Figure 5(a): hit rate vs cache size for the four algorithms.
 
     The paper fixes k = 5 and ε = 0.005 but does not state δ; we use
     δ = 0.01 (the smallest round value ≥ the exponential scheme's floor
     1 − e^(−ε) ≈ 0.005) and record the choice in EXPERIMENTS.md.
+
+    The (scheme × size) grid runs through
+    :func:`repro.perf.parallel.run_replay_sweep`; ``workers`` (default:
+    ``REPRO_WORKERS`` / CPU count) never changes the numbers.
     """
     marking = ContentMarking(private_fraction, salt=seed)
+    params = {"k": k, "epsilon": epsilon, "delta": delta}
+    scheme_names = ("no-privacy", "exponential", "uniform", "always-delay")
     result = Fig5Result(
         title=(
             f"Figure 5(a) — cache hit rate (%) vs cache size; k={k}, "
@@ -290,16 +285,22 @@ def run_fig5a(
         ),
         cache_sizes=tuple(cache_sizes),
     )
-    for scheme_name in ("no-privacy", "exponential", "uniform", "always-delay"):
-        rates = []
-        for size in cache_sizes:
-            scheme = _scheme_factory(scheme_name, k, epsilon, delta, seed)
-            stats = replay(
-                trace, scheme=scheme, marking=marking, cache_size=size, seed=seed
-            )
-            result.stats[(scheme_name, size)] = stats
-            rates.append(100.0 * stats.hit_rate)
-        result.hit_rates[scheme_name] = rates
+    specs = [
+        ReplaySpec(
+            scheme=name,
+            scheme_params=params,
+            cache_size=size,
+            marking=marking,
+            seed=seed,
+            label=name,
+        )
+        for name in scheme_names
+        for size in cache_sizes
+    ]
+    sweep = run_replay_sweep(specs, trace=trace, workers=workers)
+    for spec, stats in zip(specs, sweep):
+        result.stats[(spec.label, spec.cache_size)] = stats
+        result.hit_rates.setdefault(spec.label, []).append(100.0 * stats.hit_rate)
     return result
 
 
@@ -311,8 +312,10 @@ def run_fig5b(
     delta: float = 0.01,
     private_fractions: Sequence[float] = (0.05, 0.10, 0.20, 0.40),
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
     """Figure 5(b): Exponential-Random-Cache under varying private share."""
+    params = {"k": k, "epsilon": epsilon, "delta": delta}
     result = Fig5Result(
         title=(
             f"Figure 5(b) — Exponential-Random-Cache hit rate (%) vs cache "
@@ -320,18 +323,22 @@ def run_fig5b(
         ),
         cache_sizes=tuple(cache_sizes),
     )
-    for fraction in private_fractions:
-        marking = ContentMarking(fraction, salt=seed)
-        label = f"{fraction:.0%} private"
-        rates = []
-        for size in cache_sizes:
-            scheme = _scheme_factory("exponential", k, epsilon, delta, seed)
-            stats = replay(
-                trace, scheme=scheme, marking=marking, cache_size=size, seed=seed
-            )
-            result.stats[(label, size)] = stats
-            rates.append(100.0 * stats.hit_rate)
-        result.hit_rates[label] = rates
+    specs = [
+        ReplaySpec(
+            scheme="exponential",
+            scheme_params=params,
+            cache_size=size,
+            marking=ContentMarking(fraction, salt=seed),
+            seed=seed,
+            label=f"{fraction:.0%} private",
+        )
+        for fraction in private_fractions
+        for size in cache_sizes
+    ]
+    sweep = run_replay_sweep(specs, trace=trace, workers=workers)
+    for spec, stats in zip(specs, sweep):
+        result.stats[(spec.label, spec.cache_size)] = stats
+        result.hit_rates.setdefault(spec.label, []).append(100.0 * stats.hit_rate)
     return result
 
 

@@ -10,13 +10,20 @@ of caching for private traffic (the Figure 5 lower bound).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.core.schemes.base import CacheScheme, Decision
+from repro.core.schemes.base import (
+    FAST_DELAYED,
+    CacheScheme,
+    Decision,
+    SchemeKernel,
+    _ConstantKernel,
+)
 from repro.core.schemes.delay_policies import ContentSpecificDelay, DelayPolicy
 
 if TYPE_CHECKING:  # avoid a runtime core->ndn import cycle
     from repro.ndn.cs import CacheEntry
+    from repro.ndn.name import Name
 
 
 class AlwaysDelayScheme(CacheScheme):
@@ -31,3 +38,8 @@ class AlwaysDelayScheme(CacheScheme):
 
     def decide_private(self, entry: CacheEntry, now: float) -> Decision:
         return Decision.delayed(self.delay_policy.delay_for(entry, now))
+
+    def make_kernel(self, names: Sequence[Name]) -> Optional[SchemeKernel]:
+        # Replay accounting depends only on the decision *kind*; the
+        # artificial delay amount is charged by the replay loop itself.
+        return _ConstantKernel(FAST_DELAYED)

@@ -26,10 +26,11 @@ import abc
 import enum
 from dataclasses import dataclass
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Sequence
 
 if TYPE_CHECKING:  # avoid a runtime core->ndn import cycle
     from repro.ndn.cs import CacheEntry
+    from repro.ndn.name import Name
 
 
 class DecisionKind(enum.Enum):
@@ -70,6 +71,72 @@ class Decision:
         return self.kind is DecisionKind.HIT
 
 
+#: Integer decision codes used by the fast-replay kernels.  They mirror
+#: :class:`DecisionKind` but avoid constructing a :class:`Decision` object
+#: per request on the hot path.
+FAST_HIT = 0
+FAST_DELAYED = 1
+FAST_MISS = 2
+
+#: DecisionKind -> fast integer code (for generic fallbacks).
+FAST_CODE = {
+    DecisionKind.HIT: FAST_HIT,
+    DecisionKind.DELAYED_HIT: FAST_DELAYED,
+    DecisionKind.MISS: FAST_MISS,
+}
+
+
+class SchemeKernel(abc.ABC):
+    """Int-keyed counterpart of a :class:`CacheScheme` for fast replay.
+
+    A kernel sees content as dense integer ids (the interned trace
+    vocabulary of :mod:`repro.workload.compiled`) instead of
+    :class:`~repro.ndn.cs.CacheEntry` objects.  It must make *exactly* the
+    decisions its scheme would make on the reference replay path —
+    including consuming the scheme's RNG in the same order — so that
+    :func:`repro.workload.fast_replay.fast_replay` is bit-identical to
+    :func:`repro.workload.replay.replay`.
+
+    Lifecycle calls mirror the reference path: ``on_insert`` on every
+    cache insert, ``decide_private`` for each request whose *effective*
+    privacy is True, ``on_evict`` when the content leaves the cache.
+    Non-private requests for cached content are always observable hits
+    (the base :meth:`CacheScheme.on_request` contract), so the replay
+    loop never consults the kernel for them.
+    """
+
+    @abc.abstractmethod
+    def on_insert(self, content_id: int, private: bool) -> None:
+        """Content ``content_id`` entered the cache."""
+
+    @abc.abstractmethod
+    def decide_private(self, content_id: int) -> int:
+        """Decision code (FAST_HIT/FAST_DELAYED/FAST_MISS) for a
+        privacy-sensitive request matching cached ``content_id``."""
+
+    @abc.abstractmethod
+    def on_evict(self, content_id: int) -> None:
+        """Content ``content_id`` left the cache."""
+
+
+class _ConstantKernel(SchemeKernel):
+    """Kernel for stateless schemes that always answer the same decision."""
+
+    __slots__ = ("_code",)
+
+    def __init__(self, code: int) -> None:
+        self._code = code
+
+    def on_insert(self, content_id: int, private: bool) -> None:
+        pass
+
+    def decide_private(self, content_id: int) -> int:
+        return self._code
+
+    def on_evict(self, content_id: int) -> None:
+        pass
+
+
 class CacheScheme(abc.ABC):
     """Base class for all cache-privacy countermeasures.
 
@@ -105,6 +172,17 @@ class CacheScheme(abc.ABC):
 
     def reset(self) -> None:
         """Drop all scheme state (between experiment trials)."""
+
+    def make_kernel(self, names: Sequence[Name]) -> Optional[SchemeKernel]:
+        """Build an int-keyed fast-replay kernel, or None if unsupported.
+
+        ``names`` is the interned trace vocabulary: ``names[content_id]``
+        is the :class:`~repro.ndn.name.Name` for each dense content id
+        (kernels that group correlated content need it once, up front).
+        Returning None makes fast replay fall back to a per-entry shim
+        that drives the ordinary :meth:`on_request` path.
+        """
+        return None
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -7,11 +7,18 @@ Figure 5.
 
 from __future__ import annotations
 
-from repro.core.schemes.base import CacheScheme, Decision
-from typing import TYPE_CHECKING
+from repro.core.schemes.base import (
+    FAST_HIT,
+    CacheScheme,
+    Decision,
+    SchemeKernel,
+    _ConstantKernel,
+)
+from typing import TYPE_CHECKING, Optional, Sequence
 
 if TYPE_CHECKING:  # avoid a runtime core->ndn import cycle
     from repro.ndn.cs import CacheEntry
+    from repro.ndn.name import Name
 
 
 class NoPrivacyScheme(CacheScheme):
@@ -24,3 +31,6 @@ class NoPrivacyScheme(CacheScheme):
 
     def decide_private(self, entry: CacheEntry, now: float) -> Decision:
         return Decision.hit()
+
+    def make_kernel(self, names: Sequence[Name]) -> Optional[SchemeKernel]:
+        return _ConstantKernel(FAST_HIT)

@@ -20,17 +20,24 @@ Uniform-Random-Cache and Exponential-Random-Cache are thin instantiations
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Hashable, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.privacy.distributions import FirstHitDistribution
-from repro.core.schemes.base import CacheScheme, Decision
+from repro.core.schemes.base import (
+    FAST_DELAYED,
+    FAST_HIT,
+    CacheScheme,
+    Decision,
+    SchemeKernel,
+)
 from repro.core.schemes.delay_policies import ContentSpecificDelay, DelayPolicy
 from repro.core.schemes.grouping import GroupingFunction, NoGrouping
 
 if TYPE_CHECKING:  # avoid a runtime core->ndn import cycle
     from repro.ndn.cs import CacheEntry
+    from repro.ndn.name import Name
 
 
 @dataclass
@@ -40,6 +47,78 @@ class _GroupState:
     k: int
     c: int = 0
     members: int = 0
+
+
+class _RandomCacheKernel(SchemeKernel):
+    """Int-keyed Algorithm 1 state over a precomputed content->group map.
+
+    Group keys (names under :class:`NoGrouping`, prefixes or content ids
+    otherwise) are interned to dense group ids once at construction; the
+    per-request path is then pure list indexing.  k_C draws consume the
+    scheme's own RNG at exactly the reference call sites (first private
+    membership of an inactive group), keeping the decision stream
+    bit-identical to :meth:`RandomCacheScheme.on_insert` /
+    :meth:`~RandomCacheScheme.decide_private`.
+    """
+
+    __slots__ = ("_scheme", "_gid_of", "_k", "_c", "_members", "_active",
+                 "_member_gid")
+
+    def __init__(self, scheme: "RandomCacheScheme", names: Sequence[Name]) -> None:
+        self._scheme = scheme
+        n = len(names)
+        if isinstance(scheme.grouping, NoGrouping):
+            # Every content id is its own group: the identity map.
+            gid_of = list(range(n))
+            groups = n
+        else:
+            interned: Dict[Hashable, int] = {}
+            gid_of = [
+                interned.setdefault(scheme.grouping.group_of(name), len(interned))
+                for name in names
+            ]
+            groups = len(interned)
+        self._gid_of: List[int] = gid_of
+        self._k = [0] * groups
+        self._c = [0] * groups
+        self._members = [0] * groups
+        self._active = [False] * groups
+        #: Per-content group membership (-1 = none), mirroring the
+        #: ``random_cache_group`` entry scheme-state of the reference path.
+        self._member_gid = [-1] * n
+
+    def on_insert(self, content_id: int, private: bool) -> None:
+        if not private:
+            return
+        gid = self._gid_of[content_id]
+        if not self._active[gid]:
+            self._active[gid] = True
+            self._k[gid] = self._scheme.distribution.sample(self._scheme.rng)
+            self._c[gid] = 0
+            self._members[gid] = 0
+        self._members[gid] += 1
+        self._member_gid[content_id] = gid
+
+    def decide_private(self, content_id: int) -> int:
+        gid = self._member_gid[content_id]
+        if gid < 0:
+            # Entry became private after a non-private insert (mirrors the
+            # adoption branch of the reference decide_private).
+            self.on_insert(content_id, True)
+            gid = self._member_gid[content_id]
+        c = self._c[gid] + 1
+        self._c[gid] = c
+        return FAST_DELAYED if c <= self._k[gid] else FAST_HIT
+
+    def on_evict(self, content_id: int) -> None:
+        gid = self._member_gid[content_id]
+        if gid < 0:
+            return
+        self._member_gid[content_id] = -1
+        members = self._members[gid] - 1
+        self._members[gid] = members
+        if members <= 0:
+            self._active[gid] = False
 
 
 class RandomCacheScheme(CacheScheme):
@@ -105,6 +184,9 @@ class RandomCacheScheme(CacheScheme):
 
     def reset(self) -> None:
         self._groups.clear()
+
+    def make_kernel(self, names: Sequence[Name]) -> Optional[SchemeKernel]:
+        return _RandomCacheKernel(self, names)
 
     # ------------------------------------------------------------------
     # Introspection (used by tests and the privacy oracle)

@@ -1,0 +1,302 @@
+"""Parallel sweep runner for trace-replay experiment grids.
+
+Every evaluation figure replays the same trace once per (scheme,
+cache-size, trial) point; the points are embarrassingly parallel.  This
+module fans them across a :class:`~concurrent.futures.ProcessPoolExecutor`
+while keeping results **independent of the worker count**:
+
+* each sweep point is a picklable :class:`ReplaySpec` carrying its own
+  seed; trial seeds come from :func:`derive_seeds`
+  (``np.random.SeedSequence.spawn``), so the RNG stream of a point never
+  depends on which worker ran it or in what order,
+* results are collected in spec order (``Executor.map``),
+* workers obtain the trace from an on-disk cache keyed by the
+  :class:`~repro.workload.ircache.IrcacheConfig` hash (or by content hash
+  for ad-hoc traces) instead of regenerating or unpickling ~10⁵ request
+  objects per task,
+* the serial fallback (``REPRO_WORKERS=1``, or a single spec) round-trips
+  each spec through pickle so scheme/marking state is isolated exactly as
+  process transport would isolate it — bit-identical to any worker count.
+
+Environment knobs:
+
+* ``REPRO_WORKERS`` — worker-process count (default: CPU count; ``1``
+  forces the in-process serial path),
+* ``REPRO_TRACE_CACHE`` — trace cache directory (default:
+  ``~/.cache/repro/traces``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.core.schemes.base import CacheScheme
+from repro.core.schemes.exponential import ExponentialRandomCache
+from repro.core.schemes.naive_threshold import NaiveThresholdScheme
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.core.schemes.uniform import UniformRandomCache
+from repro.workload.fast_replay import fast_replay
+from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
+from repro.workload.marking import MarkingRule
+from repro.workload.replay import ReplayStats, replay
+from repro.workload.trace import Trace
+
+ENV_WORKERS = "REPRO_WORKERS"
+ENV_TRACE_CACHE = "REPRO_TRACE_CACHE"
+
+
+# ======================================================================
+# Scheme registry (picklable sweep points reference schemes by name)
+# ======================================================================
+def _build_no_privacy(rng: np.random.Generator, **_: object) -> CacheScheme:
+    return NoPrivacyScheme()
+
+
+def _build_always_delay(rng: np.random.Generator, **_: object) -> CacheScheme:
+    return AlwaysDelayScheme()
+
+
+def _build_uniform(
+    rng: np.random.Generator, *, k: int = 5, delta: float = 0.01, **_: object
+) -> CacheScheme:
+    return UniformRandomCache.for_privacy_target(k, delta, rng=rng)
+
+
+def _build_exponential(
+    rng: np.random.Generator,
+    *,
+    k: int = 5,
+    epsilon: float = 0.005,
+    delta: float = 0.01,
+    **_: object,
+) -> CacheScheme:
+    return ExponentialRandomCache.for_privacy_target(k, epsilon, delta, rng=rng)
+
+
+def _build_naive_threshold(
+    rng: np.random.Generator, *, k: int = 5, **_: object
+) -> CacheScheme:
+    return NaiveThresholdScheme(k, rng=rng)
+
+
+SCHEME_BUILDERS: Dict[str, Callable[..., CacheScheme]] = {
+    "no-privacy": _build_no_privacy,
+    "always-delay": _build_always_delay,
+    "uniform": _build_uniform,
+    "exponential": _build_exponential,
+    "naive-threshold": _build_naive_threshold,
+}
+
+
+def build_scheme(name: str, seed: int = 0, **params: object) -> CacheScheme:
+    """Build a scheme by registry name with an RNG seeded from ``seed``."""
+    try:
+        builder = SCHEME_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEME_BUILDERS)}"
+        ) from None
+    return builder(np.random.default_rng(seed), **params)
+
+
+# ======================================================================
+# Sweep points
+# ======================================================================
+@dataclass(frozen=True)
+class ReplaySpec:
+    """One sweep point: everything one replay task needs, picklable.
+
+    ``scheme`` is either a registry name (built in the worker with an RNG
+    seeded from ``seed`` — the recommended form) or a ready
+    :class:`CacheScheme` instance (pickled to the worker; its RNG state
+    travels with it).
+    """
+
+    scheme: Union[str, CacheScheme]
+    scheme_params: Mapping[str, object] = field(default_factory=dict)
+    cache_size: Optional[int] = None
+    marking: Optional[MarkingRule] = None
+    policy: str = "lru"
+    fetch_delay: float = 100.0
+    seed: int = 0
+    refresh_delayed_hits: bool = True
+    #: Free-form tag echoed back with results (e.g. a figure-series key).
+    label: str = ""
+
+
+def derive_seeds(base_seed: int, count: int) -> List[int]:
+    """``count`` statistically independent task seeds from one base seed.
+
+    Uses ``np.random.SeedSequence.spawn`` so the seeds are stable across
+    runs, platforms, and worker counts.
+    """
+    children = np.random.SeedSequence(base_seed).spawn(count)
+    return [int(child.generate_state(1, np.uint32)[0]) for child in children]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg, else ``REPRO_WORKERS``, else
+    the CPU count."""
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS)
+        workers = int(env) if env else (os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+# ======================================================================
+# On-disk trace cache
+# ======================================================================
+def trace_cache_dir() -> Path:
+    """The trace cache directory (created on first use)."""
+    env = os.environ.get(ENV_TRACE_CACHE)
+    if env:
+        root = Path(env)
+    else:
+        root = Path.home() / ".cache" / "repro" / "traces"
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def _config_key(config: IrcacheConfig) -> str:
+    payload = repr(
+        sorted((name, getattr(config, name)) for name in config.__dataclass_fields__)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _atomic_write(path: Path, writer: Callable[[Path], None]) -> None:
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        writer(tmp)
+        tmp.replace(path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def ensure_trace_cached(config: IrcacheConfig) -> Path:
+    """Generate-or-reuse the trace for ``config``; returns the TSV path.
+
+    Keyed by a hash of the config fields, so workers (and later runs of
+    the same sweep) load the trace instead of regenerating it.
+    """
+    path = trace_cache_dir() / f"ircache-{_config_key(config)}.tsv"
+    if not path.exists():
+        trace = IrcacheGenerator(config).generate()
+        _atomic_write(path, trace.save)
+    return path
+
+
+def _cache_trace_object(trace: Trace) -> Path:
+    """Persist an ad-hoc trace under its content hash; returns the path."""
+    lines = [
+        f"{request.time:.3f}\t{request.user}\t{request.name}\n" for request in trace
+    ]
+    payload = "".join(lines).encode("utf-8")
+    key = hashlib.sha256(payload).hexdigest()[:16]
+    path = trace_cache_dir() / f"trace-{key}.tsv"
+    if not path.exists():
+        _atomic_write(path, lambda tmp: tmp.write_bytes(payload))
+    return path
+
+
+#: Per-process memo of loaded (and compiled) traces, so each worker pays
+#: the parse + intern cost once per trace, not once per task.
+_PROCESS_TRACES: Dict[str, Trace] = {}
+
+
+def _load_trace(path: str) -> Trace:
+    trace = _PROCESS_TRACES.get(path)
+    if trace is None:
+        trace = Trace.load(path)
+        trace.compile()
+        _PROCESS_TRACES[path] = trace
+    return trace
+
+
+# ======================================================================
+# Execution
+# ======================================================================
+def _execute(trace: Trace, spec: ReplaySpec, engine: str) -> ReplayStats:
+    scheme = spec.scheme
+    if isinstance(scheme, str):
+        scheme = build_scheme(scheme, seed=spec.seed, **dict(spec.scheme_params))
+    run = fast_replay if engine == "fast" else replay
+    return run(
+        trace,
+        scheme=scheme,
+        marking=spec.marking,
+        cache_size=spec.cache_size,
+        policy=spec.policy,
+        fetch_delay=spec.fetch_delay,
+        seed=spec.seed,
+        refresh_delayed_hits=spec.refresh_delayed_hits,
+    )
+
+
+def _worker_run(args: tuple) -> ReplayStats:
+    trace_path, spec, engine = args
+    return _execute(_load_trace(trace_path), spec, engine)
+
+
+def run_replay_sweep(
+    specs: Iterable[ReplaySpec],
+    trace: Optional[Trace] = None,
+    trace_config: Optional[IrcacheConfig] = None,
+    workers: Optional[int] = None,
+    engine: str = "fast",
+) -> List[ReplayStats]:
+    """Run every sweep point; results in spec order.
+
+    Exactly one of ``trace`` / ``trace_config`` supplies the workload.
+    With ``trace_config`` the workload is materialized through the
+    on-disk cache; a raw ``trace`` is persisted there (content-addressed)
+    only when worker processes actually need to load it.
+
+    ``engine`` selects the replay implementation: ``"fast"`` (default,
+    the interned kernel with reference fallback) or ``"reference"``.
+    Results are bit-identical either way — and independent of
+    ``workers``, because every spec carries its own seed and schemes are
+    isolated per task (pickle round-trip in the serial path, process
+    transport otherwise).
+    """
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"engine must be 'fast' or 'reference', got {engine!r}")
+    if (trace is None) == (trace_config is None):
+        raise ValueError("provide exactly one of trace= or trace_config=")
+    spec_list = list(specs)
+    if not spec_list:
+        return []
+    workers = min(resolve_workers(workers), len(spec_list))
+
+    if workers <= 1:
+        if trace is None:
+            trace = _load_trace(str(ensure_trace_cached(trace_config)))
+        # Pickle round-trip each spec so scheme/marking RNG state is
+        # isolated exactly as process transport isolates it.
+        return [
+            _execute(trace, pickle.loads(pickle.dumps(spec)), engine)
+            for spec in spec_list
+        ]
+
+    if trace_config is not None:
+        path = ensure_trace_cached(trace_config)
+    else:
+        path = _cache_trace_object(trace)
+    tasks = [(str(path), spec, engine) for spec in spec_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_worker_run, tasks))

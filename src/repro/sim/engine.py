@@ -33,6 +33,9 @@ class Engine:
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        # Live (PENDING) events in the queue, maintained on schedule /
+        # cancel / fire so pending_count stays O(1).
+        self._pending = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -79,9 +82,14 @@ class Engine:
                 f"cannot schedule at t={time} (now={self._now}): time moves forward"
             )
         event = Event(time, self._seq, callback, args, label=label)
+        event.on_cancel = self._note_cancel
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
+
+    def _note_cancel(self) -> None:
+        self._pending -= 1
 
     def spawn(
         self, generator: Generator, label: str = ""
@@ -117,54 +125,59 @@ class Engine:
         self._running = True
         executed = 0
         try:
-            while self._queue:
+            while True:
+                self._purge_cancelled()
+                if not self._queue:
+                    # Queue drained; if a horizon was given, advance to it
+                    # so that back-to-back run(until=...) calls observe
+                    # monotonic time.
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
                 event = self._queue[0]
-                if event.state is EventState.CANCELLED:
-                    heapq.heappop(self._queue)
-                    continue
                 if until is not None and event.time > until:
                     self._now = until
                     break
                 if max_events is not None and executed >= max_events:
                     break
                 heapq.heappop(self._queue)
-                self._now = event.time
-                event.state = EventState.FIRED
-                event.callback(*event.args)
+                self._fire(event)
                 executed += 1
-                self._events_processed += 1
-            else:
-                # Queue drained; if a horizon was given, advance to it so that
-                # back-to-back run(until=...) calls observe monotonic time.
-                if until is not None and until > self._now:
-                    self._now = until
         finally:
             self._running = False
         return self._now
 
     def step(self) -> bool:
         """Execute exactly one event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.state is EventState.CANCELLED:
-                continue
-            self._now = event.time
-            event.state = EventState.FIRED
-            event.callback(*event.args)
-            self._events_processed += 1
-            return True
-        return False
+        self._purge_cancelled()
+        if not self._queue:
+            return False
+        self._fire(heapq.heappop(self._queue))
+        return True
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._queue and self._queue[0].state is EventState.CANCELLED:
-            heapq.heappop(self._queue)
+        self._purge_cancelled()
         return self._queue[0].time if self._queue else None
+
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled events sitting at the head of the heap."""
+        queue = self._queue
+        while queue and queue[0].state is EventState.CANCELLED:
+            heapq.heappop(queue)
+
+    def _fire(self, event: Event) -> None:
+        """Execute one pending event that was just popped off the heap."""
+        self._now = event.time
+        event.state = EventState.FIRED
+        self._pending -= 1
+        event.callback(*event.args)
+        self._events_processed += 1
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if e.state is EventState.PENDING)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._pending
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Engine(now={self._now:.3f}, pending={self.pending_count})"

@@ -33,7 +33,7 @@ class Event:
     code holds them only to call :meth:`cancel`.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "state", "label")
+    __slots__ = ("time", "seq", "callback", "args", "state", "label", "on_cancel")
 
     def __init__(
         self,
@@ -49,6 +49,8 @@ class Event:
         self.args = args
         self.state = EventState.PENDING
         self.label = label
+        #: Set by the engine so its live-event counter stays O(1) in sync.
+        self.on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
         """Cancel a pending event.
@@ -61,7 +63,10 @@ class Event:
             raise EventStateError(
                 f"cannot cancel event {self.label or self.seq}: already fired"
             )
-        self.state = EventState.CANCELLED
+        if self.state is EventState.PENDING:
+            self.state = EventState.CANCELLED
+            if self.on_cancel is not None:
+                self.on_cancel()
 
     @property
     def pending(self) -> bool:

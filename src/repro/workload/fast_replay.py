@@ -1,0 +1,335 @@
+"""Fast trace replay over interned content ids.
+
+This is the performance twin of :func:`repro.workload.replay.replay`: the
+same router model (Content Store + privacy scheme + marking trigger rule,
+Section VII accounting) restated over the dense ``int32`` ids of a
+:class:`~repro.workload.compiled.CompiledTrace`.  The reference replay
+stays the oracle — this kernel must produce **bit-identical**
+:class:`~repro.workload.replay.ReplayStats` (asserted by the parity suite
+in ``tests/workload/test_fast_replay.py``) while running ~an order of
+magnitude faster:
+
+* names are interned once; the hot loop is list/bytearray indexing, with
+  no ``Name`` hashing, no prefix-index maintenance, no per-request
+  ``Decision``/``CacheEntry`` object churn,
+* LRU/FIFO recency is an array-backed intrusive doubly-linked list with
+  O(1) touch/evict, inlined into the loop,
+* privacy marking is precompiled to a flat flag list (one hash per
+  *unique* name for :class:`ContentMarking` instead of one per request),
+* scheme decisions dispatch to int-keyed
+  :class:`~repro.core.schemes.base.SchemeKernel` state machines that
+  consume the scheme's RNG in exactly the reference order.
+
+Schemes that do not provide a kernel (see
+:meth:`CacheScheme.make_kernel`) transparently fall back to the
+reference ``replay()``, so ``fast_replay`` is always safe to call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.schemes.base import CacheScheme
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.ndn.errors import CacheError
+from repro.ndn.replacement import POLICIES
+from repro.workload.compiled import CompiledTrace
+from repro.workload.marking import ContentMarking, MarkingRule, NoMarking
+from repro.workload.replay import ReplayStats, replay
+from repro.workload.trace import Trace
+
+
+class _FastLfu:
+    """Int-keyed mirror of :class:`repro.ndn.replacement.LfuPolicy`.
+
+    Same frequency-bucket algorithm (insertion-ordered dicts, lazy
+    ``_min_freq`` scan) so the victim sequence is identical.
+    """
+
+    __slots__ = ("_freq", "_buckets", "_min_freq")
+
+    def __init__(self) -> None:
+        self._freq: Dict[int, int] = {}
+        self._buckets: Dict[int, Dict[int, None]] = {}
+        self._min_freq = 0
+
+    def insert(self, cid: int) -> None:
+        self._freq[cid] = 1
+        self._buckets.setdefault(1, {})[cid] = None
+        self._min_freq = 1
+
+    def access(self, cid: int) -> None:
+        freq = self._freq[cid]
+        bucket = self._buckets[freq]
+        del bucket[cid]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq[cid] = freq + 1
+        self._buckets.setdefault(freq + 1, {})[cid] = None
+
+    def pop_victim(self) -> int:
+        while self._min_freq not in self._buckets:
+            self._min_freq += 1
+        bucket = self._buckets[self._min_freq]
+        cid = next(iter(bucket))
+        del self._freq[cid]
+        del bucket[cid]
+        if not bucket:
+            del self._buckets[self._min_freq]
+        return cid
+
+
+class _FastRandom:
+    """Int-keyed mirror of :class:`repro.ndn.replacement.RandomPolicy`.
+
+    Keeps the same swap-remove list order and draws the same RNG stream,
+    so victim choices match the reference bit for bit.
+    """
+
+    __slots__ = ("_rng", "_list", "_pos")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._list: List[int] = []
+        self._pos: Dict[int, int] = {}
+
+    def insert(self, cid: int) -> None:
+        self._pos[cid] = len(self._list)
+        self._list.append(cid)
+
+    def access(self, cid: int) -> None:
+        pass
+
+    def pop_victim(self) -> int:
+        idx = int(self._rng.integers(len(self._list)))
+        cid = self._list[idx]
+        pos = self._pos.pop(cid)
+        last = self._list.pop()
+        if last != cid:
+            self._list[pos] = last
+            self._pos[last] = pos
+        return cid
+
+
+def compile_private_flags(
+    rule: MarkingRule, compiled: CompiledTrace
+) -> List[bool]:
+    """Precompute the consumer privacy bit for every request.
+
+    Bit-identical to calling ``rule.is_private(name, index)`` per request:
+    per-content rules are evaluated once per *unique* name and broadcast;
+    index-dependent rules (e.g. :class:`RequestMarking`, whose RNG draws
+    must happen in request order) are evaluated per request with the
+    vectorized occurrence index.
+    """
+    n = compiled.n_requests
+    if isinstance(rule, NoMarking):
+        return [False] * n
+    if isinstance(rule, ContentMarking):
+        per_name = np.fromiter(
+            (rule.is_private(name, 0) for name in compiled.names),
+            dtype=bool,
+            count=compiled.n_names,
+        )
+        return per_name[compiled.ids].tolist()
+    names = compiled.names
+    ids = compiled.ids.tolist()
+    if rule.uses_request_index:
+        occurrence = compiled.occurrence_index.tolist()
+        is_private = rule.is_private
+        return [is_private(names[cid], occurrence[i]) for i, cid in enumerate(ids)]
+    is_private = rule.is_private
+    return [is_private(names[cid], 0) for cid in ids]
+
+
+def fast_replay(
+    trace: Union[Trace, CompiledTrace],
+    scheme: Optional[CacheScheme] = None,
+    marking: Optional[MarkingRule] = None,
+    cache_size: Optional[int] = None,
+    policy: str = "lru",
+    fetch_delay: float = 100.0,
+    seed: int = 0,
+    refresh_delayed_hits: bool = True,
+) -> ReplayStats:
+    """Replay a trace through one router on the interned fast path.
+
+    Drop-in replacement for :func:`repro.workload.replay.replay` — same
+    parameters, same :class:`ReplayStats`, bit for bit.  Accepts either a
+    :class:`Trace` (compiled on first use, memoized) or an
+    already-compiled :class:`CompiledTrace`.
+    """
+    if policy not in POLICIES:
+        raise CacheError(
+            f"unknown replacement policy {policy!r}; choose from {sorted(POLICIES)}"
+        )
+    if cache_size is not None and cache_size < 1:
+        raise CacheError(
+            f"cache capacity must be >= 1 or None, got {cache_size}"
+        )
+    scheme = scheme if scheme is not None else NoPrivacyScheme()
+    rule = marking if marking is not None else NoMarking()
+
+    if isinstance(trace, CompiledTrace):
+        compiled = trace
+        source: Optional[Trace] = None
+    else:
+        source = trace
+        compiled = trace.compile()
+
+    kernel = scheme.make_kernel(compiled.names)
+    if kernel is None:
+        # Unknown scheme type: stay correct by running the oracle path.
+        if source is None:
+            raise ValueError(
+                f"scheme {type(scheme).__name__} provides no fast kernel and "
+                f"no Trace is available for the reference fallback"
+            )
+        return replay(
+            source,
+            scheme=scheme,
+            marking=rule,
+            cache_size=cache_size,
+            policy=policy,
+            fetch_delay=fetch_delay,
+            seed=seed,
+            refresh_delayed_hits=refresh_delayed_hits,
+        )
+
+    ids = compiled.ids.tolist()
+    n = len(ids)
+    n_names = compiled.n_names
+    flags = compile_private_flags(rule, compiled)
+
+    cached = bytearray(n_names)
+    entry_private = bytearray(n_names)
+
+    # LRU/FIFO: intrusive doubly-linked list over content ids with a
+    # sentinel at index n_names; head side = eviction victim, tail side =
+    # most recent.  FIFO shares the list but never reorders on access.
+    inline_list = policy in ("lru", "fifo")
+    move_on_access = policy == "lru"
+    sentinel = n_names
+    if inline_list:
+        nxt = [0] * (n_names + 1)
+        prv = [0] * (n_names + 1)
+        nxt[sentinel] = sentinel
+        prv[sentinel] = sentinel
+        p_insert = p_access = p_pop = None
+    else:
+        pol = (
+            _FastLfu()
+            if policy == "lfu"
+            else _FastRandom(np.random.default_rng(seed))
+        )
+        p_insert = pol.insert
+        p_access = pol.access if policy == "lfu" else None
+        p_pop = pol.pop_victim
+        nxt = prv = []  # unused
+
+    k_insert = kernel.on_insert
+    k_decide = kernel.decide_private
+    k_evict = kernel.on_evict
+
+    cap = cache_size
+    size = 0
+    refresh = refresh_delayed_hits
+    hits = disguised = misses = 0
+    private_requests = private_hits = evictions = 0
+    delay_total = 0.0
+
+    for i in range(n):
+        cid = ids[i]
+        priv = flags[i]
+        if priv:
+            private_requests += 1
+        if cached[cid]:
+            if entry_private[cid]:
+                if priv:
+                    decision = k_decide(cid)
+                else:
+                    # Trigger rule: one unmarked request demotes the entry
+                    # for the rest of its cache residency.
+                    entry_private[cid] = 0
+                    decision = 0
+            else:
+                decision = 0
+            if decision == 0:
+                hits += 1
+                if priv:
+                    private_hits += 1
+                if move_on_access:
+                    before = prv[cid]
+                    after = nxt[cid]
+                    nxt[before] = after
+                    prv[after] = before
+                    tail = prv[sentinel]
+                    nxt[tail] = cid
+                    prv[cid] = tail
+                    nxt[cid] = sentinel
+                    prv[sentinel] = cid
+                elif p_access is not None:
+                    p_access(cid)
+            else:
+                # Disguised hits and forced misses refresh recency too,
+                # unless the refresh ablation is on.
+                if refresh:
+                    if move_on_access:
+                        before = prv[cid]
+                        after = nxt[cid]
+                        nxt[before] = after
+                        prv[after] = before
+                        tail = prv[sentinel]
+                        nxt[tail] = cid
+                        prv[cid] = tail
+                        nxt[cid] = sentinel
+                        prv[sentinel] = cid
+                    elif p_access is not None:
+                        p_access(cid)
+                if decision == 1:
+                    disguised += 1
+                    delay_total += fetch_delay
+                else:
+                    misses += 1
+        else:
+            if cap is not None:
+                while size >= cap:
+                    if inline_list:
+                        victim = nxt[sentinel]
+                        after = nxt[victim]
+                        nxt[sentinel] = after
+                        prv[after] = sentinel
+                    else:
+                        victim = p_pop()
+                    cached[victim] = 0
+                    size -= 1
+                    evictions += 1
+                    k_evict(victim)
+            cached[cid] = 1
+            entry_private[cid] = 1 if priv else 0
+            size += 1
+            if inline_list:
+                tail = prv[sentinel]
+                nxt[tail] = cid
+                prv[cid] = tail
+                nxt[cid] = sentinel
+                prv[sentinel] = cid
+            else:
+                p_insert(cid)
+            k_insert(cid, priv)
+            misses += 1
+
+    return ReplayStats(
+        requests=n,
+        hits=hits,
+        disguised_hits=disguised,
+        misses=misses,
+        private_requests=private_requests,
+        private_hits=private_hits,
+        evictions=evictions,
+        artificial_delay_total=delay_total,
+    )

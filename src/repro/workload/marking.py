@@ -27,6 +27,11 @@ from repro.ndn.name import Name
 class MarkingRule(abc.ABC):
     """Decides whether a given request carries the consumer privacy bit."""
 
+    #: True when :meth:`is_private` actually reads ``request_index``.
+    #: Rules that ignore it (per-content and null marking) let the replay
+    #: harness skip the per-request occurrence bookkeeping entirely.
+    uses_request_index: bool = True
+
     @abc.abstractmethod
     def is_private(self, name: Name, request_index: int) -> bool:
         """True iff request number ``request_index`` for ``name`` is private."""
@@ -34,6 +39,8 @@ class MarkingRule(abc.ABC):
 
 class ContentMarking(MarkingRule):
     """Per-content marking: a stable fraction of names is always private."""
+
+    uses_request_index = False
 
     def __init__(self, fraction: float, salt: int = 0) -> None:
         if not 0.0 <= fraction <= 1.0:
@@ -66,6 +73,8 @@ class RequestMarking(MarkingRule):
 
 class NoMarking(MarkingRule):
     """Nothing is private (the No-Privacy baseline's world view)."""
+
+    uses_request_index = False
 
     def is_private(self, name: Name, request_index: int) -> bool:
         return False

@@ -152,10 +152,17 @@ def replay(
         refresh_delayed_hits=refresh_delayed_hits,
     )
     stats = ReplayStats()
+    # Rules that ignore the per-name occurrence index (NoMarking, the
+    # per-content division) make the request_index dict pure overhead in
+    # the default benchmark configuration — skip it for them.
+    track_index = rule.uses_request_index
     request_index: Dict[Name, int] = {}
     for request in trace:
-        index = request_index.get(request.name, 0)
-        request_index[request.name] = index + 1
+        if track_index:
+            index = request_index.get(request.name, 0)
+            request_index[request.name] = index + 1
+        else:
+            index = 0
         private = rule.is_private(request.name, index)
         outcome = router.request(request.name, private, request.time)
         stats.requests += 1

@@ -36,14 +36,17 @@ class Trace:
 
     def __init__(self, requests: Iterable[Request] = ()) -> None:
         self._requests: List[Request] = list(requests)
+        self._compiled = None
 
     def append(self, request: Request) -> None:
         """Add one request (caller maintains time ordering)."""
         self._requests.append(request)
+        self._compiled = None
 
     def sort(self) -> None:
         """Sort requests by (time, user) in place."""
         self._requests.sort(key=lambda r: (r.time, r.user))
+        self._compiled = None
 
     def __len__(self) -> int:
         return len(self._requests)
@@ -53,6 +56,22 @@ class Trace:
 
     def __getitem__(self, index: int) -> Request:
         return self._requests[index]
+
+    def compile(self):
+        """Intern the trace to dense int ids (see :mod:`.compiled`).
+
+        The compiled form is cached on the trace; it is invalidated and
+        rebuilt if requests have been appended (or the trace re-sorted)
+        since the last compile.
+        """
+        from repro.workload.compiled import compile_trace
+
+        cached = self._compiled
+        if cached is not None:
+            return cached
+        compiled = compile_trace(self)
+        self._compiled = compiled
+        return compiled
 
     # ------------------------------------------------------------------
     # Statistics

@@ -171,3 +171,24 @@ class TestCancellation:
         engine.schedule(2.0, lambda: None)
         e1.cancel()
         assert engine.pending_count == 1
+
+    def test_pending_count_tracks_fires_and_cancels(self, engine):
+        events = [engine.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert engine.pending_count == 4
+        engine.step()
+        assert engine.pending_count == 3
+        events[1].cancel()
+        events[1].cancel()  # idempotent: no double decrement
+        assert engine.pending_count == 2
+        engine.run()
+        assert engine.pending_count == 0
+
+    def test_pending_count_with_reschedule_from_callback(self, engine):
+        def chain(depth: int):
+            if depth:
+                engine.schedule(1.0, chain, depth - 1)
+
+        engine.schedule(1.0, chain, 3)
+        assert engine.pending_count == 1
+        engine.run()
+        assert engine.pending_count == 0

@@ -1,0 +1,158 @@
+"""Parity suite: fast_replay must be bit-identical to the reference replay.
+
+The fast kernel re-implements the replay loop over interned int ids; its
+only contract is *exact* equality of :class:`ReplayStats` with the
+reference implementation — same hits, same misses, same float delay
+totals — for every scheme, policy, marking rule, cache size, and seed.
+Every test here builds fresh scheme/marking instances for both sides
+(schemes and RequestMarking carry RNG state that one run would consume).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.core.schemes.exponential import ExponentialRandomCache
+from repro.core.schemes.grouping import NamespaceGrouping
+from repro.core.schemes.naive_threshold import NaiveThresholdScheme
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.core.schemes.uniform import UniformRandomCache
+from repro.ndn.errors import CacheError
+from repro.workload.compiled import CompiledTrace
+from repro.workload.fast_replay import fast_replay
+from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
+from repro.workload.marking import ContentMarking, NoMarking, RequestMarking
+from repro.workload.replay import replay
+from repro.workload.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def trace() -> Trace:
+    return IrcacheGenerator(
+        IrcacheConfig(requests=4000, objects=3000, seed=11)
+    ).generate()
+
+
+SCHEME_FACTORIES = {
+    "no-privacy": lambda rng: NoPrivacyScheme(),
+    "always-delay": lambda rng: AlwaysDelayScheme(),
+    "uniform": lambda rng: UniformRandomCache.for_privacy_target(5, 0.01, rng=rng),
+    "exponential": lambda rng: ExponentialRandomCache.for_privacy_target(
+        5, 0.005, 0.01, rng=rng
+    ),
+    "naive-threshold": lambda rng: NaiveThresholdScheme(5, rng=rng),
+    "exponential-grouped": lambda rng: ExponentialRandomCache(
+        alpha=0.99, K=500, rng=rng, grouping=NamespaceGrouping(depth=1)
+    ),
+}
+
+MARKING_FACTORIES = {
+    "none": lambda: NoMarking(),
+    "content": lambda: ContentMarking(0.3, salt=7),
+    "request": lambda: RequestMarking(0.3, seed=7),
+}
+
+
+def _run_both(trace, scheme_key, marking_key, **kwargs):
+    """Reference and fast stats for one configuration, isolated RNGs."""
+    seed = kwargs.get("seed", 0)
+    reference = replay(
+        trace,
+        scheme=SCHEME_FACTORIES[scheme_key](np.random.default_rng(seed)),
+        marking=MARKING_FACTORIES[marking_key](),
+        **kwargs,
+    )
+    fast = fast_replay(
+        trace,
+        scheme=SCHEME_FACTORIES[scheme_key](np.random.default_rng(seed)),
+        marking=MARKING_FACTORIES[marking_key](),
+        **kwargs,
+    )
+    return reference, fast
+
+
+@pytest.mark.parametrize("scheme_key", sorted(SCHEME_FACTORIES))
+@pytest.mark.parametrize("marking_key", sorted(MARKING_FACTORIES))
+def test_parity_schemes_and_markings(trace, scheme_key, marking_key):
+    reference, fast = _run_both(
+        trace, scheme_key, marking_key, cache_size=300, seed=1
+    )
+    assert fast == reference
+
+
+@pytest.mark.parametrize("policy", ["lru", "lfu", "fifo", "random"])
+def test_parity_replacement_policies(trace, policy):
+    reference, fast = _run_both(
+        trace, "exponential", "content", cache_size=200, policy=policy, seed=2
+    )
+    assert fast == reference
+
+
+@pytest.mark.parametrize("cache_size", [1, 50, 1000, None])
+@pytest.mark.parametrize("seed", [0, 3])
+def test_parity_cache_sizes_and_seeds(trace, cache_size, seed):
+    reference, fast = _run_both(
+        trace, "uniform", "content", cache_size=cache_size, seed=seed
+    )
+    assert fast == reference
+
+
+def test_parity_without_delayed_hit_refresh(trace):
+    reference, fast = _run_both(
+        trace, "exponential", "content", cache_size=200,
+        refresh_delayed_hits=False,
+    )
+    assert fast == reference
+
+
+def test_parity_nonzero_fetch_delay_totals(trace):
+    """Float delay totals must match bitwise, not approximately."""
+    reference, fast = _run_both(
+        trace, "always-delay", "content", cache_size=200, fetch_delay=13.7
+    )
+    assert fast.artificial_delay_total == reference.artificial_delay_total
+    assert fast == reference
+
+
+def test_accepts_precompiled_trace(trace):
+    compiled = trace.compile()
+    assert isinstance(compiled, CompiledTrace)
+    via_trace = fast_replay(
+        trace, scheme=NoPrivacyScheme(), cache_size=100, seed=0
+    )
+    via_compiled = fast_replay(
+        compiled, scheme=NoPrivacyScheme(), cache_size=100, seed=0
+    )
+    assert via_compiled == via_trace
+
+
+def test_compile_is_cached_and_invalidated(trace):
+    assert trace.compile() is trace.compile()
+    small = Trace()
+    for request in list(trace)[:10]:
+        small.append(request)
+    first = small.compile()
+    small.append(list(trace)[10])
+    assert small.compile() is not first
+    assert small.compile().n_requests == 11
+
+
+def test_unknown_policy_and_bad_cache_size_rejected(trace):
+    with pytest.raises(CacheError):
+        fast_replay(trace, scheme=NoPrivacyScheme(), policy="mru")
+    with pytest.raises(CacheError):
+        fast_replay(trace, scheme=NoPrivacyScheme(), cache_size=0)
+
+
+def test_kernelless_scheme_falls_back_to_reference(trace):
+    class OpaqueScheme(NoPrivacyScheme):
+        def make_kernel(self, names):
+            return None
+
+    stats = fast_replay(trace, scheme=OpaqueScheme(), cache_size=100, seed=0)
+    assert stats == replay(trace, scheme=NoPrivacyScheme(), cache_size=100, seed=0)
+    # The fallback needs Request objects, which a bare CompiledTrace lacks.
+    with pytest.raises(ValueError):
+        fast_replay(trace.compile(), scheme=OpaqueScheme(), cache_size=100)
