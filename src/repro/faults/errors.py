@@ -1,0 +1,11 @@
+"""Exceptions raised by the fault-injection subsystem."""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class for fault-injection errors."""
+
+
+class FaultConfigError(FaultError):
+    """A fault references an unknown entity or has an invalid window."""

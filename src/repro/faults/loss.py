@@ -1,0 +1,143 @@
+"""Packet-loss models for links.
+
+The seed substrate loses packets i.i.d. (``Link.loss_rate``).  Real paths
+lose them in *bursts*: a congested queue or a fading radio drops many
+consecutive packets, then recovers.  The classic two-state Markov model of
+that behavior is Gilbert–Elliott: a GOOD state with low (usually zero)
+loss and a BAD state with high loss, with per-packet transition
+probabilities between them.  Burstiness matters for the paper's attacks —
+a burst can wipe out a whole probe sequence where i.i.d. loss of the same
+mean rate merely thins it.
+
+All models draw from the link's RNG stream, so a run is bit-reproducible
+from the root seed regardless of which model is installed.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.faults.errors import FaultConfigError
+
+
+class LossModel(abc.ABC):
+    """Per-packet loss decision with internal state allowed."""
+
+    @abc.abstractmethod
+    def drops(self, rng: np.random.Generator) -> bool:
+        """Decide the fate of one packet (True = dropped)."""
+
+    @property
+    @abc.abstractmethod
+    def mean_loss(self) -> float:
+        """Long-run loss probability (for calibration/reporting)."""
+
+    def reset(self) -> None:
+        """Return to the initial state (stateless models: no-op)."""
+
+
+class IidLoss(LossModel):
+    """Independent per-packet loss — the seed behavior, as a model."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise FaultConfigError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+
+    def drops(self, rng: np.random.Generator) -> bool:
+        return self.rate > 0.0 and rng.random() < self.rate
+
+    @property
+    def mean_loss(self) -> float:
+        return self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"IidLoss(rate={self.rate})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov burst loss.
+
+    Per packet: sample loss from the current state's loss probability,
+    then transition (GOOD→BAD with probability ``p``, BAD→GOOD with
+    probability ``r``).  Expected burst length is ``1/r`` packets and the
+    stationary share of time spent in BAD is ``p / (p + r)``.
+    """
+
+    def __init__(
+        self,
+        p: float,
+        r: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        for label, value in (
+            ("p", p), ("r", r), ("loss_good", loss_good), ("loss_bad", loss_bad)
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise FaultConfigError(
+                    f"GilbertElliottLoss {label} must be in [0, 1], got {value}"
+                )
+        self.p = p
+        self.r = r
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._bad = False
+
+    @classmethod
+    def for_mean_loss(
+        cls, mean: float, burst_length: float, loss_bad: float = 1.0
+    ) -> "GilbertElliottLoss":
+        """Calibrate (p, r) for a target long-run ``mean`` loss and an
+        expected ``burst_length`` (packets spent in BAD per visit).
+
+        Lets a bench compare burst loss against i.i.d. loss of the *same
+        mean rate*, isolating the effect of burstiness itself.
+        """
+        if burst_length < 1.0:
+            raise FaultConfigError(
+                f"burst_length must be >= 1 packet, got {burst_length}"
+            )
+        if not 0.0 <= mean < loss_bad:
+            raise FaultConfigError(
+                f"mean loss {mean} must be in [0, loss_bad={loss_bad})"
+            )
+        r = 1.0 / burst_length
+        # mean = loss_bad * p / (p + r)  =>  p = r * mean / (loss_bad - mean)
+        p = r * mean / (loss_bad - mean)
+        if p > 1.0:
+            raise FaultConfigError(
+                f"mean={mean} with burst_length={burst_length} needs p={p:.3f} > 1"
+            )
+        return cls(p=p, r=r, loss_bad=loss_bad)
+
+    def drops(self, rng: np.random.Generator) -> bool:
+        loss = self.loss_bad if self._bad else self.loss_good
+        dropped = loss > 0.0 and rng.random() < loss
+        flip = self.r if self._bad else self.p
+        if flip > 0.0 and rng.random() < flip:
+            self._bad = not self._bad
+        return dropped
+
+    @property
+    def in_bad_state(self) -> bool:
+        """True while the channel is in the lossy BAD state."""
+        return self._bad
+
+    @property
+    def mean_loss(self) -> float:
+        if self.p == 0.0 and self.r == 0.0:
+            return self.loss_good  # stuck in the initial GOOD state
+        pi_bad = self.p / (self.p + self.r) if (self.p + self.r) > 0 else 0.0
+        return (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+
+    def reset(self) -> None:
+        self._bad = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"GilbertElliottLoss(p={self.p:.4f}, r={self.r:.4f}, "
+            f"loss_good={self.loss_good}, loss_bad={self.loss_bad})"
+        )

@@ -11,6 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
+from repro.faults.retry import RetryPolicy
 from repro.ndn.link import Face
 from repro.ndn.name import Name, name_of
 from repro.ndn.packets import Data, Interest
@@ -91,25 +94,44 @@ class Consumer:
         private: bool = False,
         lifetime: float = 4000.0,
         timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
     ):
         """Coroutine helper: ``result = yield from consumer.fetch(...)``.
 
-        Returns the :class:`FetchResult`, or None on timeout (``timeout``
-        defaults to the interest lifetime).
+        Returns the :class:`FetchResult`, or None once the retry budget is
+        exhausted.  Without ``retry`` the fetch is a single attempt waiting
+        ``timeout`` ms (defaulting to the interest lifetime) — the seed
+        behavior.  With a :class:`~repro.faults.retry.RetryPolicy` the
+        interest is retransmitted on timeout with exponential backoff (and
+        jitter drawn from ``rng``, when given) up to the policy's budget —
+        the loop previously private to the interactive endpoints,
+        available to every consumer.
         """
-        signal = self.express_interest(
-            name, scope=scope, private=private, lifetime=lifetime
-        )
-        wait = timeout if timeout is not None else lifetime
-        result = yield WaitSignal(signal, timeout=wait)
-        if result is TIMED_OUT:
+        if retry is None:
+            retry = RetryPolicy(
+                retries=0,
+                timeout=timeout if timeout is not None else lifetime,
+                backoff=1.0,
+            )
+        target = name_of(name)
+        for attempt in range(retry.attempts):
+            signal = self.express_interest(
+                target, scope=scope, private=private, lifetime=lifetime
+            )
+            if attempt > 0:
+                self.monitor.count("fetch_retransmits")
+            wait = retry.timeout_for(attempt, rng)
+            result = yield WaitSignal(signal, timeout=wait)
+            if result is not TIMED_OUT:
+                return result
             self.monitor.count("fetch_timeouts")
             # Withdraw the stale pending entry so late or retried data is
             # not consumed by this abandoned fetch (which would starve a
             # later fetch of the same name).
-            self._cancel_pending(name_of(name), signal)
-            return None
-        return result
+            self._cancel_pending(target, signal)
+        self.monitor.count("fetch_failures")
+        return None
 
     def _cancel_pending(self, name: Name, signal: Signal) -> None:
         """Remove one abandoned (signal, send-time) record for ``name``."""

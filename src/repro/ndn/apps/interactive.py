@@ -15,6 +15,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # avoid a runtime ndn->naming->ndn import cycle
     from repro.naming.session import SessionNamer
 
+import numpy as np
+
+from repro.faults.retry import RetryPolicy
 from repro.ndn.link import Face
 from repro.ndn.name import Name
 from repro.ndn.packets import Data, Interest
@@ -100,22 +103,32 @@ class InteractiveEndpoint:
         frame_interval: float,
         retransmit_timeout: float = 200.0,
         max_retransmits: int = 3,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional["np.random.Generator"] = None,
     ):
         """Coroutine: publish and fetch ``frames`` frames at a fixed cadence.
 
-        Lost frames are re-requested up to ``max_retransmits`` times; the
-        re-issued interest is what benefits from router caching near the
-        loss point (the paper's rationale for caching interactive traffic
-        at all).
+        Lost frames are re-requested per the :class:`RetryPolicy` (by
+        default ``max_retransmits`` extra attempts at a fixed
+        ``retransmit_timeout`` — the seed behavior); the re-issued
+        interest is what benefits from router caching near the loss point
+        (the paper's rationale for caching interactive traffic at all).
+        Pass an explicit ``retry`` for backoff/jitter under bursty loss,
+        with ``rng`` supplying the jitter draws.
         """
+        if retry is None:
+            retry = RetryPolicy(
+                retries=max_retransmits, timeout=retransmit_timeout, backoff=1.0
+            )
         for seq in range(frames):
             self.publish_frame(seq)
             send_time = self.engine.now
             retransmitted = False
             result = None
-            for _attempt in range(max_retransmits + 1):
-                signal = self.request_frame(seq, lifetime=retransmit_timeout * 4)
-                result = yield WaitSignal(signal, timeout=retransmit_timeout)
+            for attempt in range(retry.attempts):
+                wait = retry.timeout_for(attempt, rng)
+                signal = self.request_frame(seq, lifetime=wait * 4)
+                result = yield WaitSignal(signal, timeout=wait)
                 if result is not TIMED_OUT:
                     break
                 retransmitted = True

@@ -73,6 +73,8 @@ class Forwarder:
         self.cache_filter = cache_filter
         self.strategy = strategy
         self.faces: List[Face] = []
+        #: False while crashed: every arriving packet is dropped.
+        self.up = True
         self.cs.add_evict_listener(self.scheme.on_evict)
 
     # ------------------------------------------------------------------
@@ -89,6 +91,9 @@ class Forwarder:
     # ------------------------------------------------------------------
     def receive_interest(self, interest: Interest, face: Face) -> None:
         """Process an interest arriving on ``face``."""
+        if not self.up:
+            self.monitor.count("down_dropped_interest")
+            return
         self.monitor.count("interest_in")
         entry = self.cs.lookup(interest.name, self.engine.now, touch=True)
         if entry is not None:
@@ -174,6 +179,19 @@ class Forwarder:
         return candidates
 
     def _on_pit_expiry(self, name) -> None:
+        entry = self.pit.lookup(name)
+        if entry is None:
+            return
+        if entry.expiry > self.engine.now:
+            # A collapsed interest extended the entry past the armed timer:
+            # re-arm for the remainder instead of leaking the entry.
+            entry.timer = self.engine.schedule(
+                entry.expiry - self.engine.now,
+                self._on_pit_expiry,
+                name,
+                label=f"{self.name}:pit-expiry",
+            )
+            return
         if self.pit.expire(name, self.engine.now) is not None:
             self.monitor.count("pit_expired")
 
@@ -182,6 +200,9 @@ class Forwarder:
     # ------------------------------------------------------------------
     def receive_data(self, data: Data, face: Face) -> None:
         """Process a content object arriving on ``face``."""
+        if not self.up:
+            self.monitor.count("down_dropped_data")
+            return
         self.monitor.count("data_in")
         pit_entry = self.pit.satisfy(data.name)
         if pit_entry is None:
@@ -227,6 +248,36 @@ class Forwarder:
         """Empty the CS and reset scheme state (between attack trials)."""
         self.cs.clear()
         self.scheme.reset()
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+    def crash(self, mode: str = "flush") -> None:
+        """Take the router down.
+
+        Pending interests are lost in either mode (their timers are
+        cancelled, the PIT emptied).  ``mode="flush"`` also wipes the
+        Content Store and scheme state (cold restart); ``mode="warm"``
+        models a deployment that persists its CS across restarts.
+        """
+        if mode not in ("flush", "warm"):
+            raise ValueError(f"crash mode must be 'flush' or 'warm', got {mode!r}")
+        if not self.up:
+            return
+        self.up = False
+        self.monitor.count("crashes")
+        for entry in self.pit.drain():
+            if entry.timer is not None and entry.timer.pending:
+                entry.timer.cancel()
+        if mode == "flush":
+            self.flush_cache()
+
+    def restart(self) -> None:
+        """Bring a crashed router back up (CS per the crash mode)."""
+        if self.up:
+            return
+        self.up = True
+        self.monitor.count("restarts")
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

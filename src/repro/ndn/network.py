@@ -130,8 +130,14 @@ class Network:
         b: str,
         delay_model: DelayModel,
         loss_rate: float = 0.0,
+        loss_model=None,
     ) -> Tuple[Face, Face]:
-        """Create a bidirectional link between entities ``a`` and ``b``."""
+        """Create a bidirectional link between entities ``a`` and ``b``.
+
+        ``loss_model`` installs a stateful loss process (e.g.
+        :class:`~repro.faults.loss.GilbertElliottLoss`) instead of the
+        i.i.d. ``loss_rate``.
+        """
         entity_a, entity_b = self[a], self[b]
         face_a = entity_a.create_face(label=f"{a}->{b}")
         face_b = entity_b.create_face(label=f"{b}->{a}")
@@ -142,6 +148,7 @@ class Network:
             delay_model=delay_model,
             rng=self.rng.stream(f"link:{a}<->{b}"),
             loss_rate=loss_rate,
+            loss_model=loss_model,
             name=f"{a}<->{b}",
         )
         self.links[link.name] = link
@@ -199,3 +206,8 @@ class Network:
         """Flush every router's CS and scheme state (between trials)."""
         for router in self.routers.values():
             router.flush_cache()
+
+    def apply_faults(self, schedule) -> int:
+        """Bind a :class:`~repro.faults.schedule.FaultSchedule` to this
+        network; returns the number of fault events scheduled."""
+        return schedule.apply(self)

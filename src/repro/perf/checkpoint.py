@@ -1,0 +1,82 @@
+"""Sweep checkpoint/resume: completed points persisted to disk.
+
+A killed sweep (OOM, preemption, Ctrl-C) should restart from its
+completed specs, not from zero.  :class:`SweepCheckpoint` is an
+append-only pickle stream::
+
+    ("repro-sweep-checkpoint-v1", <fingerprint>)   # header
+    (spec_index, ReplayStats)                      # one per completed spec
+    ...
+
+The fingerprint hashes the spec list, engine choice, and workload key, so
+a checkpoint written by a *different* sweep is never reused — it is
+discarded and the file restarted.  A truncated tail (the process died
+mid-write) is tolerated: every intact record before the damage is kept.
+
+Because every spec carries its own seed (see
+:mod:`repro.perf.parallel`), results assembled across a kill/resume
+boundary are bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Dict, Union
+
+_MAGIC = "repro-sweep-checkpoint-v1"
+
+
+class SweepCheckpoint:
+    """Append-only record of completed sweep points for one sweep."""
+
+    def __init__(self, path: Union[str, Path], fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+
+    def load(self) -> Dict[int, object]:
+        """Read completed results; (re)initialize the file when needed.
+
+        Returns ``{spec_index: stats}``.  A missing file, a foreign
+        fingerprint, or a corrupted header starts the checkpoint fresh; a
+        corrupted *tail* keeps every record read before it.
+        """
+        results: Dict[int, object] = {}
+        if self.path.exists():
+            try:
+                with self.path.open("rb") as handle:
+                    header = pickle.load(handle)
+                    if header != (_MAGIC, self.fingerprint):
+                        raise ValueError("foreign checkpoint")
+                    while True:
+                        index, stats = pickle.load(handle)
+                        results[int(index)] = stats
+            except EOFError:
+                return results  # clean end of stream
+            except (ValueError, TypeError, pickle.UnpicklingError, AttributeError):
+                # Damaged tail: rewrite the surviving prefix.  Foreign or
+                # headerless file: results is empty and the rewrite resets it.
+                self._rewrite(results)
+                return results
+        else:
+            self._rewrite(results)
+        return results
+
+    def append(self, index: int, stats: object) -> None:
+        """Durably record one completed spec."""
+        if not self.path.exists():
+            self._rewrite({})
+        with self.path.open("ab") as handle:
+            pickle.dump((index, stats), handle)
+            handle.flush()
+
+    def _rewrite(self, results: Dict[int, object]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("wb") as handle:
+            pickle.dump((_MAGIC, self.fingerprint), handle)
+            for index in sorted(results):
+                pickle.dump((index, results[index]), handle)
+            handle.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SweepCheckpoint({self.path}, fp={self.fingerprint[:12]})"

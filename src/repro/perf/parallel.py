@@ -9,7 +9,7 @@ while keeping results **independent of the worker count**:
   seed; trial seeds come from :func:`derive_seeds`
   (``np.random.SeedSequence.spawn``), so the RNG stream of a point never
   depends on which worker ran it or in what order,
-* results are collected in spec order (``Executor.map``),
+* results are collected by spec index, returned in spec order,
 * workers obtain the trace from an on-disk cache keyed by the
   :class:`~repro.workload.ircache.IrcacheConfig` hash (or by content hash
   for ad-hoc traces) instead of regenerating or unpickling ~10⁵ request
@@ -18,12 +18,35 @@ while keeping results **independent of the worker count**:
   each spec through pickle so scheme/marking state is isolated exactly as
   process transport would isolate it — bit-identical to any worker count.
 
+The runner is **failure-hardened** (see ``tests/perf/test_hardening.py``):
+
+* worker death (``BrokenProcessPool``) and stalls (no spec completing
+  within ``timeout`` seconds) tear the pool down and resubmit the
+  incomplete specs on a fresh pool, bounded by ``max_restarts``; because
+  seeds travel with the specs, a crash-recovered sweep is bit-identical
+  to an undisturbed one,
+* ``checkpoint=`` persists each completed point to disk
+  (:class:`~repro.perf.checkpoint.SweepCheckpoint`); a killed sweep
+  resumes from its completed specs,
+* trace-cache entries carry a ``.sha256`` sidecar digest that is
+  verified before use — a truncated or corrupted cache file is
+  regenerated instead of silently poisoning the whole sweep.
+
 Environment knobs:
 
 * ``REPRO_WORKERS`` — worker-process count (default: CPU count; ``1``
   forces the in-process serial path),
 * ``REPRO_TRACE_CACHE`` — trace cache directory (default:
-  ``~/.cache/repro/traces``).
+  ``~/.cache/repro/traces``),
+* ``REPRO_SPEC_TIMEOUT`` — stall watchdog in wall-clock seconds: if no
+  spec completes for this long, the pool is presumed hung and rebuilt
+  (default: disabled),
+* ``REPRO_SWEEP_RETRIES`` — maximum pool rebuilds per sweep before
+  :class:`SweepError` (default 3),
+* ``REPRO_CHAOS_KILL_FLAG`` / ``REPRO_CHAOS_HANG_FLAG`` — chaos-testing
+  hooks: a path to a flag file; the first worker task to observe the file
+  removes it and kills itself (``os._exit``) or hangs, letting CI rehearse
+  the recovery paths against a live pool.
 """
 
 from __future__ import annotations
@@ -32,10 +55,12 @@ import hashlib
 import os
 import pickle
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Union
 
 import numpy as np
 
@@ -45,6 +70,7 @@ from repro.core.schemes.exponential import ExponentialRandomCache
 from repro.core.schemes.naive_threshold import NaiveThresholdScheme
 from repro.core.schemes.no_privacy import NoPrivacyScheme
 from repro.core.schemes.uniform import UniformRandomCache
+from repro.perf.checkpoint import SweepCheckpoint
 from repro.workload.fast_replay import fast_replay
 from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
 from repro.workload.marking import MarkingRule
@@ -53,6 +79,18 @@ from repro.workload.trace import Trace
 
 ENV_WORKERS = "REPRO_WORKERS"
 ENV_TRACE_CACHE = "REPRO_TRACE_CACHE"
+ENV_SPEC_TIMEOUT = "REPRO_SPEC_TIMEOUT"
+ENV_SWEEP_RETRIES = "REPRO_SWEEP_RETRIES"
+ENV_CHAOS_KILL_FLAG = "REPRO_CHAOS_KILL_FLAG"
+ENV_CHAOS_HANG_FLAG = "REPRO_CHAOS_HANG_FLAG"
+
+
+class SweepError(RuntimeError):
+    """The sweep could not complete within its failure budget."""
+
+
+class TraceCacheError(RuntimeError):
+    """A trace-cache entry failed its integrity check."""
 
 
 # ======================================================================
@@ -155,8 +193,34 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
+def _env_float(name: str) -> Optional[float]:
+    value = os.environ.get(name)
+    return float(value) if value else None
+
+
+def resolve_spec_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Stall-watchdog seconds: explicit arg, else ``REPRO_SPEC_TIMEOUT``,
+    else disabled."""
+    if timeout is None:
+        timeout = _env_float(ENV_SPEC_TIMEOUT)
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+    return timeout
+
+
+def resolve_max_restarts(max_restarts: Optional[int] = None) -> int:
+    """Pool-rebuild budget: explicit arg, else ``REPRO_SWEEP_RETRIES``,
+    else 3."""
+    if max_restarts is None:
+        env = os.environ.get(ENV_SWEEP_RETRIES)
+        max_restarts = int(env) if env else 3
+    if max_restarts < 0:
+        raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+    return max_restarts
+
+
 # ======================================================================
-# On-disk trace cache
+# On-disk trace cache (content-checksummed)
 # ======================================================================
 def trace_cache_dir() -> Path:
     """The trace cache directory (created on first use)."""
@@ -188,29 +252,72 @@ def _atomic_write(path: Path, writer: Callable[[Path], None]) -> None:
             tmp.unlink()
 
 
+def _digest_sidecar(path: Path) -> Path:
+    return path.with_name(path.name + ".sha256")
+
+
+def _file_digest(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _write_digest(path: Path, digest: Optional[str] = None) -> None:
+    if digest is None:
+        digest = _file_digest(path)
+    _atomic_write(
+        _digest_sidecar(path), lambda tmp: tmp.write_text(digest, encoding="utf-8")
+    )
+
+
+def verify_trace_cache(path: Union[str, Path]) -> bool:
+    """True iff the cache entry exists and matches its recorded digest.
+
+    A missing sidecar counts as invalid: an entry whose integrity cannot
+    be established is treated the same as a corrupted one and the caller
+    regenerates it.
+    """
+    path = Path(path)
+    sidecar = _digest_sidecar(path)
+    if not path.exists() or not sidecar.exists():
+        return False
+    recorded = sidecar.read_text(encoding="utf-8").strip()
+    return bool(recorded) and recorded == _file_digest(path)
+
+
 def ensure_trace_cached(config: IrcacheConfig) -> Path:
     """Generate-or-reuse the trace for ``config``; returns the TSV path.
 
     Keyed by a hash of the config fields, so workers (and later runs of
-    the same sweep) load the trace instead of regenerating it.
+    the same sweep) load the trace instead of regenerating it.  The entry
+    is digest-verified first; a corrupted or unverifiable file is
+    regenerated in place (the config makes regeneration deterministic).
     """
     path = trace_cache_dir() / f"ircache-{_config_key(config)}.tsv"
-    if not path.exists():
+    if not verify_trace_cache(path):
         trace = IrcacheGenerator(config).generate()
         _atomic_write(path, trace.save)
+        _write_digest(path)
     return path
+
+
+def _trace_payload(trace: Trace) -> bytes:
+    """The canonical TSV byte serialization of ``trace``."""
+    lines = [
+        f"{request.time:.3f}\t{request.user}\t{request.name}\n" for request in trace
+    ]
+    return "".join(lines).encode("utf-8")
 
 
 def _cache_trace_object(trace: Trace) -> Path:
     """Persist an ad-hoc trace under its content hash; returns the path."""
-    lines = [
-        f"{request.time:.3f}\t{request.user}\t{request.name}\n" for request in trace
-    ]
-    payload = "".join(lines).encode("utf-8")
-    key = hashlib.sha256(payload).hexdigest()[:16]
-    path = trace_cache_dir() / f"trace-{key}.tsv"
-    if not path.exists():
+    payload = _trace_payload(trace)
+    digest = hashlib.sha256(payload).hexdigest()
+    path = trace_cache_dir() / f"trace-{digest[:16]}.tsv"
+    if not path.exists() or _file_digest(path) != digest:
         _atomic_write(path, lambda tmp: tmp.write_bytes(payload))
+        _write_digest(path, digest)
+    elif not _digest_sidecar(path).exists():
+        # Pre-checksum cache entry whose content still matches: adopt it.
+        _write_digest(path, digest)
     return path
 
 
@@ -222,6 +329,12 @@ _PROCESS_TRACES: Dict[str, Trace] = {}
 def _load_trace(path: str) -> Trace:
     trace = _PROCESS_TRACES.get(path)
     if trace is None:
+        if not verify_trace_cache(path):
+            raise TraceCacheError(
+                f"trace cache entry {path} failed its digest check "
+                "(truncated or corrupted); regenerate it via "
+                "ensure_trace_cached() before dispatching workers"
+            )
         trace = Trace.load(path)
         trace.compile()
         _PROCESS_TRACES[path] = trace
@@ -248,9 +361,100 @@ def _execute(trace: Trace, spec: ReplaySpec, engine: str) -> ReplayStats:
     )
 
 
+def _consume_chaos_flag(env: str) -> bool:
+    """True iff this process won the race to consume the chaos flag file."""
+    flag = os.environ.get(env)
+    if not flag:
+        return False
+    path = Path(flag)
+    try:
+        path.unlink()  # atomic: exactly one worker wins
+        return True
+    except FileNotFoundError:
+        return False
+
+
+def _maybe_inject_chaos() -> None:
+    """Worker-side chaos hooks for rehearsing the recovery paths."""
+    if _consume_chaos_flag(ENV_CHAOS_KILL_FLAG):
+        os._exit(42)
+    if _consume_chaos_flag(ENV_CHAOS_HANG_FLAG):
+        time.sleep(3600.0)
+
+
 def _worker_run(args: tuple) -> ReplayStats:
     trace_path, spec, engine = args
+    _maybe_inject_chaos()
     return _execute(_load_trace(trace_path), spec, engine)
+
+
+class _SweepStalled(RuntimeError):
+    """No spec completed within the stall-watchdog window."""
+
+
+def _drain_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without joining hung or dead workers."""
+    procs = getattr(pool, "_processes", None)
+    processes = list(procs.values()) if procs else []
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+
+
+def _run_hardened(
+    tasks: List[tuple],
+    remaining: Set[int],
+    workers: int,
+    timeout: Optional[float],
+    max_restarts: int,
+    deliver: Callable[[int, ReplayStats], None],
+) -> None:
+    """Run ``tasks[i]`` for every ``i`` in ``remaining``, surviving worker
+    death and stalls by resubmitting on a fresh pool (bounded)."""
+    restarts = 0
+    while remaining:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(remaining)))
+        try:
+            futures = {
+                pool.submit(_worker_run, tasks[index]): index
+                for index in sorted(remaining)
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    raise _SweepStalled(
+                        f"no sweep point completed within {timeout}s "
+                        f"({len(pending)} outstanding)"
+                    )
+                for future in done:
+                    index = futures[future]
+                    stats = future.result()  # BrokenProcessPool on worker death
+                    deliver(index, stats)
+                    remaining.discard(index)
+        except (BrokenProcessPool, _SweepStalled) as exc:
+            restarts += 1
+            if restarts > max_restarts:
+                raise SweepError(
+                    f"sweep failed permanently after {restarts} pool restarts "
+                    f"({len(remaining)} specs incomplete): {exc}"
+                ) from exc
+        finally:
+            _drain_pool(pool)
+
+
+def _sweep_fingerprint(
+    spec_list: List[ReplaySpec], engine: str, trace_key: str
+) -> str:
+    digest = hashlib.sha256()
+    digest.update(engine.encode("utf-8"))
+    digest.update(trace_key.encode("utf-8"))
+    for spec in spec_list:
+        digest.update(pickle.dumps(spec))
+    return digest.hexdigest()
 
 
 def run_replay_sweep(
@@ -259,6 +463,9 @@ def run_replay_sweep(
     trace_config: Optional[IrcacheConfig] = None,
     workers: Optional[int] = None,
     engine: str = "fast",
+    timeout: Optional[float] = None,
+    max_restarts: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
 ) -> List[ReplayStats]:
     """Run every sweep point; results in spec order.
 
@@ -273,6 +480,14 @@ def run_replay_sweep(
     ``workers``, because every spec carries its own seed and schemes are
     isolated per task (pickle round-trip in the serial path, process
     transport otherwise).
+
+    Failure handling (parallel path): a dead worker or a stall longer
+    than ``timeout`` seconds rebuilds the pool and resubmits the
+    incomplete specs, at most ``max_restarts`` times; the per-spec seeds
+    make recovered results identical to an undisturbed run.
+    ``checkpoint`` names a file to persist completed points to, so a
+    killed sweep resumes from where it died (a checkpoint written by a
+    different sweep is detected by fingerprint and ignored).
     """
     if engine not in ("fast", "reference"):
         raise ValueError(f"engine must be 'fast' or 'reference', got {engine!r}")
@@ -281,22 +496,50 @@ def run_replay_sweep(
     spec_list = list(specs)
     if not spec_list:
         return []
-    workers = min(resolve_workers(workers), len(spec_list))
+    count = len(spec_list)
+    workers = min(resolve_workers(workers), count)
+    timeout = resolve_spec_timeout(timeout)
+    max_restarts = resolve_max_restarts(max_restarts)
+
+    completed: Dict[int, ReplayStats] = {}
+    sweep_checkpoint: Optional[SweepCheckpoint] = None
+    if checkpoint is not None:
+        if trace_config is not None:
+            trace_key = f"config:{_config_key(trace_config)}"
+        else:
+            trace_key = (
+                "trace:" + hashlib.sha256(_trace_payload(trace)).hexdigest()[:16]
+            )
+        sweep_checkpoint = SweepCheckpoint(
+            checkpoint, _sweep_fingerprint(spec_list, engine, trace_key)
+        )
+        completed = {
+            index: stats
+            for index, stats in sweep_checkpoint.load().items()
+            if 0 <= index < count
+        }
+
+    def deliver(index: int, stats: ReplayStats) -> None:
+        completed[index] = stats
+        if sweep_checkpoint is not None:
+            sweep_checkpoint.append(index, stats)
 
     if workers <= 1:
         if trace is None:
             trace = _load_trace(str(ensure_trace_cached(trace_config)))
         # Pickle round-trip each spec so scheme/marking RNG state is
         # isolated exactly as process transport isolates it.
-        return [
-            _execute(trace, pickle.loads(pickle.dumps(spec)), engine)
-            for spec in spec_list
-        ]
+        for index, spec in enumerate(spec_list):
+            if index in completed:
+                continue
+            deliver(index, _execute(trace, pickle.loads(pickle.dumps(spec)), engine))
+        return [completed[index] for index in range(count)]
 
     if trace_config is not None:
         path = ensure_trace_cached(trace_config)
     else:
         path = _cache_trace_object(trace)
     tasks = [(str(path), spec, engine) for spec in spec_list]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_worker_run, tasks))
+    remaining = {index for index in range(count) if index not in completed}
+    _run_hardened(tasks, remaining, workers, timeout, max_restarts, deliver)
+    return [completed[index] for index in range(count)]

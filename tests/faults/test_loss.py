@@ -1,0 +1,95 @@
+"""Loss models: i.i.d. and Gilbert–Elliott burst loss."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.errors import FaultConfigError
+from repro.faults.loss import GilbertElliottLoss, IidLoss
+
+
+def run_model(model, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [model.drops(rng) for _ in range(n)]
+
+
+class TestIidLoss:
+    def test_rate_bounds(self):
+        IidLoss(0.0)
+        IidLoss(1.0)
+        with pytest.raises(FaultConfigError):
+            IidLoss(-0.01)
+        with pytest.raises(FaultConfigError):
+            IidLoss(1.01)
+
+    def test_mean_matches_rate(self):
+        model = IidLoss(0.3)
+        drops = run_model(model, 20_000)
+        assert model.mean_loss == 0.3
+        assert abs(np.mean(drops) - 0.3) < 0.02
+
+    def test_extremes(self):
+        assert run_model(IidLoss(0.0), 100) == [False] * 100
+        assert run_model(IidLoss(1.0), 100) == [True] * 100
+
+
+class TestGilbertElliott:
+    def test_param_validation(self):
+        with pytest.raises(FaultConfigError):
+            GilbertElliottLoss(p=1.5, r=0.1)
+        with pytest.raises(FaultConfigError):
+            GilbertElliottLoss(p=0.1, r=0.1, loss_bad=2.0)
+
+    def test_stationary_mean_loss(self):
+        model = GilbertElliottLoss(p=0.05, r=0.2)
+        # pi_bad = 0.05 / 0.25 = 0.2; loss_bad = 1 => mean 0.2.
+        assert model.mean_loss == pytest.approx(0.2)
+        drops = run_model(model, 50_000)
+        assert abs(np.mean(drops) - 0.2) < 0.02
+
+    def test_for_mean_loss_calibration(self):
+        model = GilbertElliottLoss.for_mean_loss(mean=0.1, burst_length=5.0)
+        assert model.mean_loss == pytest.approx(0.1)
+        assert 1.0 / model.r == pytest.approx(5.0)
+        drops = run_model(model, 50_000)
+        assert abs(np.mean(drops) - 0.1) < 0.02
+
+    def test_for_mean_loss_validation(self):
+        with pytest.raises(FaultConfigError):
+            GilbertElliottLoss.for_mean_loss(mean=0.5, burst_length=0.5)
+        with pytest.raises(FaultConfigError):
+            GilbertElliottLoss.for_mean_loss(mean=1.0, burst_length=5.0)
+
+    def test_burstiness_exceeds_iid(self):
+        """Same mean rate, but losses clump: the mean burst run length of
+        the GE model beats i.i.d. loss at equal rate."""
+
+        def mean_run(drops):
+            runs, current = [], 0
+            for dropped in drops:
+                if dropped:
+                    current += 1
+                elif current:
+                    runs.append(current)
+                    current = 0
+            if current:
+                runs.append(current)
+            return np.mean(runs) if runs else 0.0
+
+        ge = run_model(GilbertElliottLoss.for_mean_loss(0.15, 8.0), 40_000, seed=1)
+        iid = run_model(IidLoss(0.15), 40_000, seed=1)
+        assert mean_run(ge) > 2.0 * mean_run(iid)
+
+    def test_reset_restores_initial_state(self):
+        model = GilbertElliottLoss(p=1.0, r=0.0)  # enters BAD after 1 packet
+        rng = np.random.default_rng(0)
+        model.drops(rng)
+        assert model.in_bad_state
+        model.reset()
+        assert not model.in_bad_state
+
+    def test_deterministic_given_seed(self):
+        first = run_model(GilbertElliottLoss(0.1, 0.3), 1000, seed=9)
+        second = run_model(GilbertElliottLoss(0.1, 0.3), 1000, seed=9)
+        assert first == second
