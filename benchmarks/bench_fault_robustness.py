@@ -38,6 +38,7 @@ from repro.ndn.topology import local_lan
 from repro.perf.timing import BenchReporter
 from repro.sim.process import Timeout
 from repro.sim.rng import RngRegistry
+from repro.validation import InvariantChecker
 
 FAULT_TRIALS = int(os.environ.get("REPRO_BENCH_FAULT_TRIALS", 3))
 FAULT_TARGETS = int(os.environ.get("REPRO_BENCH_FAULT_TARGETS", 24))
@@ -257,7 +258,12 @@ def run_delivery_scenario(setup, seed=7, requests=FAULT_REQUESTS, objects=20,
             yield Timeout(gap)
 
     net.spawn(proc(), "workload")
+    # Conservation laws A-D must hold throughout every fault scenario,
+    # not just on the happy path — crashes and flaps included.
+    checker = InvariantChecker()
+    checker.install(net, interval=horizon / 20, horizon=horizon)
     net.run()
+    checker.assert_ok(net)
     router = net["R"].monitor
     hits = router.counter("cs_hit")
     misses = router.counter("cs_miss")

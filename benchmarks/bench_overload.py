@@ -1,0 +1,266 @@
+"""Overload benchmark — bounded forwarding vs interest flooding.
+
+Pits an interest flood (distinct never-answered names, PIT exhaustion)
+and a cache-pollution attack against two router configurations:
+
+* the **unbounded baseline** the paper assumes — the flood drives the
+  PIT to ~``lifetime / interval`` dangling entries,
+* the **hardened** configuration — a capacity-bounded PIT
+  (evict-oldest-expiry), per-face token-bucket admission control, and
+  Nack-based congestion pushback into the consumers' retry loops.
+
+Shape targets: the flood pushes the baseline PIT past 10x the bounded
+capacity, while the hardened router keeps legitimate delivery >= 0.9 and
+holds its PIT at the cap.  Every scenario runs under the
+:class:`~repro.validation.InvariantChecker` (conservation laws A-D must
+hold throughout), and the fast-replay kernel must stay bit-identical to
+the oracle across the fig5-style scheme grid.
+
+Scale knobs: ``REPRO_BENCH_OVERLOAD_FETCHES`` (legitimate fetches per
+scenario, default 200), ``REPRO_BENCH_OVERLOAD_PIT_CAP`` (bounded PIT
+capacity, default 64), ``REPRO_BENCH_OVERLOAD_FLOOD_INTERVAL`` (ms
+between flood interests, default 2.0), ``REPRO_BENCH_OVERLOAD_REQUESTS``
+(differential trace length, default 2000).  Results land in
+``BENCH_overload.json`` (with process peak RSS alongside wall time).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.attacks.classifier import ThresholdClassifier
+from repro.faults.retry import RetryPolicy
+from repro.ndn.admission import InterestRateLimit
+from repro.ndn.topology import local_lan
+from repro.perf.timing import BenchReporter
+from repro.sim.process import Timeout
+from repro.validation import (
+    InvariantChecker,
+    run_overload_scenario,
+    validate_differential,
+)
+from repro.validation.differential import small_validation_trace
+
+OVERLOAD_FETCHES = int(os.environ.get("REPRO_BENCH_OVERLOAD_FETCHES", 200))
+OVERLOAD_PIT_CAP = int(os.environ.get("REPRO_BENCH_OVERLOAD_PIT_CAP", 64))
+OVERLOAD_FLOOD_INTERVAL = float(
+    os.environ.get("REPRO_BENCH_OVERLOAD_FLOOD_INTERVAL", 2.0)
+)
+OVERLOAD_REQUESTS = int(os.environ.get("REPRO_BENCH_OVERLOAD_REQUESTS", 2000))
+
+RATE_LIMIT = InterestRateLimit(rate=200.0, burst=50.0)
+
+_REPORTER = BenchReporter(
+    "overload",
+    scale={
+        "fetches": OVERLOAD_FETCHES,
+        "pit_capacity": OVERLOAD_PIT_CAP,
+        "flood_interval": OVERLOAD_FLOOD_INTERVAL,
+        "differential_requests": OVERLOAD_REQUESTS,
+    },
+)
+
+
+def _scenario(**kwargs):
+    return run_overload_scenario(
+        fetches=OVERLOAD_FETCHES,
+        flood_interval=OVERLOAD_FLOOD_INTERVAL,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Flood: unbounded baseline vs hardened router
+# ----------------------------------------------------------------------
+def test_flood_bounded_vs_unbounded(benchmark):
+    def run():
+        return {
+            "unbounded": _scenario(pit_capacity=None),
+            "bounded": _scenario(
+                pit_capacity=OVERLOAD_PIT_CAP,
+                pit_overflow="evict-oldest-expiry",
+                rate_limit=RATE_LIMIT,
+            ),
+            "bounded-drop-new": _scenario(
+                pit_capacity=OVERLOAD_PIT_CAP,
+                pit_overflow="drop-new",
+                rate_limit=RATE_LIMIT,
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, res in results.items():
+        print(
+            f"  [{name:>16}] delivery={res.delivery_rate:.3f} "
+            f"peak_pit={res.peak_pit_size} "
+            f"nacks_out={int(res.router_summary['nack_out'])} "
+            f"rate_limited={int(res.router_summary['rate_limited'])}"
+        )
+    _REPORTER.record(
+        "flood",
+        benchmark.stats.stats.mean,
+        events=sum(res.events for res in results.values()),
+        scenarios={
+            name: {
+                "delivery": round(res.delivery_rate, 4),
+                "peak_pit": res.peak_pit_size,
+                "invariant_checks": res.checker.checks_run,
+                "violations": len(res.checker.violations),
+            }
+            for name, res in results.items()
+        },
+    )
+    _REPORTER.write()
+
+    # The invariant checker ran and found nothing, in every scenario.
+    for name, res in results.items():
+        assert res.checker.checks_run > 0, name
+        res.checker.assert_ok()
+
+    baseline, bounded = results["unbounded"], results["bounded"]
+    # The flood drives the unbounded PIT past 10x the bounded capacity...
+    assert baseline.peak_pit_size > 10 * OVERLOAD_PIT_CAP
+    # ...while the bounded table never exceeds its cap.
+    assert bounded.peak_pit_size <= OVERLOAD_PIT_CAP
+    assert results["bounded-drop-new"].peak_pit_size <= OVERLOAD_PIT_CAP
+    # The hardened router sustains legitimate delivery through the attack.
+    assert bounded.delivery_rate >= 0.9
+    # Congestion was signaled, not silently swallowed.
+    assert bounded.router_summary["nack_out"] > 0
+
+
+# ----------------------------------------------------------------------
+# Cache pollution riding on the flood
+# ----------------------------------------------------------------------
+def test_pollution_churns_but_delivery_holds(benchmark):
+    def run():
+        return {
+            "flood-only": _scenario(
+                pit_capacity=OVERLOAD_PIT_CAP,
+                pit_overflow="evict-oldest-expiry",
+                rate_limit=RATE_LIMIT,
+            ),
+            "flood+pollution": _scenario(
+                pit_capacity=OVERLOAD_PIT_CAP,
+                pit_overflow="evict-oldest-expiry",
+                rate_limit=RATE_LIMIT,
+                pollution=True,
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, res in results.items():
+        print(
+            f"  [{name:>16}] delivery={res.delivery_rate:.3f} "
+            f"cs_evictions={int(res.router_summary['cs_evictions'])}"
+        )
+    _REPORTER.record(
+        "pollution",
+        benchmark.stats.stats.mean,
+        events=sum(res.events for res in results.values()),
+        scenarios={
+            name: {
+                "delivery": round(res.delivery_rate, 4),
+                "cs_evictions": int(res.router_summary["cs_evictions"]),
+                "violations": len(res.checker.violations),
+            }
+            for name, res in results.items()
+        },
+    )
+    _REPORTER.write()
+
+    for name, res in results.items():
+        res.checker.assert_ok()
+    clean, polluted = results["flood-only"], results["flood+pollution"]
+    # Pollution visibly churns the CS...
+    assert (
+        polluted.router_summary["cs_evictions"]
+        > clean.router_summary["cs_evictions"]
+    )
+    # ...but retransmission keeps legitimate delivery acceptable.
+    assert polluted.delivery_rate >= 0.9
+
+
+# ----------------------------------------------------------------------
+# Invariants hold on the fig3-style attack topology too
+# ----------------------------------------------------------------------
+def test_invariants_on_attack_topology(benchmark):
+    def run():
+        topo = local_lan(seed=11)
+        checker = InvariantChecker()
+        retry = RetryPolicy(retries=3, timeout=80.0, backoff=2.0)
+        prefix = str(topo.content_prefix)
+        verdicts = []
+
+        def user_proc():
+            for i in range(16):
+                result = yield from topo.user.fetch(
+                    f"{prefix}/inv-hot-{i}", retry=retry
+                )
+                assert result is not None
+                yield Timeout(2.0)
+
+        def adversary_proc():
+            yield Timeout(200.0)
+            ref_rtts = []
+            yield from topo.adversary.fetch(f"{prefix}/inv-ref", retry=retry)
+            for _ in range(5):
+                result = yield from topo.adversary.fetch(
+                    f"{prefix}/inv-ref", retry=retry
+                )
+                if result is not None:
+                    ref_rtts.append(result.rtt)
+                yield Timeout(5.0)
+            classifier = ThresholdClassifier.from_reference(ref_rtts)
+            for i in range(16):
+                result = yield from topo.adversary.fetch(
+                    f"{prefix}/inv-hot-{i}", retry=retry
+                )
+                if result is not None:
+                    verdicts.append(classifier.is_hit(result.rtt))
+                yield Timeout(5.0)
+
+        topo.engine.spawn(user_proc(), label="user")
+        topo.engine.spawn(adversary_proc(), label="adv")
+        checker.install(topo.network, interval=100.0, horizon=2000.0)
+        topo.engine.run()
+        checker.check_network(topo.network)
+        return checker, verdicts
+
+    (checker, verdicts) = benchmark.pedantic(run, rounds=1, iterations=1)
+    _REPORTER.record(
+        "attack_topology_invariants",
+        benchmark.stats.stats.mean,
+        checks=checker.checks_run,
+        violations=len(checker.violations),
+    )
+    _REPORTER.write()
+    assert checker.checks_run > 0
+    checker.assert_ok()
+    # The probe attack still works on the clean LAN (sanity anchor).
+    assert sum(verdicts) >= 0.9 * len(verdicts)
+
+
+# ----------------------------------------------------------------------
+# Differential: fast kernel bit-identical to the oracle
+# ----------------------------------------------------------------------
+def test_differential_parity(benchmark):
+    trace = small_validation_trace(requests=OVERLOAD_REQUESTS, seed=3)
+
+    def run():
+        return validate_differential(trace=trace, seed=3)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("  " + report.summary().replace("\n", "\n  "))
+    _REPORTER.record(
+        "differential",
+        benchmark.stats.stats.mean,
+        requests=OVERLOAD_REQUESTS * len(report.results) * 2,
+        configs=len(report.results),
+        ok=report.ok,
+    )
+    _REPORTER.write()
+    assert report.ok, report.summary()

@@ -10,6 +10,7 @@ Usage (installed as ``repro-experiments``, or ``python -m repro.cli``):
     repro-experiments fig5b --requests 100000 --sizes 2000 8000 inf
     repro-experiments amplification --p 0.59 --fragments 8
     repro-experiments trace --requests 50000 --out trace.tsv
+    repro-experiments validate --requests 2000
 
 Each command prints the same rows/series the corresponding paper figure
 plots; ``trace`` writes a synthetic IRCache-style trace in the TSV format
@@ -105,6 +106,18 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", required=True, help="output TSV path")
 
+    validate = sub.add_parser(
+        "validate",
+        help="run invariant + differential validation; exit 1 on any failure",
+    )
+    validate.add_argument("--requests", type=int, default=2000,
+                          help="trace length for the differential cross-check")
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--skip-differential", action="store_true",
+                          help="skip the oracle-vs-fast-kernel cross-check")
+    validate.add_argument("--skip-invariants", action="store_true",
+                          help="skip the packet-level overload scenarios")
+
     report = sub.add_parser(
         "report", help="run every figure and write a markdown report"
     )
@@ -197,12 +210,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.command == "validate":
+        return _run_validate(args)
+
     if args.command == "report":
         _write_report(args)
         print(f"wrote reproduction report to {args.out}")
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _run_validate(args) -> int:
+    """Invariant + differential validation; 0 only when everything holds."""
+    from repro.ndn.admission import InterestRateLimit
+    from repro.validation import run_overload_scenario, validate_differential
+    from repro.validation.differential import small_validation_trace
+
+    failed = False
+
+    if not args.skip_invariants:
+        scenarios = {
+            "unbounded-baseline": dict(pit_capacity=None),
+            "bounded-evict": dict(
+                pit_capacity=64,
+                pit_overflow="evict-oldest-expiry",
+                rate_limit=InterestRateLimit(rate=200, burst=50),
+            ),
+            "bounded-drop-new": dict(pit_capacity=64, pit_overflow="drop-new"),
+            "bounded-polluted": dict(
+                pit_capacity=64,
+                pit_overflow="evict-oldest-expiry",
+                rate_limit=InterestRateLimit(rate=200, burst=50),
+                pollution=True,
+            ),
+        }
+        for label, kwargs in scenarios.items():
+            result = run_overload_scenario(seed=args.seed + 7, **kwargs)
+            violations = result.checker.violations
+            status = "ok" if not violations else f"{len(violations)} VIOLATION(S)"
+            print(
+                f"invariants [{label}]: {status} "
+                f"(checks={result.checker.checks_run}, "
+                f"delivery={result.delivery_rate:.3f}, "
+                f"peak_pit={result.peak_pit_size})"
+            )
+            for violation in violations:
+                print(f"  - {violation}")
+                failed = True
+
+    if not args.skip_differential:
+        trace = small_validation_trace(requests=args.requests, seed=args.seed)
+        report = validate_differential(trace=trace, seed=args.seed)
+        print(
+            f"differential: {'ok' if report.ok else 'MISMATCH'} "
+            f"({len(report.results)} configs, {report.trace_requests} requests)"
+        )
+        if not report.ok:
+            failed = True
+            for case in report.failures:
+                print(f"  - {case.case.label}: " + "; ".join(case.mismatches))
+
+    print("validation", "FAILED" if failed else "passed")
+    return 1 if failed else 0
 
 
 def _write_report(args) -> None:

@@ -13,6 +13,12 @@ randomized schedules are generated from an explicit RNG
 (:func:`random_link_flaps`).
 """
 
+from repro.faults.adversarial import (
+    CachePollutionSchedule,
+    CachePollutionWindow,
+    InterestFloodSchedule,
+    InterestFloodWindow,
+)
 from repro.faults.errors import FaultConfigError, FaultError
 from repro.faults.loss import GilbertElliottLoss, IidLoss, LossModel
 from repro.faults.retry import RetryPolicy
@@ -28,6 +34,10 @@ from repro.faults.schedule import (
 
 __all__ = [
     "BurstLossWindow",
+    "CachePollutionSchedule",
+    "CachePollutionWindow",
+    "InterestFloodSchedule",
+    "InterestFloodWindow",
     "DelaySpikeWindow",
     "Fault",
     "FaultConfigError",

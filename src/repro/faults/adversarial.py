@@ -1,0 +1,219 @@
+"""Adversarial load generators: interest flooding and cache pollution.
+
+Where :mod:`repro.faults.schedule` models *failures*, this module models
+*attacks* on the forwarding plane's finite resources:
+
+* :class:`InterestFloodWindow` — an attacker face emits interests for
+  distinct, never-published names at a fixed cadence.  Each interest opens
+  a PIT entry that nothing will ever satisfy, so an unbounded PIT grows to
+  roughly ``lifetime / interval`` entries — the classic interest-flooding
+  attack the bounded PIT and per-face rate limiting defend against.
+* :class:`CachePollutionWindow` — an attacker requests a wide, unpopular
+  catalog under a *real* (auto-generating) producer prefix, churning the
+  Content Store and destroying the locality legitimate consumers rely on.
+
+Both are plain fault objects: frozen dataclasses exposing
+``plan(network) -> [(time, action, label), ...]``, the extension protocol
+:class:`~repro.faults.schedule.FaultSchedule` accepts.  They compose
+freely with link outages, burst loss, and router crashes in a single
+schedule.  Attack timing and name choice are derived from the window's
+own ``seed`` (never from wall-clock or global state), so a schedule is
+bit-reproducible and independent of everything else in the run.
+
+:class:`InterestFloodSchedule` and :class:`CachePollutionSchedule` are
+one-window conveniences for the common single-attacker scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from repro.faults.errors import FaultConfigError
+from repro.faults.schedule import FaultSchedule, _check_window
+
+if TYPE_CHECKING:  # typing only: faults must not import ndn at runtime
+    from repro.ndn.network import Network
+
+
+def _attacker_face(network: "Network", attacker: str, kind: str):
+    """The attacking entity's network face, validated."""
+    if attacker not in network:
+        raise FaultConfigError(
+            f"{kind} references unknown entity {attacker!r}"
+        )
+    entity = network[attacker]
+    face = getattr(entity, "face", None)
+    if face is None:
+        raise FaultConfigError(
+            f"{kind} attacker {attacker!r} has no attached face "
+            "(use an end host, not a router)"
+        )
+    return face
+
+
+def _check_start(kind: str, start: float, network: "Network") -> None:
+    if start < network.engine.now:
+        raise FaultConfigError(
+            f"{kind} starts at t={start} in the past (now={network.engine.now})"
+        )
+
+
+@dataclass(frozen=True)
+class InterestFloodWindow:
+    """Flood distinct non-existent names from ``attacker`` during
+    ``[start, end)``.
+
+    Attributes:
+        attacker: network entity name whose face emits the flood.
+        prefix: name prefix for the flooded interests; use a prefix that
+            is routable from the attacker but *unpublished* (or served by
+            an ``auto_generate=False`` producer) so nothing answers and
+            every interest dangles in the PIT until its lifetime expires.
+        start/end: attack window in ms.
+        interval: ms between consecutive flood interests.
+        lifetime: interest lifetime in ms — with an unbounded PIT the
+            flood sustains ~``lifetime / interval`` dangling entries.
+        jitter: optional uniform per-interest send-time jitter in ms,
+            drawn from ``seed`` (0 keeps the cadence exact).
+        seed: derives name suffixes and jitter; same seed, same attack.
+    """
+
+    attacker: str
+    prefix: str
+    start: float
+    end: float
+    interval: float = 2.0
+    lifetime: float = 2000.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_window("InterestFloodWindow", self.start, self.end)
+        if self.interval <= 0:
+            raise FaultConfigError(f"interval must be > 0, got {self.interval}")
+        if self.lifetime <= 0:
+            raise FaultConfigError(f"lifetime must be > 0, got {self.lifetime}")
+        if self.jitter < 0:
+            raise FaultConfigError(f"jitter must be >= 0, got {self.jitter}")
+
+    @property
+    def count(self) -> int:
+        """Number of interests the window emits."""
+        return int((self.end - self.start) / self.interval)
+
+    def plan(self, network: "Network") -> List[Tuple[float, object, str]]:
+        """Schedule one send event per flooded interest."""
+        from repro.ndn.name import name_of
+        from repro.ndn.packets import Interest
+
+        _check_start("InterestFloodWindow", self.start, network)
+        face = _attacker_face(network, self.attacker, "InterestFloodWindow")
+        rng = np.random.default_rng(self.seed)
+        label = f"attack:flood:{self.attacker}"
+        plan: List[Tuple[float, object, str]] = []
+        for i in range(self.count):
+            at = self.start + i * self.interval
+            if self.jitter > 0:
+                at = min(self.end, at + rng.uniform(0.0, self.jitter))
+            name = name_of(f"{self.prefix}/f{self.seed}-{i:06d}")
+            interest = Interest(name=name, lifetime=self.lifetime)
+            plan.append(
+                (at, lambda f=face, p=interest: f.send_interest(p), label)
+            )
+        return plan
+
+
+@dataclass(frozen=True)
+class CachePollutionWindow:
+    """Churn the Content Store with requests for a wide unpopular catalog.
+
+    Each tick requests one name drawn uniformly (from ``seed``) out of
+    ``catalog`` names under ``prefix``.  Point the prefix at a real
+    producer with ``auto_generate=True`` so every request is *answered*
+    and cached — the attack's damage is eviction of legitimately popular
+    content (locality disruption), not dangling PIT state.
+
+    Attributes:
+        attacker: network entity name whose face emits the requests.
+        prefix: routable, auto-generating producer prefix to pollute under.
+        start/end: attack window in ms.
+        interval: ms between consecutive pollution requests.
+        catalog: number of distinct pollution names (make it a multiple
+            of the victim CS capacity to guarantee churn).
+        lifetime: interest lifetime in ms.
+        seed: derives the request sequence; same seed, same attack.
+    """
+
+    attacker: str
+    prefix: str
+    start: float
+    end: float
+    interval: float = 5.0
+    catalog: int = 1000
+    lifetime: float = 4000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_window("CachePollutionWindow", self.start, self.end)
+        if self.interval <= 0:
+            raise FaultConfigError(f"interval must be > 0, got {self.interval}")
+        if self.catalog < 1:
+            raise FaultConfigError(f"catalog must be >= 1, got {self.catalog}")
+        if self.lifetime <= 0:
+            raise FaultConfigError(f"lifetime must be > 0, got {self.lifetime}")
+
+    @property
+    def count(self) -> int:
+        """Number of pollution requests the window emits."""
+        return int((self.end - self.start) / self.interval)
+
+    def plan(self, network: "Network") -> List[Tuple[float, object, str]]:
+        """Schedule one send event per pollution request."""
+        from repro.ndn.name import name_of
+        from repro.ndn.packets import Interest
+
+        _check_start("CachePollutionWindow", self.start, network)
+        face = _attacker_face(network, self.attacker, "CachePollutionWindow")
+        rng = np.random.default_rng(self.seed)
+        label = f"attack:pollute:{self.attacker}"
+        picks = rng.integers(0, self.catalog, size=self.count)
+        plan: List[Tuple[float, object, str]] = []
+        for i, pick in enumerate(picks):
+            at = self.start + i * self.interval
+            name = name_of(f"{self.prefix}/pollute-{int(pick):06d}")
+            interest = Interest(name=name, lifetime=self.lifetime)
+            plan.append(
+                (at, lambda f=face, p=interest: f.send_interest(p), label)
+            )
+        return plan
+
+
+class InterestFloodSchedule(FaultSchedule):
+    """A :class:`FaultSchedule` holding one interest-flood window.
+
+    Convenience for the common single-attacker case; further faults (or
+    more attack windows) can still be :meth:`~FaultSchedule.add`-ed.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__([InterestFloodWindow(**kwargs)])
+
+    @property
+    def window(self) -> InterestFloodWindow:
+        """The flood window this schedule was built from."""
+        return self.faults[0]
+
+
+class CachePollutionSchedule(FaultSchedule):
+    """A :class:`FaultSchedule` holding one cache-pollution window."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__([CachePollutionWindow(**kwargs)])
+
+    @property
+    def window(self) -> CachePollutionWindow:
+        """The pollution window this schedule was built from."""
+        return self.faults[0]

@@ -122,11 +122,20 @@ class FaultSchedule:
             self.add(fault)
 
     def add(self, fault: Fault) -> "FaultSchedule":
-        """Append one fault; returns self for chaining."""
+        """Append one fault; returns self for chaining.
+
+        Besides the built-in window types, any object exposing
+        ``plan(network) -> [(time, action, label), ...]`` is accepted —
+        the extension point the adversarial load generators in
+        :mod:`repro.faults.adversarial` use.
+        """
         if not isinstance(
             fault, (LinkDownWindow, DelaySpikeWindow, BurstLossWindow, RouterCrash)
-        ):
-            raise FaultConfigError(f"unknown fault type {type(fault).__name__}")
+        ) and not callable(getattr(fault, "plan", None)):
+            raise FaultConfigError(
+                f"unknown fault type {type(fault).__name__} "
+                "(expected a built-in fault or an object with .plan(network))"
+            )
         self._faults.append(fault)
         return self
 
@@ -162,6 +171,12 @@ class FaultSchedule:
 
     def _plan(self, fault: Fault, network: "Network"):
         now = network.engine.now
+        if not isinstance(
+            fault, (LinkDownWindow, DelaySpikeWindow, BurstLossWindow, RouterCrash)
+        ):
+            # Extension fault (e.g. an adversarial load window): it plans
+            # its own events and does its own validation.
+            return fault.plan(network)
         if isinstance(fault, RouterCrash):
             routers = network.routers
             if fault.router not in routers:

@@ -2,6 +2,12 @@
 links, and topology builders (Section II of the paper, built from scratch).
 """
 
+from repro.ndn.admission import (
+    AdmissionError,
+    FaceRateLimiter,
+    InterestRateLimit,
+    TokenBucket,
+)
 from repro.ndn.cs import CacheEntry, ContentStore
 from repro.ndn.errors import (
     CacheError,
@@ -24,8 +30,16 @@ from repro.ndn.link import (
 )
 from repro.ndn.name import PRIVATE_COMPONENT, Name, name_of
 from repro.ndn.network import Network
-from repro.ndn.packets import Data, Interest
-from repro.ndn.pit import Pit, PitEntry
+from repro.ndn.packets import (
+    NACK_CONGESTION,
+    NACK_NO_ROUTE,
+    NACK_PIT_FULL,
+    NACK_REASONS,
+    Data,
+    Interest,
+    Nack,
+)
+from repro.ndn.pit import OVERFLOW_POLICIES, Pit, PitEntry
 from repro.ndn.wire import (
     decode_packet,
     encode_packet,
@@ -46,10 +60,20 @@ __all__ = [
     "PRIVATE_COMPONENT",
     "Interest",
     "Data",
+    "Nack",
+    "NACK_CONGESTION",
+    "NACK_PIT_FULL",
+    "NACK_NO_ROUTE",
+    "NACK_REASONS",
     "ContentStore",
     "CacheEntry",
     "Pit",
     "PitEntry",
+    "OVERFLOW_POLICIES",
+    "InterestRateLimit",
+    "TokenBucket",
+    "FaceRateLimiter",
+    "AdmissionError",
     "Fib",
     "FibNextHop",
     "Forwarder",

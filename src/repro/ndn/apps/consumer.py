@@ -16,11 +16,11 @@ import numpy as np
 from repro.faults.retry import RetryPolicy
 from repro.ndn.link import Face
 from repro.ndn.name import Name, name_of
-from repro.ndn.packets import Data, Interest
+from repro.ndn.packets import Data, Interest, Nack
 from repro.sim.engine import Engine
 from repro.sim.events import Signal
 from repro.sim.monitor import Monitor
-from repro.sim.process import TIMED_OUT, WaitSignal
+from repro.sim.process import TIMED_OUT, Timeout, WaitSignal
 
 
 @dataclass(frozen=True)
@@ -123,6 +123,13 @@ class Consumer:
                 self.monitor.count("fetch_retransmits")
             wait = retry.timeout_for(attempt, rng)
             result = yield WaitSignal(signal, timeout=wait)
+            if isinstance(result, Nack):
+                # Upstream congestion: the network explicitly refused this
+                # interest.  Back off for the attempt's full timeout (the
+                # Nack already withdrew the pending entry) before retrying.
+                self.monitor.count("fetch_nacked")
+                yield Timeout(wait)
+                continue
             if result is not TIMED_OUT:
                 return result
             self.monitor.count("fetch_timeouts")
@@ -172,6 +179,24 @@ class Consumer:
     def receive_interest(self, interest: Interest, face: Face) -> None:
         """Consumers do not serve content."""
         self.monitor.count("unexpected_interest")
+
+    def receive_nack(self, nack: Nack, face: Face) -> None:
+        """Deliver an upstream rejection to the oldest waiting fetch.
+
+        The waiter's signal fires with the :class:`Nack` itself so
+        :meth:`fetch` (and :meth:`express_interest` callers) can
+        distinguish explicit congestion pushback from a silent timeout
+        and back off accordingly.
+        """
+        waiters = self._pending.get(nack.name)
+        if not waiters:
+            self.monitor.count("unsolicited_nack")
+            return
+        signal, _send_time = waiters.pop(0)
+        if not waiters:
+            del self._pending[nack.name]
+        self.monitor.count("nacks_received")
+        signal.trigger(nack, time=self.engine.now)
 
     @property
     def pending_count(self) -> int:

@@ -20,7 +20,7 @@ import numpy as np
 from repro.faults.retry import RetryPolicy
 from repro.ndn.link import Face
 from repro.ndn.name import Name
-from repro.ndn.packets import Data, Interest
+from repro.ndn.packets import Data, Interest, Nack
 from repro.sim.engine import Engine
 from repro.sim.events import Signal
 from repro.sim.monitor import Monitor
@@ -129,11 +129,20 @@ class InteractiveEndpoint:
                 wait = retry.timeout_for(attempt, rng)
                 signal = self.request_frame(seq, lifetime=wait * 4)
                 result = yield WaitSignal(signal, timeout=wait)
+                if isinstance(result, Nack):
+                    # Explicit congestion pushback from the network: wait
+                    # out the attempt before re-requesting, like a timeout
+                    # but without leaving a dangling pending entry.
+                    self.monitor.count("frames_nacked")
+                    yield Timeout(wait)
+                    retransmitted = True
+                    self.monitor.count("retransmits")
+                    continue
                 if result is not TIMED_OUT:
                     break
                 retransmitted = True
                 self.monitor.count("retransmits")
-            if result is not None and result is not TIMED_OUT:
+            if result is not None and result is not TIMED_OUT and not isinstance(result, Nack):
                 self.frame_stats.append(
                     FrameStats(
                         sequence=seq,
@@ -167,6 +176,16 @@ class InteractiveEndpoint:
         signal, _send_time = pending
         self.monitor.count("frames_received")
         signal.trigger(data, time=self.engine.now)
+
+    def receive_nack(self, nack: Nack, face: Face) -> None:
+        """Resolve a pending frame fetch with the upstream rejection."""
+        pending = self._pending.pop(nack.name, None)
+        if pending is None:
+            self.monitor.count("unsolicited_nack")
+            return
+        signal, _send_time = pending
+        self.monitor.count("nacks_received")
+        signal.trigger(nack, time=self.engine.now)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"InteractiveEndpoint({self.label}, frames={len(self.frame_stats)})"

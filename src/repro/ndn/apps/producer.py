@@ -13,7 +13,7 @@ from typing import Dict, Optional, Union
 
 from repro.ndn.link import Face
 from repro.ndn.name import Name, name_of
-from repro.ndn.packets import Data, Interest
+from repro.ndn.packets import Data, Interest, Nack
 from repro.sim.engine import Engine
 from repro.sim.monitor import Monitor
 
@@ -131,6 +131,10 @@ class Producer:
     def receive_data(self, data: Data, face: Face) -> None:
         """Producers do not consume content."""
         self.monitor.count("unexpected_data")
+
+    def receive_nack(self, nack: Nack, face: Face) -> None:
+        """Producers send no interests, so a Nack is only tallied."""
+        self.monitor.count("unexpected_nack")
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Producer({self.prefix}, repo={len(self.repo)})"

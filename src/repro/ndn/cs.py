@@ -76,6 +76,10 @@ class ContentStore:
         self.insertions = 0
         self.evictions = 0
         self.stale_drops = 0
+        #: Every entry that left the cache, for any reason (capacity
+        #: eviction, stale drop, explicit removal, clear).  The ledger the
+        #: invariant checker balances: insertions == removed + len(cs).
+        self.removed = 0
 
     # ------------------------------------------------------------------
     # Listeners
@@ -109,7 +113,7 @@ class ContentStore:
             return entry
         if self.capacity is not None:
             while len(self._entries) >= self.capacity:
-                self._evict(self.policy.choose_victim())
+                self._evict(self.policy.choose_victim(), now)
         entry = CacheEntry(
             data=data,
             insert_time=now,
@@ -131,6 +135,7 @@ class ContentStore:
         entry = self._entries.pop(name, None)
         if entry is None:
             return None
+        self.removed += 1
         self.policy.on_remove(name)
         for prefix in name.prefixes():
             if prefix == name:
@@ -142,11 +147,18 @@ class ContentStore:
                     del self._prefix_index[prefix]
         return entry
 
-    def _evict(self, name: Name) -> None:
+    def _evict(self, name: Name, now: float) -> None:
         entry = self.remove(name)
         if entry is None:
             raise CacheError(f"policy nominated uncached victim {name}")
-        self.evictions += 1
+        if entry.is_stale(now):
+            # The victim had already expired: its removal is a stale drop
+            # that capacity pressure merely surfaced, not an eviction of
+            # live content.  Keeping the tallies mutually exclusive lets
+            # eviction counts measure true cache contention.
+            self.stale_drops += 1
+        else:
+            self.evictions += 1
         for listener in self._evict_listeners:
             listener(entry)
 

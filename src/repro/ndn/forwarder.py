@@ -1,37 +1,69 @@
 """The NDN forwarder: one router (or host daemon) of the data plane.
 
-Interest pipeline (Section II, plus the privacy hooks of Sections V–VI):
+Interest pipeline (Section II, plus the privacy hooks of Sections V–VI and
+the overload-robustness layer):
 
-1. **Content Store lookup** — prefix-match, honoring the footnote-5
+1. **Admission control** — an optional per-face token bucket
+   (:class:`~repro.ndn.admission.InterestRateLimit`) rejects interests
+   from faces exceeding their rate, answering with a congestion Nack.
+2. **Content Store lookup** — prefix-match, honoring the footnote-5
    exclusion of unpredictable names.  The entry is refreshed on lookup even
    when the eventual response is delayed or disguised (Section VII).
-2. **Privacy scheme consultation** — the marking rules fix the entry's
+3. **Privacy scheme consultation** — the marking rules fix the entry's
    effective privacy, then the configured :class:`CacheScheme` decides:
    serve now (HIT), serve after an artificial delay (DELAYED_HIT), or
    behave like a miss and re-fetch upstream (MISS).
-3. **PIT** — misses insert or collapse into the pending-interest table.
-4. **Scope** — an interest whose scope budget is exhausted at this node is
+4. **PIT** — misses insert or collapse into the pending-interest table.
+   A bounded PIT may reject the interest (``drop-new`` → Nack) or preempt
+   the entry closest to expiry (``evict-oldest-expiry`` → the preempted
+   entry's faces are Nacked).
+5. **Scope** — an interest whose scope budget is exhausted at this node is
    not forwarded (routers may be configured to disregard scope, as the
    paper notes they are allowed to).
-5. **FIB** — longest-prefix-match forward to the best next hop.
+6. **FIB** — longest-prefix-match forward to the best next hop.
 
 Data pipeline: PIT match → record the interest-in→content-out delay γ_C →
 cache admission (with the scheme's per-entry state initialization) →
 fan-out to all collapsed faces.
+
+Nack pipeline: a Nack from upstream removes the matching PIT entry and
+propagates to every collapsed downstream face, carrying the congestion
+signal back to consumers, which back off through their
+:class:`~repro.faults.retry.RetryPolicy`.
+
+Every interest entering the router is classified exactly once, so the
+:mod:`repro.validation` invariant checker can assert the conservation law
+
+    interest_in == cs_hit + cs_disguised_hit + rate_limited
+                   + pit_overflow_drop + pit_collapse + scope_drop
+                   + no_route + pit_insert
+
+and the PIT ledger
+
+    pit_insert == pit_satisfied + pit_expired + pit_nacked
+                  + pit_preempted + pit_drained + len(pit).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.schemes.base import CacheScheme, DecisionKind
 from repro.core.schemes.marking import MarkingPolicy
 from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.ndn.admission import FaceRateLimiter, InterestRateLimit
 from repro.ndn.cs import ContentStore
 from repro.ndn.fib import Fib
 from repro.ndn.link import Face
-from repro.ndn.packets import Data, Interest
-from repro.ndn.pit import Pit
+from repro.ndn.packets import (
+    NACK_CONGESTION,
+    NACK_NO_ROUTE,
+    NACK_PIT_FULL,
+    Data,
+    Interest,
+    Nack,
+)
+from repro.ndn.pit import Pit, PitEntry
 from repro.sim.engine import Engine
 from repro.sim.monitor import Monitor
 
@@ -51,11 +83,22 @@ class Forwarder:
         processing_delay: float = 0.0,
         cache_filter: Optional[Callable[[Data], bool]] = None,
         strategy: str = "best-route",
+        pit: Optional[Pit] = None,
+        rate_limit: Optional[InterestRateLimit] = None,
+        nack_on_no_route: bool = False,
     ) -> None:
         """``strategy`` selects among FIB next hops: ``best-route``
         forwards to the single cheapest face; ``multicast`` forwards to
         every registered next hop (duplicate data returning on the losing
-        paths is dropped as unsolicited)."""
+        paths is dropped as unsolicited).
+
+        ``pit`` installs a custom (typically capacity-bounded) pending
+        interest table; ``rate_limit`` arms per-face interest admission
+        control.  Overload rejections (rate limit, bounded-PIT drop or
+        preemption) always answer with a Nack; ``nack_on_no_route``
+        additionally Nacks routeless interests instead of the legacy
+        silent drop.
+        """
         if strategy not in ("best-route", "multicast"):
             raise ValueError(
                 f"unknown strategy {strategy!r}; use 'best-route' or 'multicast'"
@@ -63,7 +106,7 @@ class Forwarder:
         self.engine = engine
         self.name = name
         self.cs = cs if cs is not None else ContentStore()
-        self.pit = Pit()
+        self.pit = pit if pit is not None else Pit()
         self.fib = Fib()
         self.scheme = scheme if scheme is not None else NoPrivacyScheme()
         self.marking = marking if marking is not None else MarkingPolicy()
@@ -72,10 +115,15 @@ class Forwarder:
         self.processing_delay = processing_delay
         self.cache_filter = cache_filter
         self.strategy = strategy
+        self.rate_limiter = (
+            FaceRateLimiter(rate_limit) if rate_limit is not None else None
+        )
+        self.nack_on_no_route = nack_on_no_route
         self.faces: List[Face] = []
         #: False while crashed: every arriving packet is dropped.
         self.up = True
         self.cs.add_evict_listener(self.scheme.on_evict)
+        self.pit.add_evict_listener(self._on_pit_preempted)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -95,6 +143,14 @@ class Forwarder:
             self.monitor.count("down_dropped_interest")
             return
         self.monitor.count("interest_in")
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            face, self.engine.now
+        ):
+            self.monitor.count("rate_limited")
+            self._send_nack_on(
+                face, Nack.for_interest(interest, NACK_CONGESTION)
+            )
+            return
         entry = self.cs.lookup(interest.name, self.engine.now, touch=True)
         if entry is not None:
             marking = self.marking.on_request(entry, interest)
@@ -122,6 +178,11 @@ class Forwarder:
             and interest.nonce not in existing.nonces
         )
         pit_entry, is_new = self.pit.insert_or_collapse(interest, face, self.engine.now)
+        if pit_entry is None:
+            # Bounded PIT, drop-new policy: the interest is rejected.
+            self.monitor.count("pit_overflow_drop")
+            self._send_nack_on(face, Nack.for_interest(interest, NACK_PIT_FULL))
+            return
         if not is_new:
             self.monitor.count("pit_collapse")
             if is_retransmission and not (self.honor_scope and interest.scope_exhausted):
@@ -149,7 +210,12 @@ class Forwarder:
         if not upstreams:
             self.monitor.count("no_route")
             self.pit.remove(interest.name)
+            if self.nack_on_no_route:
+                self._send_nack_on(
+                    face, Nack.for_interest(interest, NACK_NO_ROUTE)
+                )
             return
+        self.monitor.count("pit_insert")
         pit_entry.timer = self.engine.schedule(
             interest.lifetime,
             self._on_pit_expiry,
@@ -195,6 +261,15 @@ class Forwarder:
         if self.pit.expire(name, self.engine.now) is not None:
             self.monitor.count("pit_expired")
 
+    def _on_pit_preempted(self, entry: PitEntry) -> None:
+        """A bounded PIT evicted ``entry`` to admit a new interest."""
+        if entry.timer is not None and entry.timer.pending:
+            entry.timer.cancel()
+        self.monitor.count("pit_preempted")
+        nack = Nack(name=entry.name, reason=NACK_PIT_FULL)
+        for downstream in entry.faces:
+            self._send_nack_on(downstream, nack)
+
     # ------------------------------------------------------------------
     # Data pipeline
     # ------------------------------------------------------------------
@@ -209,6 +284,7 @@ class Forwarder:
             # Content is never forwarded unless preceded by an interest.
             self.monitor.count("unsolicited_data")
             return
+        self.monitor.count("pit_satisfied")
         if pit_entry.timer is not None and pit_entry.timer.pending:
             pit_entry.timer.cancel()
         fetch_delay = self.engine.now - pit_entry.first_arrival
@@ -242,6 +318,74 @@ class Forwarder:
             )
 
     # ------------------------------------------------------------------
+    # Nack pipeline
+    # ------------------------------------------------------------------
+    def receive_nack(self, nack: Nack, face: Face) -> None:
+        """Process a negative acknowledgement arriving from upstream."""
+        if not self.up:
+            self.monitor.count("down_dropped_nack")
+            return
+        self.monitor.count("nack_in")
+        entry = self.pit.remove(nack.name)
+        if entry is None:
+            # The entry was already satisfied, expired, or never existed.
+            self.monitor.count("nack_no_pit")
+            return
+        self.monitor.count("pit_nacked")
+        if entry.timer is not None and entry.timer.pending:
+            entry.timer.cancel()
+        downstream_nack = nack.hop()
+        for downstream in entry.faces:
+            self._send_nack_on(downstream, downstream_nack)
+
+    def _send_nack_on(self, face: Face, nack: Nack) -> None:
+        self.monitor.count("nack_out")
+        if self.processing_delay <= 0:
+            face.send_nack(nack)
+        else:
+            self.engine.schedule(
+                self.processing_delay,
+                face.send_nack,
+                nack,
+                label=f"{self.name}:send-nack",
+            )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats_summary(self) -> Dict[str, float]:
+        """Per-router overload observables, also pushed as monitor gauges.
+
+        Keys cover the PIT (size/peak/capacity, drops, preemptions), the
+        Nack plane, admission control, and the CS (size/capacity,
+        evictions, stale drops) — everything the overload experiments
+        read, without ad-hoc prints.
+        """
+        summary = {
+            "pit_size": float(len(self.pit)),
+            "pit_peak_size": float(self.pit.peak_size),
+            "pit_capacity": (
+                float(self.pit.capacity) if self.pit.capacity is not None else float("inf")
+            ),
+            "pit_collapsed": float(self.pit.collapsed),
+            "pit_expired": float(self.pit.expired),
+            "pit_overflow_dropped": float(self.pit.overflow_dropped),
+            "pit_overflow_evicted": float(self.pit.overflow_evicted),
+            "rate_limited": float(self.monitor.counter("rate_limited")),
+            "nack_in": float(self.monitor.counter("nack_in")),
+            "nack_out": float(self.monitor.counter("nack_out")),
+            "cs_size": float(len(self.cs)),
+            "cs_capacity": (
+                float(self.cs.capacity) if self.cs.capacity is not None else float("inf")
+            ),
+            "cs_evictions": float(self.cs.evictions),
+            "cs_stale_drops": float(self.cs.stale_drops),
+        }
+        for key, value in summary.items():
+            self.monitor.set_gauge(key, value)
+        return summary
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def flush_cache(self) -> None:
@@ -266,7 +410,9 @@ class Forwarder:
             return
         self.up = False
         self.monitor.count("crashes")
-        for entry in self.pit.drain():
+        drained = self.pit.drain()
+        self.monitor.count("pit_drained", len(drained))
+        for entry in drained:
             if entry.timer is not None and entry.timer.pending:
                 entry.timer.cancel()
         if mode == "flush":

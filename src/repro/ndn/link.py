@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 import numpy as np
 
 from repro.ndn.errors import TopologyError
-from repro.ndn.packets import Data, Interest
+from repro.ndn.packets import Data, Interest, Nack
 
 if TYPE_CHECKING:  # typing only: keep ndn importable without repro.faults
     from repro.faults.loss import LossModel
@@ -40,6 +40,12 @@ class PacketHandler(Protocol):
 
     def receive_data(self, data: Data, face: "Face") -> None:
         """Handle a content object arriving on ``face``."""
+
+    # ``receive_nack(nack, face)`` is an *optional* extension of this
+    # protocol: handlers that predate the overload-robustness layer need
+    # not implement it.  Links deliver Nacks only to handlers that do
+    # (and count the rest as ``nacks_unhandled``), so legacy stubs keep
+    # working unchanged.
 
 
 class DelayModel(abc.ABC):
@@ -132,6 +138,7 @@ class Face:
         self.link: Optional[Link] = None
         self.interests_out = 0
         self.data_out = 0
+        self.nacks_out = 0
 
     def send_interest(self, interest: Interest) -> None:
         """Transmit an interest toward the peer endpoint."""
@@ -146,6 +153,13 @@ class Face:
             raise TopologyError(f"{self.label} is not attached to a link")
         self.data_out += 1
         self.link.transmit(data, self)
+
+    def send_nack(self, nack: Nack) -> None:
+        """Transmit a negative acknowledgement toward the peer endpoint."""
+        if self.link is None:
+            raise TopologyError(f"{self.label} is not attached to a link")
+        self.nacks_out += 1
+        self.link.transmit(nack, self)
 
     @property
     def peer(self) -> "Face":
@@ -200,6 +214,8 @@ class Link:
         self.packets_sent = 0
         self.packets_lost = 0
         self.bytes_sent = 0
+        #: Nacks addressed to a handler lacking ``receive_nack``.
+        self.nacks_unhandled = 0
         # Fault-injection state (see repro.faults).
         self.up = True
         self.extra_delay = 0.0
@@ -260,7 +276,7 @@ class Link:
     def transmit(self, packet, from_face: Face) -> None:
         """Deliver ``packet`` to the opposite endpoint after a sampled delay."""
         to_face = self.other_end(from_face)
-        if not isinstance(packet, (Interest, Data)):
+        if not isinstance(packet, (Interest, Data, Nack)):
             raise TopologyError(f"unknown packet type {type(packet).__name__}")
         self.packets_sent += 1
         self.bytes_sent += self._packet_bytes(packet)
@@ -286,7 +302,16 @@ class Link:
                 label=f"{self.name}:data",
             )
         else:
-            raise TopologyError(f"unknown packet type {type(packet).__name__}")
+            handler = getattr(to_face.owner, "receive_nack", None)
+            if handler is None:
+                # Pre-Nack handler (legacy stubs, producers without the
+                # method): the Nack is dropped at the link, visibly.
+                self.nacks_unhandled += 1
+                return
+            self.engine.schedule(
+                delay, handler, packet, to_face,
+                label=f"{self.name}:nack",
+            )
 
     @staticmethod
     def _packet_bytes(packet) -> int:

@@ -12,12 +12,14 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.schemes.base import CacheScheme
+from repro.ndn.admission import InterestRateLimit
 from repro.ndn.apps.consumer import Consumer
 from repro.ndn.apps.interactive import InteractiveEndpoint
 from repro.ndn.apps.producer import Producer
 from repro.ndn.cs import ContentStore
 from repro.ndn.errors import TopologyError
 from repro.ndn.forwarder import Forwarder
+from repro.ndn.pit import Pit
 from repro.ndn.link import DelayModel, Face, Link
 from repro.ndn.name import Name, name_of
 from repro.ndn.replacement import make_policy
@@ -63,8 +65,19 @@ class Network:
         honor_scope: bool = True,
         processing_delay: float = 0.0,
         strategy: str = "best-route",
+        pit_capacity: Optional[int] = None,
+        pit_overflow: str = "drop-new",
+        rate_limit: Optional[InterestRateLimit] = None,
+        nack_on_no_route: bool = False,
     ) -> Forwarder:
-        """Create a caching NDN router."""
+        """Create a caching NDN router.
+
+        ``pit_capacity``/``pit_overflow`` bound the pending-interest table
+        (``None`` keeps the paper's unbounded table); ``rate_limit`` arms
+        per-face interest admission control.  See
+        :class:`~repro.ndn.forwarder.Forwarder` for the Nack semantics of
+        each rejection path.
+        """
         cs = ContentStore(
             capacity=capacity,
             policy=make_policy(policy, self.rng.stream(f"policy:{name}")),
@@ -77,6 +90,9 @@ class Network:
             honor_scope=honor_scope,
             processing_delay=processing_delay,
             strategy=strategy,
+            pit=Pit(capacity=pit_capacity, overflow=pit_overflow),
+            rate_limit=rate_limit,
+            nack_on_no_route=nack_on_no_route,
         )
         self._register(name, router)
         return router
@@ -200,6 +216,17 @@ class Network:
             name: entity
             for name, entity in self._entities.items()
             if isinstance(entity, Forwarder)
+        }
+
+    def router_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Per-router overload observables (PIT/CS sizes, drops, Nacks).
+
+        Calls each forwarder's :meth:`~repro.ndn.forwarder.Forwarder.stats_summary`,
+        which also pushes the values as gauges on the router's monitor.
+        """
+        return {
+            name: router.stats_summary()
+            for name, router in self.routers.items()
         }
 
     def flush_caches(self) -> None:

@@ -1,9 +1,9 @@
-"""NDN packet types: Interest and Data (content object).
+"""NDN packet types: Interest, Data (content object), and Nack.
 
-Interest and content are the only two packet types in NDN (Section II).
-Interests carry no source address; the reverse path is reconstructed from
-PIT state.  The fields modeled here are exactly those the paper's attacks
-and countermeasures depend on:
+Interest and content are the only two packet types in the paper's NDN
+model (Section II).  Interests carry no source address; the reverse path
+is reconstructed from PIT state.  The fields modeled here are exactly
+those the paper's attacks and countermeasures depend on:
 
 * ``scope`` — maximum number of NDN entities (source included) an interest
   may traverse; routers may disregard it (Section III),
@@ -11,6 +11,14 @@ and countermeasures depend on:
 * ``private`` on Data — the producer-driven privacy bit,
 * ``producer`` on Data — stands in for the signature, which identifies the
   producer (Section II notes all content is signed).
+
+:class:`Nack` extends the model with the NDNLPv2-style negative
+acknowledgement used by the overload-robustness layer: a router that
+cannot take on a pending interest (PIT at capacity, per-face rate limit,
+no route) answers the arrival face with a Nack naming the rejected
+interest and a machine-readable reason, so consumers back off through
+their :class:`~repro.faults.retry.RetryPolicy` instead of blindly
+retransmitting into the congestion.
 """
 
 from __future__ import annotations
@@ -134,3 +142,54 @@ class Data:
     def __str__(self) -> str:
         marker = " [private]" if self.private else ""
         return f"Data({self.name}, producer={self.producer}{marker})"
+
+
+# ----------------------------------------------------------------------
+# Negative acknowledgements
+# ----------------------------------------------------------------------
+#: The router's PIT (or a per-face rate limiter) refused the interest.
+NACK_CONGESTION = "congestion"
+#: The router's PIT was at capacity and the overflow policy rejected or
+#: preempted the entry.
+NACK_PIT_FULL = "pit-full"
+#: No FIB next hop for the interest's name.
+NACK_NO_ROUTE = "no-route"
+
+NACK_REASONS = (NACK_CONGESTION, NACK_PIT_FULL, NACK_NO_ROUTE)
+
+
+@dataclass(frozen=True)
+class Nack:
+    """A negative acknowledgement for one rejected interest.
+
+    Travels downstream along the reverse path the interest took (like
+    Data, matched against PIT state) and names the interest it rejects.
+    ``reason`` is machine-readable so consumers can distinguish
+    congestion (back off, retry later) from no-route (retrying is
+    pointless until topology changes).
+    """
+
+    name: Name
+    nonce: int = 0
+    reason: str = NACK_CONGESTION
+    hops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.reason not in NACK_REASONS:
+            raise PacketError(
+                f"unknown nack reason {self.reason!r}; choose from {NACK_REASONS}"
+            )
+        if self.hops < 1:
+            raise PacketError(f"nack hops must be >= 1, got {self.hops}")
+
+    @classmethod
+    def for_interest(cls, interest: Interest, reason: str) -> "Nack":
+        """The Nack rejecting ``interest`` (same name and nonce)."""
+        return cls(name=interest.name, nonce=interest.nonce, reason=reason)
+
+    def hop(self) -> "Nack":
+        """Return a copy with the hop count incremented (same nonce)."""
+        return replace(self, hops=self.hops + 1)
+
+    def __str__(self) -> str:
+        return f"Nack({self.name}, reason={self.reason})"

@@ -8,15 +8,34 @@ recorded face and flushes the entry.
 
 Entries expire after the interest lifetime; expiry is driven by the caller
 (the forwarder schedules timers) so the PIT itself stays engine-agnostic.
+
+A real router's PIT is a finite resource and the classic target of
+interest-flooding attacks, so the table supports an optional ``capacity``
+with a pluggable overflow policy:
+
+* ``"drop-new"`` — an interest arriving at a full table is rejected
+  (:meth:`insert_or_collapse` returns ``(None, False)``); the caller
+  decides whether to Nack it downstream,
+* ``"evict-oldest-expiry"`` — the entry closest to expiring is preempted
+  to make room (eviction listeners fire so the owner can cancel timers
+  and Nack the preempted entry's faces).
+
+Collapsed interests never consume a new slot — a full table still
+aggregates cheaply, which is exactly why collapsing is the first line of
+defense against duplicate floods.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.ndn.errors import PitError
 from repro.ndn.name import Name
 from repro.ndn.packets import Interest
+
+#: Valid overflow policies for a capacity-bounded table.
+OVERFLOW_POLICIES = ("drop-new", "evict-oldest-expiry")
 
 
 @dataclass
@@ -43,12 +62,43 @@ class PitEntry:
 
 
 class Pit:
-    """Exact-name pending-interest table with interest collapsing."""
+    """Exact-name pending-interest table with interest collapsing.
 
-    def __init__(self) -> None:
+    ``capacity=None`` (the default) models the unbounded table the paper
+    assumes; a bounded table applies ``overflow`` when a *new* entry
+    would exceed it.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        overflow: str = "drop-new",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise PitError(f"PIT capacity must be >= 1 or None, got {capacity}")
+        if overflow not in OVERFLOW_POLICIES:
+            raise PitError(
+                f"unknown overflow policy {overflow!r}; "
+                f"choose from {OVERFLOW_POLICIES}"
+            )
+        self.capacity = capacity
+        self.overflow = overflow
         self._entries: Dict[Name, PitEntry] = {}
+        self._evict_listeners: List[Callable[[PitEntry], None]] = []
         self.collapsed = 0
         self.expired = 0
+        #: New interests rejected by the ``drop-new`` overflow policy.
+        self.overflow_dropped = 0
+        #: Entries preempted by the ``evict-oldest-expiry`` policy.
+        self.overflow_evicted = 0
+        #: New entries accepted (collapses and rejected interests excluded).
+        self.inserted = 0
+        #: High-water mark of the table size.
+        self.peak_size = 0
+
+    def add_evict_listener(self, callback: Callable[[PitEntry], None]) -> None:
+        """Register a callback invoked with each overflow-preempted entry."""
+        self._evict_listeners.append(callback)
 
     def lookup(self, name: Name) -> Optional[PitEntry]:
         """Return the entry for ``name`` or None."""
@@ -56,15 +106,20 @@ class Pit:
 
     def insert_or_collapse(
         self, interest: Interest, face: object, now: float
-    ) -> Tuple[PitEntry, bool]:
+    ) -> Tuple[Optional[PitEntry], bool]:
         """Record an arriving interest.
 
         Returns ``(entry, is_new)``.  ``is_new`` is True when the interest
         created a fresh entry (and therefore must be forwarded upstream);
-        False when it was collapsed into an existing one.
+        False when it was collapsed into an existing one.  A bounded table
+        whose ``drop-new`` policy rejects the interest returns
+        ``(None, False)`` — the interest consumed no slot and must not be
+        forwarded.
 
         A duplicate nonce on an existing entry is still collapsed (the face
         is recorded) — loop suppression is the forwarder's concern.
+        Collapsed interests never consume a new slot, so a full table
+        keeps aggregating.
         """
         entry = self._entries.get(interest.name)
         if entry is not None:
@@ -76,6 +131,11 @@ class Pit:
             entry.expiry = max(entry.expiry, now + interest.lifetime)
             self.collapsed += 1
             return entry, False
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            if self.overflow == "drop-new":
+                self.overflow_dropped += 1
+                return None, False
+            self._preempt_oldest_expiry()
         entry = PitEntry(
             name=interest.name,
             expiry=now + interest.lifetime,
@@ -86,7 +146,18 @@ class Pit:
             first_arrival=now,
         )
         self._entries[interest.name] = entry
+        self.inserted += 1
+        if len(self._entries) > self.peak_size:
+            self.peak_size = len(self._entries)
         return entry, True
+
+    def _preempt_oldest_expiry(self) -> None:
+        """Evict the entry closest to expiring (ties: oldest insertion)."""
+        victim_name = min(self._entries, key=lambda n: self._entries[n].expiry)
+        victim = self._entries.pop(victim_name)
+        self.overflow_evicted += 1
+        for listener in self._evict_listeners:
+            listener(victim)
 
     def satisfy(self, name: Name) -> Optional[PitEntry]:
         """Pop and return the entry matched by returning content.

@@ -17,7 +17,7 @@ from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.ndn.errors import PacketError
 from repro.ndn.name import Name
-from repro.ndn.packets import Data, Interest
+from repro.ndn.packets import Data, Interest, Nack
 
 # Spec-assigned types.
 TLV_INTEREST = 0x05
@@ -34,6 +34,10 @@ TLV_APP_HOPS = 0x82
 TLV_APP_PRODUCER = 0x83
 TLV_APP_SIZE = 0x84
 TLV_APP_EXACT_MATCH_ONLY = 0x85
+# Negative acknowledgement (NDNLPv2 models this as a link-layer header;
+# here it is a compact application-range top-level packet).
+TLV_APP_NACK = 0x86
+TLV_APP_NACK_REASON = 0x87
 
 
 # ----------------------------------------------------------------------
@@ -207,18 +211,51 @@ def _decode_data_body(body: bytes) -> Data:
 
 
 # ----------------------------------------------------------------------
+# Nacks
+# ----------------------------------------------------------------------
+def encode_nack(nack: Nack) -> bytes:
+    """Encode a Nack packet to its TLV wire form."""
+    body = encode_name(nack.name)
+    body += _tlv(TLV_NONCE, _nonneg_int_bytes(nack.nonce))
+    body += _tlv(TLV_APP_NACK_REASON, nack.reason.encode("utf-8"))
+    body += _tlv(TLV_APP_HOPS, _nonneg_int_bytes(nack.hops))
+    return _tlv(TLV_APP_NACK, body)
+
+
+def _decode_nack_body(body: bytes) -> Nack:
+    name: Optional[Name] = None
+    nonce = 0
+    reason: Optional[str] = None
+    hops = 1
+    for type_code, value in iter_tlvs(body):
+        if type_code == TLV_NAME:
+            name = decode_name(value)
+        elif type_code == TLV_NONCE:
+            nonce = int.from_bytes(value, "big")
+        elif type_code == TLV_APP_NACK_REASON:
+            reason = value.decode("utf-8")
+        elif type_code == TLV_APP_HOPS:
+            hops = int.from_bytes(value, "big")
+    if name is None or reason is None:
+        raise PacketError("Nack missing Name or Reason")
+    return Nack(name=name, nonce=nonce, reason=reason, hops=hops)
+
+
+# ----------------------------------------------------------------------
 # Top level
 # ----------------------------------------------------------------------
-def encode_packet(packet: Union[Interest, Data]) -> bytes:
-    """Encode either packet type."""
+def encode_packet(packet: Union[Interest, Data, Nack]) -> bytes:
+    """Encode any packet type."""
     if isinstance(packet, Interest):
         return encode_interest(packet)
     if isinstance(packet, Data):
         return encode_data(packet)
+    if isinstance(packet, Nack):
+        return encode_nack(packet)
     raise PacketError(f"cannot encode {type(packet).__name__}")
 
 
-def decode_packet(buffer: bytes) -> Union[Interest, Data]:
+def decode_packet(buffer: bytes) -> Union[Interest, Data, Nack]:
     """Decode one packet; raises :class:`PacketError` on malformed input."""
     tlvs = list(iter_tlvs(buffer))
     if len(tlvs) != 1:
@@ -228,9 +265,11 @@ def decode_packet(buffer: bytes) -> Union[Interest, Data]:
         return _decode_interest_body(body)
     if type_code == TLV_DATA:
         return _decode_data_body(body)
+    if type_code == TLV_APP_NACK:
+        return _decode_nack_body(body)
     raise PacketError(f"unknown top-level TLV type {type_code:#x}")
 
 
-def wire_size(packet: Union[Interest, Data]) -> int:
+def wire_size(packet: Union[Interest, Data, Nack]) -> int:
     """On-wire byte size of a packet (header only; payload is ``size``)."""
     return len(encode_packet(packet))

@@ -11,6 +11,7 @@ File format (one JSON object)::
       "bench": "fig5",                  # BENCH_<bench>.json
       "created_unix": 1730000000.0,     # time.time() at write
       "scale": {"requests": 100000},    # knobs the numbers depend on
+      "peak_rss_bytes": 123456789,      # process peak RSS at write time
       "records": [
         {"label": "fig5a", "wall_s": 1.9, "requests": 2400000,
          "requests_per_sec": 1263157.9, "events": 0,
@@ -30,6 +31,24 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 ENV_BENCH_DIR = "REPRO_BENCH_DIR"
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 if unknown).
+
+    Uses ``resource.getrusage``; Linux reports ``ru_maxrss`` in KiB,
+    macOS in bytes.  The high-water mark covers the whole process
+    lifetime, so record it once at the end of a bench.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return int(peak)
+    return int(peak) * 1024
 
 
 @dataclass
@@ -138,6 +157,7 @@ class BenchReporter:
             "bench": self.bench,
             "created_unix": time.time(),
             "scale": self.scale,
+            "peak_rss_bytes": peak_rss_bytes(),
             "records": [record.to_dict() for record in self.records],
         }
 

@@ -1,4 +1,4 @@
-"""Measurement instruments: counters, time-series samples, and RTT tallies.
+"""Measurement instruments: counters, gauges, time-series samples, RTT tallies.
 
 The attack and replay harnesses record observations through a
 :class:`Monitor` rather than printing or mutating globals, so experiments
@@ -23,11 +23,12 @@ class Sample:
 
 
 class Monitor:
-    """Collects named counters and named sample series."""
+    """Collects named counters, point-in-time gauges, and sample series."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
         self._series: Dict[str, List[Sample]] = defaultdict(list)
+        self._gauges: Dict[str, float] = {}
 
     # -- counters ------------------------------------------------------
     def count(self, name: str, increment: int = 1) -> None:
@@ -42,6 +43,20 @@ class Monitor:
     def counters(self) -> Dict[str, int]:
         """Snapshot of all counters."""
         return dict(self._counters)
+
+    # -- gauges ---------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the point-in-time gauge ``name`` (overwrites)."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Current value of gauge ``name`` (``default`` if never set)."""
+        return self._gauges.get(name, default)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        """Snapshot of all gauges."""
+        return dict(self._gauges)
 
     # -- sample series --------------------------------------------------
     def record(self, name: str, time: float, value: float) -> None:
@@ -88,6 +103,8 @@ class Monitor:
             self._counters[name] += value
         for name, samples in other._series.items():
             self._series[name].extend(samples)
+        # Gauges are point-in-time: the merged-in snapshot wins.
+        self._gauges.update(other._gauges)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,169 @@
+"""Differential validation: oracle replay vs the interned fast kernel.
+
+:func:`repro.workload.fast_replay.fast_replay` exists purely for speed;
+its contract is *bit-identical* :class:`~repro.workload.replay.ReplayStats`
+to the reference implementation :func:`repro.workload.replay.replay` for
+any (trace, scheme, marking, cache-size) configuration.  This module
+turns that contract into a checkable artifact: run both engines over a
+grid of configurations and diff the stats field by field.
+
+Scheme and marking objects are stateful (they own RNG streams), so each
+engine gets a **freshly built** pair from the same seed — sharing one
+object would advance its RNG in the first run and desynchronize the
+second, reporting a false mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List, Optional, Sequence
+
+from repro.perf.parallel import build_scheme
+from repro.workload.fast_replay import fast_replay
+from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
+from repro.workload.marking import RequestMarking
+from repro.workload.replay import ReplayStats, replay
+from repro.workload.trace import Trace
+
+
+def diff_replay_stats(oracle: ReplayStats, fast: ReplayStats) -> List[str]:
+    """Field-by-field differences, empty when bit-identical."""
+    mismatches: List[str] = []
+    for f in fields(ReplayStats):
+        a = getattr(oracle, f.name)
+        b = getattr(fast, f.name)
+        if a != b:
+            mismatches.append(f"{f.name}: oracle={a!r} fast={b!r}")
+    return mismatches
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One (scheme, cache size, marking) configuration to cross-check."""
+
+    scheme: str
+    cache_size: Optional[int] = None
+    mark_fraction: float = 0.3
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        """Human-readable configuration tag."""
+        cap = self.cache_size if self.cache_size is not None else "inf"
+        return f"{self.scheme}/cap={cap}/mark={self.mark_fraction}/seed={self.seed}"
+
+
+def default_differential_cases(seed: int = 0) -> List[DifferentialCase]:
+    """The fig5-style grid: every registered scheme family at a bounded
+    and an unbounded cache size."""
+    cases = []
+    for scheme in ("no-privacy", "always-delay", "uniform", "exponential"):
+        for cache_size in (64, None):
+            cases.append(
+                DifferentialCase(scheme=scheme, cache_size=cache_size, seed=seed)
+            )
+    return cases
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one cross-checked configuration."""
+
+    case: DifferentialCase
+    oracle: ReplayStats
+    fast: ReplayStats
+    mismatches: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """True when the two engines agreed bit-for-bit."""
+        return not self.mismatches
+
+
+@dataclass
+class DifferentialReport:
+    """All case results of one differential validation run."""
+
+    results: List[CaseResult]
+    trace_requests: int
+
+    @property
+    def ok(self) -> bool:
+        """True when every configuration agreed."""
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        """The disagreeing configurations."""
+        return [r for r in self.results if not r.ok]
+
+    def summary(self) -> str:
+        """One line per case, pass/fail."""
+        lines = []
+        for r in self.results:
+            status = "ok" if r.ok else "MISMATCH " + "; ".join(r.mismatches)
+            lines.append(f"{r.case.label}: {status}")
+        return "\n".join(lines)
+
+
+def small_validation_trace(
+    requests: int = 2000, seed: int = 0
+) -> Trace:
+    """A small, seed-reproducible trace for CI-speed validation runs."""
+    return IrcacheGenerator(
+        IrcacheConfig(
+            requests=requests,
+            users=20,
+            objects=400,
+            sites=40,
+            duration_hours=1.0,
+            seed=seed,
+        )
+    ).generate()
+
+
+def _run_case(trace: Trace, case: DifferentialCase, engine) -> ReplayStats:
+    # Fresh scheme AND fresh marking per engine: both are RNG-stateful.
+    scheme = build_scheme(case.scheme, seed=case.seed)
+    marking = (
+        RequestMarking(case.mark_fraction, seed=case.seed)
+        if case.mark_fraction > 0
+        else None
+    )
+    return engine(
+        trace,
+        scheme=scheme,
+        marking=marking,
+        cache_size=case.cache_size,
+        seed=case.seed,
+    )
+
+
+def validate_differential(
+    trace: Optional[Trace] = None,
+    cases: Optional[Sequence[DifferentialCase]] = None,
+    seed: int = 0,
+) -> DifferentialReport:
+    """Cross-check oracle vs fast replay over ``cases``.
+
+    Defaults: a small synthetic trace and the full
+    :func:`default_differential_cases` grid.  The report's :attr:`~DifferentialReport.ok`
+    is the ship/no-ship bit; per-field mismatches are in the results.
+    """
+    if trace is None:
+        trace = small_validation_trace(seed=seed)
+    if cases is None:
+        cases = default_differential_cases(seed=seed)
+    results: List[CaseResult] = []
+    for case in cases:
+        oracle_stats = _run_case(trace, case, replay)
+        fast_stats = _run_case(trace, case, fast_replay)
+        results.append(
+            CaseResult(
+                case=case,
+                oracle=oracle_stats,
+                fast=fast_stats,
+                mismatches=diff_replay_stats(oracle_stats, fast_stats),
+            )
+        )
+    return DifferentialReport(results=results, trace_requests=len(trace))

@@ -1,0 +1,108 @@
+"""Per-face token-bucket admission control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.admission import (
+    AdmissionError,
+    FaceRateLimiter,
+    InterestRateLimit,
+    TokenBucket,
+)
+
+
+class FaceStub:
+    _next = 1000
+
+    def __init__(self):
+        FaceStub._next += 1
+        self.face_id = FaceStub._next
+
+
+class TestInterestRateLimit:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(AdmissionError):
+            InterestRateLimit(rate=0.0)
+        with pytest.raises(AdmissionError):
+            InterestRateLimit(rate=-5.0)
+
+    def test_burst_must_be_nonnegative(self):
+        with pytest.raises(AdmissionError):
+            InterestRateLimit(rate=10.0, burst=-1.0)
+
+    def test_bucket_depth_defaults_to_one_second_of_rate(self):
+        assert InterestRateLimit(rate=200.0).bucket_depth == 200.0
+        assert InterestRateLimit(rate=200.0, burst=16.0).bucket_depth == 16.0
+
+    def test_make_bucket_starts_full(self):
+        bucket = InterestRateLimit(rate=1000.0, burst=4.0).make_bucket(now=7.0)
+        assert bucket.peek(7.0) == 4.0
+        assert bucket.rate_per_ms == pytest.approx(1.0)
+
+
+class TestTokenBucket:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(AdmissionError):
+            TokenBucket(rate_per_ms=0.0, depth=1.0)
+        with pytest.raises(AdmissionError):
+            TokenBucket(rate_per_ms=1.0, depth=0.0)
+
+    def test_burst_drains_then_rejects(self):
+        bucket = TokenBucket(rate_per_ms=0.001, depth=3.0, now=0.0)
+        assert [bucket.allow(0.0) for _ in range(4)] == [True, True, True, False]
+        assert bucket.admitted == 3
+        assert bucket.rejected == 1
+
+    def test_refill_is_continuous_in_simulated_time(self):
+        bucket = TokenBucket(rate_per_ms=0.1, depth=1.0, now=0.0)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(5.0)  # only 0.5 tokens back
+        assert bucket.allow(10.0)  # a full token has accrued
+
+    def test_refill_caps_at_depth(self):
+        bucket = TokenBucket(rate_per_ms=1.0, depth=2.0, now=0.0)
+        assert bucket.peek(1_000_000.0) == 2.0
+
+    def test_peek_does_not_consume(self):
+        bucket = TokenBucket(rate_per_ms=1.0, depth=2.0, now=0.0)
+        bucket.peek(0.0)
+        bucket.peek(0.0)
+        assert bucket.allow(0.0)
+        assert bucket.allow(0.0)
+
+    def test_determinism_same_schedule_same_outcomes(self):
+        times = [0.0, 0.4, 1.1, 1.2, 3.0, 3.1, 9.0]
+
+        def outcomes():
+            bucket = TokenBucket(rate_per_ms=0.5, depth=2.0, now=0.0)
+            return [bucket.allow(t) for t in times]
+
+        assert outcomes() == outcomes()
+
+
+class TestFaceRateLimiter:
+    def test_per_face_isolation(self):
+        limiter = FaceRateLimiter(InterestRateLimit(rate=1000.0, burst=2.0))
+        flooder, polite = FaceStub(), FaceStub()
+        # The flooder exhausts its own bucket...
+        results = [limiter.allow(flooder, 0.0) for _ in range(5)]
+        assert results == [True, True, False, False, False]
+        # ...while the well-behaved face is untouched.
+        assert limiter.allow(polite, 0.0)
+
+    def test_rejected_totals_across_faces(self):
+        limiter = FaceRateLimiter(InterestRateLimit(rate=1000.0, burst=1.0))
+        a, b = FaceStub(), FaceStub()
+        for face in (a, b):
+            limiter.allow(face, 0.0)
+            limiter.allow(face, 0.0)
+        assert limiter.rejected == 2
+
+    def test_bucket_for_creates_full_bucket_for_idle_face(self):
+        limiter = FaceRateLimiter(InterestRateLimit(rate=1000.0, burst=7.0))
+        face = FaceStub()
+        assert limiter.bucket_for(face).peek(0.0) == 7.0
+        # The same bucket is reused once the face starts sending.
+        assert limiter.allow(face, 0.0)
+        assert limiter.bucket_for(face).admitted == 1

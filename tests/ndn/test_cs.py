@@ -179,3 +179,64 @@ class TestRemoveAndClear:
         cs.insert(data("/b"), now=0.0)
         assert {e.name for e in cs} == {Name.parse("/a"), Name.parse("/b")}
         assert cs.insertions == 2
+
+
+class TestEvictionLedger:
+    """Capacity evictions, stale drops, and the removal ledger are
+    mutually consistent (the invariant checker's law D depends on it)."""
+
+    def test_stale_victim_counts_as_stale_drop_not_eviction(self):
+        cs = ContentStore(capacity=1)
+        cs.insert(data("/old", freshness=10.0), now=0.0)
+        # By now=50 the resident entry is stale; capacity pressure merely
+        # surfaces its expiry — this must not read as cache contention.
+        cs.insert(data("/new"), now=50.0)
+        assert cs.stale_drops == 1
+        assert cs.evictions == 0
+        assert Name.parse("/new") in cs
+
+    def test_fresh_victim_counts_as_eviction_only(self):
+        cs = ContentStore(capacity=1)
+        cs.insert(data("/old", freshness=1000.0), now=0.0)
+        cs.insert(data("/new"), now=50.0)
+        assert cs.evictions == 1
+        assert cs.stale_drops == 0
+
+    def test_eviction_and_stale_tallies_are_exclusive(self):
+        cs = ContentStore(capacity=2)
+        cs.insert(data("/stale", freshness=5.0), now=0.0)
+        cs.insert(data("/fresh"), now=1.0)
+        cs.insert(data("/a"), now=100.0)  # victim: /stale (LRU, expired)
+        cs.insert(data("/b"), now=101.0)  # victim: /fresh (live)
+        assert cs.stale_drops == 1
+        assert cs.evictions == 1
+        assert cs.stale_drops + cs.evictions == cs.insertions - len(cs)
+
+    def test_removed_ledger_balances_insertions(self):
+        cs = ContentStore(capacity=3)
+        for i in range(8):
+            cs.insert(data(f"/x/{i}"), now=float(i))
+        cs.remove(Name.parse("/x/7"))
+        cs.lookup_exact(Name.parse("/missing"), now=9.0)
+        assert cs.insertions == cs.removed + len(cs)
+
+    def test_clear_feeds_removed_ledger(self):
+        cs = ContentStore()
+        for i in range(4):
+            cs.insert(data(f"/x/{i}"), now=0.0)
+        cs.clear()
+        assert cs.removed == 4
+        assert cs.insertions == cs.removed + len(cs)
+
+    def test_remove_missing_does_not_count(self):
+        cs = ContentStore()
+        cs.remove(Name.parse("/none"))
+        assert cs.removed == 0
+
+    def test_stale_drop_on_lookup_counts_removed(self):
+        cs = ContentStore()
+        cs.insert(data("/a", freshness=10.0), now=0.0)
+        assert cs.lookup_exact(Name.parse("/a"), now=50.0) is None
+        assert cs.stale_drops == 1
+        assert cs.removed == 1
+        assert cs.insertions == cs.removed + len(cs)

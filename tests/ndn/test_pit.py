@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro.ndn.errors import PitError
 from repro.ndn.name import Name
 from repro.ndn.packets import Interest
-from repro.ndn.pit import Pit
+from repro.ndn.pit import OVERFLOW_POLICIES, Pit
 
 
 def interest(uri: str, **kwargs) -> Interest:
@@ -128,3 +129,99 @@ class TestNonces:
         pit.insert_or_collapse(interest("/z"), "f1", now=0.0)
         pit.insert_or_collapse(interest("/a"), "f1", now=0.0)
         assert pit.names == [Name.parse("/a"), Name.parse("/z")]
+
+
+class TestCapacityBounds:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(PitError):
+            Pit(capacity=0)
+
+    def test_unknown_overflow_policy_rejected(self):
+        with pytest.raises(PitError):
+            Pit(capacity=4, overflow="mystery")
+        assert "drop-new" in OVERFLOW_POLICIES
+        assert "evict-oldest-expiry" in OVERFLOW_POLICIES
+
+    @pytest.mark.parametrize("overflow", OVERFLOW_POLICIES)
+    def test_fills_to_exactly_capacity(self, overflow):
+        pit = Pit(capacity=3, overflow=overflow)
+        for i in range(3):
+            entry, is_new = pit.insert_or_collapse(
+                interest(f"/n/{i}"), "f1", now=float(i)
+            )
+            assert entry is not None
+            assert is_new
+        assert len(pit) == 3
+        assert pit.peak_size == 3
+        assert pit.inserted == 3
+        assert pit.overflow_dropped == 0
+        assert pit.overflow_evicted == 0
+
+    def test_capacity_plus_one_drop_new_rejects(self):
+        pit = Pit(capacity=2, overflow="drop-new")
+        pit.insert_or_collapse(interest("/a"), "f1", now=0.0)
+        pit.insert_or_collapse(interest("/b"), "f1", now=1.0)
+        entry, is_new = pit.insert_or_collapse(interest("/c"), "f1", now=2.0)
+        assert entry is None
+        assert not is_new
+        assert len(pit) == 2
+        assert pit.peak_size == 2
+        assert pit.overflow_dropped == 1
+        assert pit.inserted == 2  # the rejected interest consumed nothing
+        assert Name.parse("/c") not in pit
+
+    def test_capacity_plus_one_evicts_oldest_expiry(self):
+        pit = Pit(capacity=2, overflow="evict-oldest-expiry")
+        pit.insert_or_collapse(interest("/long", lifetime=500.0), "f1", now=0.0)
+        pit.insert_or_collapse(interest("/short", lifetime=50.0), "f1", now=0.0)
+        entry, is_new = pit.insert_or_collapse(interest("/new"), "f1", now=1.0)
+        assert is_new
+        assert entry.name == Name.parse("/new")
+        # The entry closest to expiring was preempted, not the oldest name.
+        assert Name.parse("/short") not in pit
+        assert Name.parse("/long") in pit
+        assert len(pit) == 2
+        assert pit.peak_size == 2
+        assert pit.overflow_evicted == 1
+
+    def test_preemption_notifies_evict_listeners(self):
+        pit = Pit(capacity=1, overflow="evict-oldest-expiry")
+        preempted = []
+        pit.add_evict_listener(lambda e: preempted.append(e.name))
+        pit.insert_or_collapse(interest("/victim"), "f1", now=0.0)
+        pit.insert_or_collapse(interest("/winner"), "f1", now=1.0)
+        assert preempted == [Name.parse("/victim")]
+
+    @pytest.mark.parametrize("overflow", OVERFLOW_POLICIES)
+    def test_collapse_at_full_table_consumes_no_slot(self, overflow):
+        pit = Pit(capacity=2, overflow=overflow)
+        pit.insert_or_collapse(interest("/a"), "f1", now=0.0)
+        pit.insert_or_collapse(interest("/b"), "f1", now=0.0)
+        # A duplicate name at a full table must aggregate, never drop or
+        # preempt — collapsing is the first line of defense against floods.
+        entry, is_new = pit.insert_or_collapse(interest("/a"), "f2", now=1.0)
+        assert entry is not None
+        assert not is_new
+        assert entry.faces == ["f1", "f2"]
+        assert pit.collapsed == 1
+        assert pit.overflow_dropped == 0
+        assert pit.overflow_evicted == 0
+        assert len(pit) == 2
+
+    def test_drop_new_table_recovers_after_satisfy(self):
+        pit = Pit(capacity=1, overflow="drop-new")
+        pit.insert_or_collapse(interest("/a"), "f1", now=0.0)
+        assert pit.insert_or_collapse(interest("/b"), "f1", now=1.0)[0] is None
+        pit.satisfy(Name.parse("/a"))
+        entry, is_new = pit.insert_or_collapse(interest("/b"), "f1", now=2.0)
+        assert is_new
+        assert len(pit) == 1
+
+    def test_peak_size_tracks_high_water_mark(self):
+        pit = Pit()
+        for i in range(5):
+            pit.insert_or_collapse(interest(f"/n/{i}"), "f1", now=0.0)
+        for i in range(5):
+            pit.satisfy(Name.parse(f"/n/{i}"))
+        assert len(pit) == 0
+        assert pit.peak_size == 5

@@ -79,3 +79,37 @@ class TestMerge:
         assert a.counter("hits") == 5
         assert a.counter("misses") == 1
         assert list(a.values("rtt")) == [1.0, 2.0]
+
+
+class TestGauges:
+    def test_gauge_defaults_when_never_set(self):
+        m = Monitor()
+        assert m.gauge("pit_size") == 0.0
+        assert m.gauge("pit_size", default=7.5) == 7.5
+
+    def test_set_gauge_overwrites(self):
+        m = Monitor()
+        m.set_gauge("pit_size", 3)
+        m.set_gauge("pit_size", 5.0)
+        assert m.gauge("pit_size") == 5.0
+
+    def test_set_gauge_coerces_to_float(self):
+        m = Monitor()
+        m.set_gauge("cs_size", 4)
+        assert isinstance(m.gauge("cs_size"), float)
+
+    def test_gauges_snapshot_is_a_copy(self):
+        m = Monitor()
+        m.set_gauge("a", 1.0)
+        snapshot = m.gauges
+        snapshot["a"] = 99.0
+        assert m.gauge("a") == 1.0
+
+    def test_merge_latest_snapshot_wins(self):
+        a, b = Monitor(), Monitor()
+        a.set_gauge("pit_size", 1.0)
+        a.set_gauge("only_a", 2.0)
+        b.set_gauge("pit_size", 9.0)
+        a.merge(b)
+        assert a.gauge("pit_size") == 9.0
+        assert a.gauge("only_a") == 2.0

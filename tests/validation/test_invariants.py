@@ -1,0 +1,150 @@
+"""InvariantChecker: detects seeded violations, stays silent on clean runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.link import FixedDelay
+from repro.ndn.network import Network
+from repro.sim.process import Timeout
+from repro.sim.rng import RngRegistry
+from repro.validation import InvariantChecker, InvariantError, Violation
+
+
+def chain(seed=0, **router_kwargs):
+    net = Network(rng=RngRegistry(seed))
+    net.add_router("R", capacity=4, **router_kwargs)
+    net.add_consumer("c")
+    net.add_producer("p", "/data")
+    net.connect("c", "R", FixedDelay(1.0))
+    net.connect("R", "p", FixedDelay(3.0))
+    net.add_route("R", "/data", "p")
+    return net
+
+
+def run_workload(net, count=12, gap=20.0):
+    consumer = net["c"]
+
+    def proc():
+        for i in range(count):
+            yield from consumer.fetch(f"/data/obj-{i % 6}")
+            yield Timeout(gap)
+
+    net.spawn(proc(), "workload")
+    net.run()
+
+
+class TestCleanRuns:
+    def test_clean_network_has_zero_violations(self):
+        net = chain()
+        run_workload(net)
+        checker = InvariantChecker()
+        assert checker.check_network(net) == []
+        assert checker.checks_run == 1
+        checker.assert_ok()
+
+    def test_bounded_router_stays_clean(self):
+        net = chain(pit_capacity=2, pit_overflow="evict-oldest-expiry")
+        run_workload(net)
+        checker = InvariantChecker()
+        checker.assert_ok(net)
+        assert checker.checks_run == 1
+
+
+class TestSeededViolations:
+    def test_law_a_catches_unclassified_interest(self):
+        net = chain()
+        run_workload(net)
+        net["R"].monitor.count("interest_in")  # one phantom ingress
+        found = InvariantChecker().check_network(net)
+        assert [v.law for v in found] == ["A:interest-conservation"]
+        assert found[0].router == "R"
+
+    def test_law_b_catches_leaked_pit_accounting(self):
+        net = chain()
+        run_workload(net)
+        net["R"].monitor.count("pit_insert")
+        found = InvariantChecker().check_network(net)
+        assert [v.law for v in found] == [
+            "A:interest-conservation",
+            "B:pit-ledger",
+        ]
+
+    def test_law_c_catches_capacity_breach(self):
+        net = chain()
+        run_workload(net)
+        router = net["R"]
+        # Shrink the declared capacity below the observed peak.
+        router.pit.capacity = 0.5
+        found = InvariantChecker().check_network(net)
+        assert any(v.law == "C:pit-capacity" for v in found)
+
+    def test_law_c_catches_cs_overflow(self):
+        net = chain()
+        run_workload(net)
+        net["R"].cs.capacity = 1
+        found = InvariantChecker().check_network(net)
+        assert [v.law for v in found] == ["C:cs-capacity"]
+
+    def test_law_d_catches_unbalanced_cs_ledger(self):
+        net = chain()
+        run_workload(net)
+        net["R"].cs.insertions += 1
+        found = InvariantChecker().check_network(net)
+        assert [v.law for v in found] == ["D:cs-ledger"]
+
+    def test_assert_ok_raises_with_every_violation_listed(self):
+        checker = InvariantChecker()
+        checker.violations.append(Violation("R", "A:interest-conservation", "x"))
+        checker.violations.append(Violation("S", "D:cs-ledger", "y"))
+        with pytest.raises(InvariantError) as excinfo:
+            checker.assert_ok()
+        message = str(excinfo.value)
+        assert "2 invariant violation(s)" in message
+        assert "[R] A:interest-conservation" in message
+        assert "[S] D:cs-ledger" in message
+        assert excinfo.value.violations == checker.violations
+
+
+class TestToggle:
+    def test_disabled_checker_is_a_noop(self):
+        net = chain()
+        run_workload(net)
+        net["R"].monitor.count("interest_in")  # would violate law A
+        checker = InvariantChecker(enabled=False)
+        assert checker.check_network(net) == []
+        assert checker.checks_run == 0
+        checker.assert_ok(net)  # does not raise
+
+    def test_disabled_install_schedules_nothing(self):
+        net = chain()
+        before = net.engine.pending_count
+        assert InvariantChecker(enabled=False).install(
+            net, interval=10.0, horizon=100.0
+        ) == 0
+        assert net.engine.pending_count == before
+
+
+class TestPeriodicInstall:
+    def test_install_rejects_nonpositive_interval(self):
+        net = chain()
+        with pytest.raises(ValueError):
+            InvariantChecker().install(net, interval=0.0, horizon=100.0)
+
+    def test_scheduled_checks_run_during_the_simulation(self):
+        net = chain()
+        checker = InvariantChecker()
+        scheduled = checker.install(net, interval=50.0, horizon=300.0)
+        assert scheduled == 6
+        run_workload(net)
+        # One audit per scheduled slot (the single-router network).
+        assert checker.checks_run == scheduled
+        checker.assert_ok(net)
+
+    def test_periodic_checks_observe_midrun_state(self):
+        net = chain(pit_capacity=3, pit_overflow="drop-new")
+        checker = InvariantChecker()
+        checker.install(net, interval=25.0, horizon=400.0)
+        run_workload(net)
+        assert checker.checks_run > 0
+        assert checker.violations == []

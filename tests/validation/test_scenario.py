@@ -1,0 +1,70 @@
+"""The canonical overload scenario at test scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.admission import InterestRateLimit
+from repro.validation import InvariantChecker, run_overload_scenario
+
+FAST = dict(
+    fetches=10,
+    fetch_interval=20.0,
+    flood_start=50.0,
+    flood_end=250.0,
+    flood_interval=4.0,
+    flood_lifetime=200.0,
+    check_interval=100.0,
+)
+
+
+class TestOverloadScenario:
+    def test_unbounded_baseline_swells_and_stays_consistent(self):
+        result = run_overload_scenario(pit_capacity=None, **FAST)
+        assert result.attempted == 10
+        assert result.delivery_rate == 1.0
+        # ~lifetime/interval flood entries dangle at once.
+        assert result.peak_pit_size >= 40
+        assert result.checker.checks_run > 0
+        result.checker.assert_ok()
+
+    def test_bounded_router_holds_the_cap_and_delivers(self):
+        result = run_overload_scenario(
+            pit_capacity=8,
+            pit_overflow="evict-oldest-expiry",
+            rate_limit=InterestRateLimit(rate=200.0, burst=20.0),
+            **FAST,
+        )
+        assert result.peak_pit_size <= 8
+        assert result.delivery_rate >= 0.9
+        assert result.router_summary["nack_out"] > 0
+        result.checker.assert_ok()
+
+    def test_pollution_adds_cs_churn(self):
+        clean = run_overload_scenario(pit_capacity=8, cs_capacity=4, **FAST)
+        polluted = run_overload_scenario(
+            pit_capacity=8, cs_capacity=4, pollution=True, **FAST
+        )
+        assert (
+            polluted.router_summary["cs_evictions"]
+            > clean.router_summary["cs_evictions"]
+        )
+        polluted.checker.assert_ok()
+
+    def test_caller_supplied_checker_is_used(self):
+        checker = InvariantChecker()
+        result = run_overload_scenario(pit_capacity=8, checker=checker, **FAST)
+        assert result.checker is checker
+        assert checker.checks_run > 0
+
+    def test_result_exposes_the_summary_observables(self):
+        result = run_overload_scenario(pit_capacity=8, **FAST)
+        for key in (
+            "pit_size", "pit_peak_size", "pit_capacity", "rate_limited",
+            "nack_in", "nack_out", "cs_size", "cs_evictions",
+        ):
+            assert key in result.router_summary
+        assert result.events > 0
+        assert result.delivery_rate == pytest.approx(
+            result.delivered / result.attempted
+        )
