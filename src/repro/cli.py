@@ -118,6 +118,33 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--skip-invariants", action="store_true",
                           help="skip the packet-level overload scenarios")
 
+    profile = sub.add_parser(
+        "profile",
+        help="profile a hot workload under cProfile (plus subsystem timers)",
+    )
+    profile.add_argument(
+        "target",
+        choices=FIG3_SETTINGS + ["sim-core-star", "sim-core-tree"],
+        help="workload to profile: a fig3 panel or a sim-core topology",
+    )
+    profile.add_argument("--objects", type=int, default=60,
+                         help="fig3 panels: probed objects per trial")
+    profile.add_argument("--trials", type=int, default=6,
+                         help="fig3 panels: trials")
+    profile.add_argument("--requests", type=int, default=None,
+                         help="sim-core targets: requests per consumer")
+    profile.add_argument("--consumers", type=int, default=None,
+                         help="sim-core-star: number of consumers")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=25,
+                         help="rows of the cProfile table to print")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=["cumulative", "tottime", "calls"],
+                         help="cProfile sort key")
+    profile.add_argument("--timers", action="store_true",
+                         help="also enable the per-subsystem counter timers "
+                              "and print their report")
+
     report = sub.add_parser(
         "report", help="run every figure and write a markdown report"
     )
@@ -213,6 +240,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate":
         return _run_validate(args)
 
+    if args.command == "profile":
+        return _run_profile(args)
+
     if args.command == "report":
         _write_report(args)
         print(f"wrote reproduction report to {args.out}")
@@ -273,6 +303,68 @@ def _run_validate(args) -> int:
 
     print("validation", "FAILED" if failed else "passed")
     return 1 if failed else 0
+
+
+def _run_profile(args) -> int:
+    """Run one hot workload under cProfile and print the top-N table."""
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    from repro.sim import profiling
+
+    if args.target == "sim-core-star":
+        from repro.perf.simcore import run_star
+
+        kwargs = {"seed": args.seed}
+        if args.consumers is not None:
+            kwargs["consumers"] = args.consumers
+        if args.requests is not None:
+            kwargs["requests_per_consumer"] = args.requests
+        workload = lambda: run_star(**kwargs)  # noqa: E731
+        label = "sim-core star topology"
+    elif args.target == "sim-core-tree":
+        from repro.perf.simcore import run_tree
+
+        kwargs = {"seed": args.seed}
+        if args.requests is not None:
+            kwargs["requests_per_consumer"] = args.requests
+        workload = lambda: run_tree(**kwargs)  # noqa: E731
+        label = "sim-core 3-level tree topology"
+    else:
+        workload = lambda: run_fig3(  # noqa: E731
+            args.target,
+            objects_per_trial=args.objects,
+            trials=args.trials,
+            seed=args.seed,
+        )
+        label = f"fig3 panel {args.target}"
+
+    if args.timers:
+        profiling.reset()
+        profiling.enable()
+    try:
+        profiler = cProfile.Profile()
+        t0 = time.perf_counter()
+        profiler.enable()
+        workload()
+        profiler.disable()
+        wall = time.perf_counter() - t0
+    finally:
+        if args.timers:
+            profiling.disable()
+
+    print(f"profiled {label}: {wall:.3f}s wall (under cProfile)")
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats(args.sort).print_stats(
+        args.top
+    )
+    print(stream.getvalue().rstrip())
+    if args.timers:
+        print()
+        print(profiling.report())
+    return 0
 
 
 def _write_report(args) -> None:

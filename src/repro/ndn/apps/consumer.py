@@ -157,7 +157,9 @@ class Consumer:
     def receive_data(self, data: Data, face: Face) -> None:
         """Match returning content against pending interests (prefix rule)."""
         matched = False
-        for pending_name in list(self._pending):
+        # Safe to iterate the dict directly: the loop breaks right after
+        # the single mutation below, so no entries are visited afterwards.
+        for pending_name in self._pending:
             if not pending_name.is_prefix_of(data.name):
                 continue
             waiters = self._pending[pending_name]

@@ -9,7 +9,7 @@ miss path instead of a timeout).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.ndn.link import Face
 from repro.ndn.name import Name, name_of
@@ -42,6 +42,9 @@ class Producer:
         self.monitor = monitor if monitor is not None else Monitor()
         self.face: Optional[Face] = None
         self.repo: Dict[Name, Data] = {}
+        # Sorted view of repo names, rebuilt lazily after inserts so the
+        # prefix-miss path in _resolve is not O(n log n) per interest.
+        self._sorted_names: Optional[List[Name]] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -76,6 +79,7 @@ class Producer:
             exact_match_only=exact_match_only,
         )
         self.repo[full] = data
+        self._sorted_names = None
         return data
 
     def publish_many(self, count: int, stem: str = "object", **kwargs) -> list:
@@ -100,11 +104,8 @@ class Producer:
             return
         self.monitor.count("data_served")
         if self.processing_delay > 0:
-            self.engine.schedule(
-                self.processing_delay,
-                face.send_data,
-                data,
-                label=f"{self.producer_id}:serve",
+            self.engine.schedule_fire_and_forget(
+                self.processing_delay, face.send_data, data
             )
         else:
             face.send_data(data)
@@ -114,7 +115,9 @@ class Producer:
         if data is not None:
             return data
         # Prefix match: serve the smallest published name under the prefix.
-        for published in sorted(self.repo):
+        if self._sorted_names is None:
+            self._sorted_names = sorted(self.repo)
+        for published in self._sorted_names:
             if name.is_prefix_of(published) and not self.repo[published].exact_match_only:
                 return self.repo[published]
         if self.auto_generate:
@@ -125,6 +128,7 @@ class Producer:
                 size=self.content_size,
             )
             self.repo[name] = data
+            self._sorted_names = None
             return data
         return None
 

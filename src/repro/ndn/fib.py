@@ -4,12 +4,19 @@ Maps name prefixes to next-hop faces; interests are routed by
 longest-prefix match (Section II).  Multiple next hops per prefix are
 supported with costs; the forwarder uses the lowest-cost face (best route)
 and may fall back to alternates.
+
+Hot-path design: the route table is mirrored keyed by raw component
+tuples, so the longest-prefix walk slices tuples instead of building
+intermediate :class:`Name` objects, and every lookup result (including
+misses) is memoized per name.  Both caches are invalidated wholesale on
+:meth:`add_route` / :meth:`remove_route` — route churn is rare next to
+per-packet lookups.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.ndn.errors import FibError
 from repro.ndn.name import Name
@@ -28,13 +35,25 @@ class Fib:
 
     def __init__(self) -> None:
         self._routes: Dict[Name, List[FibNextHop]] = {}
+        # Mirror keyed by component tuple; shares the hop lists above.
+        self._routes_by_comps: Dict[Tuple[str, ...], List[FibNextHop]] = {}
+        # LPM memo: name -> hops list (or None for a cached miss).
+        self._lpm_cache: Dict[Name, Optional[List[FibNextHop]]] = {}
+        self._sorted_prefixes: Optional[List[Name]] = None
+
+    def _invalidate(self) -> None:
+        self._lpm_cache.clear()
+        self._sorted_prefixes = None
 
     def add_route(self, prefix: Name, face: object, cost: int = 0) -> None:
         """Register ``face`` as a next hop for ``prefix``.
 
         Duplicate (prefix, face) registrations update the cost in place.
         """
-        hops = self._routes.setdefault(prefix, [])
+        hops = self._routes.get(prefix)
+        if hops is None:
+            hops = self._routes[prefix] = []
+            self._routes_by_comps[prefix.components] = hops
         for i, hop in enumerate(hops):
             if hop.face is face:
                 hops[i] = FibNextHop(face=face, cost=cost)
@@ -42,6 +61,7 @@ class Fib:
         else:
             hops.append(FibNextHop(face=face, cost=cost))
         hops.sort(key=lambda h: h.cost)
+        self._invalidate()
 
     def remove_route(self, prefix: Name, face: object) -> None:
         """Remove the (prefix, face) route; raises if absent."""
@@ -52,17 +72,34 @@ class Fib:
         if len(remaining) == len(hops):
             raise FibError(f"face not registered for prefix {prefix}")
         if remaining:
-            self._routes[prefix] = remaining
+            # Mutate in place so the tuple-keyed mirror stays aliased.
+            hops[:] = remaining
         else:
             del self._routes[prefix]
+            del self._routes_by_comps[prefix.components]
+        self._invalidate()
 
     def longest_prefix_match(self, name: Name) -> Optional[List[FibNextHop]]:
-        """Next hops for the longest registered prefix of ``name``, or None."""
-        for prefix in name.prefixes():
-            hops = self._routes.get(prefix)
+        """Next hops for the longest registered prefix of ``name``, or None.
+
+        Memoized per name (misses included) until the next route change.
+        The returned list is live table state — treat it as read-only.
+        """
+        cache = self._lpm_cache
+        try:
+            return cache[name]
+        except KeyError:
+            pass
+        comps = name.components
+        routes = self._routes_by_comps
+        result: Optional[List[FibNextHop]] = None
+        for length in range(len(comps), -1, -1):
+            hops = routes.get(comps[:length])
             if hops:
-                return list(hops)
-        return None
+                result = hops
+                break
+        cache[name] = result
+        return result
 
     def next_hop(self, name: Name) -> Optional[object]:
         """The single best (lowest-cost) next-hop face for ``name``."""
@@ -71,8 +108,10 @@ class Fib:
 
     @property
     def prefixes(self) -> List[Name]:
-        """All registered prefixes (sorted)."""
-        return sorted(self._routes)
+        """All registered prefixes (sorted; view cached until mutation)."""
+        if self._sorted_prefixes is None:
+            self._sorted_prefixes = sorted(self._routes)
+        return list(self._sorted_prefixes)
 
     def __len__(self) -> int:
         return len(self._routes)

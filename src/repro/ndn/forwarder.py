@@ -46,6 +46,7 @@ and the PIT ledger
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.core.schemes.base import CacheScheme, DecisionKind
@@ -66,6 +67,7 @@ from repro.ndn.packets import (
 from repro.ndn.pit import Pit, PitEntry
 from repro.sim.engine import Engine
 from repro.sim.monitor import Monitor
+from repro.sim.profiling import state as _prof
 
 
 class Forwarder:
@@ -139,6 +141,14 @@ class Forwarder:
     # ------------------------------------------------------------------
     def receive_interest(self, interest: Interest, face: Face) -> None:
         """Process an interest arriving on ``face``."""
+        if _prof.enabled:
+            t0 = perf_counter()
+            self._receive_interest(interest, face)
+            _prof.add("forwarder.interest", perf_counter() - t0)
+        else:
+            self._receive_interest(interest, face)
+
+    def _receive_interest(self, interest: Interest, face: Face) -> None:
         if not self.up:
             self.monitor.count("down_dropped_interest")
             return
@@ -193,11 +203,10 @@ class Forwarder:
                 # aggregation and is not re-forwarded.
                 for upstream in self._select_upstreams(interest.name, face):
                     self.monitor.count("interest_retransmitted")
-                    self.engine.schedule(
+                    self.engine.schedule_fire_and_forget(
                         self.processing_delay,
                         upstream.send_interest,
                         interest.hop(),
-                        label=f"{self.name}:refwd-interest",
                     )
             return
         if self.honor_scope and interest.scope_exhausted:
@@ -224,11 +233,10 @@ class Forwarder:
         )
         for upstream in upstreams:
             self.monitor.count("interest_forwarded")
-            self.engine.schedule(
+            self.engine.schedule_fire_and_forget(
                 self.processing_delay,
                 upstream.send_interest,
                 interest.hop(),
-                label=f"{self.name}:fwd-interest",
             )
 
     def _select_upstreams(self, name, arrival_face: Face) -> List[Face]:
@@ -275,6 +283,14 @@ class Forwarder:
     # ------------------------------------------------------------------
     def receive_data(self, data: Data, face: Face) -> None:
         """Process a content object arriving on ``face``."""
+        if _prof.enabled:
+            t0 = perf_counter()
+            self._receive_data(data, face)
+            _prof.add("forwarder.data", perf_counter() - t0)
+        else:
+            self._receive_data(data, face)
+
+    def _receive_data(self, data: Data, face: Face) -> None:
         if not self.up:
             self.monitor.count("down_dropped_data")
             return
@@ -313,9 +329,7 @@ class Forwarder:
         if delay <= 0:
             face.send_data(data)
         else:
-            self.engine.schedule(
-                delay, face.send_data, data, label=f"{self.name}:send-data"
-            )
+            self.engine.schedule_fire_and_forget(delay, face.send_data, data)
 
     # ------------------------------------------------------------------
     # Nack pipeline
@@ -343,11 +357,8 @@ class Forwarder:
         if self.processing_delay <= 0:
             face.send_nack(nack)
         else:
-            self.engine.schedule(
-                self.processing_delay,
-                face.send_nack,
-                nack,
-                label=f"{self.name}:send-nack",
+            self.engine.schedule_fire_and_forget(
+                self.processing_delay, face.send_nack, nack
             )
 
     # ------------------------------------------------------------------

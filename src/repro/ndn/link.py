@@ -26,6 +26,10 @@ import numpy as np
 
 from repro.ndn.errors import TopologyError
 from repro.ndn.packets import Data, Interest, Nack
+from repro.ndn.wire import fast_wire_size
+from repro.sim.profiling import state as _prof
+
+from time import perf_counter
 
 if TYPE_CHECKING:  # typing only: keep ndn importable without repro.faults
     from repro.faults.loss import LossModel
@@ -274,8 +278,29 @@ class Link:
         raise TopologyError(f"{face.label} is not an endpoint of {self.name}")
 
     def transmit(self, packet, from_face: Face) -> None:
-        """Deliver ``packet`` to the opposite endpoint after a sampled delay."""
-        to_face = self.other_end(from_face)
+        """Deliver ``packet`` to the opposite endpoint after a sampled delay.
+
+        The per-hop fast path: sizes come from the memoized arithmetic
+        :func:`~repro.ndn.wire.fast_wire_size` (no encoding), and delivery
+        rides the engine's fire-and-forget lane (deliveries are never
+        cancelled), so a forwarded packet allocates no :class:`Event`.
+        """
+        if _prof.enabled:
+            t0 = perf_counter()
+            self._transmit(packet, from_face)
+            _prof.add("link.transmit", perf_counter() - t0)
+        else:
+            self._transmit(packet, from_face)
+
+    def _transmit(self, packet, from_face: Face) -> None:
+        if from_face is self.face_a:
+            to_face = self.face_b
+        elif from_face is self.face_b:
+            to_face = self.face_a
+        else:
+            raise TopologyError(
+                f"{from_face.label} is not an endpoint of {self.name}"
+            )
         if not isinstance(packet, (Interest, Data, Nack)):
             raise TopologyError(f"unknown packet type {type(packet).__name__}")
         self.packets_sent += 1
@@ -292,14 +317,12 @@ class Link:
             return
         delay = self.delay_model.sample(self.rng) + self.extra_delay
         if isinstance(packet, Interest):
-            self.engine.schedule(
-                delay, to_face.owner.receive_interest, packet, to_face,
-                label=f"{self.name}:interest",
+            self.engine.schedule_fire_and_forget(
+                delay, to_face.owner.receive_interest, packet, to_face
             )
         elif isinstance(packet, Data):
-            self.engine.schedule(
-                delay, to_face.owner.receive_data, packet, to_face,
-                label=f"{self.name}:data",
+            self.engine.schedule_fire_and_forget(
+                delay, to_face.owner.receive_data, packet, to_face
             )
         else:
             handler = getattr(to_face.owner, "receive_nack", None)
@@ -308,17 +331,12 @@ class Link:
                 # method): the Nack is dropped at the link, visibly.
                 self.nacks_unhandled += 1
                 return
-            self.engine.schedule(
-                delay, handler, packet, to_face,
-                label=f"{self.name}:nack",
-            )
+            self.engine.schedule_fire_and_forget(delay, handler, packet, to_face)
 
     @staticmethod
     def _packet_bytes(packet) -> int:
         """On-wire bytes: TLV header plus, for Data, the payload size."""
-        from repro.ndn.wire import wire_size
-
-        total = wire_size(packet)
+        total = fast_wire_size(packet)
         if isinstance(packet, Data):
             total += packet.size
         return total

@@ -8,12 +8,26 @@ themselves are opaque to the network.
 Matching semantics follow the paper exactly: content named ``X'`` matches an
 interest for ``X`` iff ``X`` is a prefix of ``X'`` (footnote 2), e.g.
 ``/cnn/news/2013may20`` matches an interest for ``/cnn/news``.
+
+Hot-path design: names are the key of every forwarding table, so the class
+keeps three caches that make per-packet work allocation-free after first
+touch:
+
+* a **global intern pool** (:meth:`intern`, and :meth:`parse`, which
+  interns) mapping component tuples to a canonical instance, so repeated
+  parses of the same URI return the *same* object,
+* a cached URI (``__str__`` renders once per instance),
+* a cached prefix chain (:meth:`prefixes` precomputes the interned prefix
+  names on first iteration, so FIB longest-prefix walks allocate nothing).
+
+All caches are invisible to the value semantics: equality, ordering, and
+hashing depend only on the component tuple.
 """
 
 from __future__ import annotations
 
 from functools import total_ordering
-from typing import Iterable, Iterator, Tuple, Union
+from typing import Dict, Iterable, Iterator, Tuple, Union
 
 from repro.ndn.errors import NameError_
 
@@ -26,7 +40,12 @@ PRIVATE_COMPONENT = "private"
 class Name:
     """An immutable, hashable hierarchical content name."""
 
-    __slots__ = ("_components", "_hash")
+    __slots__ = ("_components", "_hash", "_uri", "_prefix_chain")
+
+    #: Global intern pool: component tuple -> canonical instance.
+    _intern_pool: Dict[Tuple[str, ...], "Name"] = {}
+    #: Parse memo: URI string -> interned instance.
+    _parse_cache: Dict[str, "Name"] = {}
 
     def __init__(self, components: Iterable[str] = ()) -> None:
         comps = tuple(components)
@@ -41,30 +60,86 @@ class Name:
                 raise NameError_(f"name component may not contain '/': {comp!r}")
         self._components = comps
         self._hash = hash(comps)
+        self._uri = None
+        self._prefix_chain = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
+    def _from_tuple(cls, comps: Tuple[str, ...]) -> "Name":
+        """Trusted fast constructor for an already-validated tuple."""
+        self = object.__new__(cls)
+        self._components = comps
+        self._hash = hash(comps)
+        self._uri = None
+        self._prefix_chain = None
+        return self
+
+    @classmethod
+    def _intern_tuple(cls, comps: Tuple[str, ...]) -> "Name":
+        """Canonical instance for a validated component tuple."""
+        pool = cls._intern_pool
+        name = pool.get(comps)
+        if name is None:
+            name = cls._from_tuple(comps)
+            pool[comps] = name
+        return name
+
+    @classmethod
+    def intern(cls, value: Union["Name", str, Iterable[str]]) -> "Name":
+        """The canonical (pooled) instance equal to ``value``.
+
+        Accepts a :class:`Name`, a URI string, or an iterable of
+        components; validation matches the constructor.  Interned names
+        are regular names — callers never need to distinguish them — but
+        repeated interning of equal values returns the same object, so
+        identity-keyed caches (and ``dict`` lookups, via the cached hash)
+        hit without re-hashing component tuples.
+        """
+        if isinstance(value, Name):
+            return cls._intern_tuple(value._components)
+        if isinstance(value, str):
+            return cls.parse(value)
+        return cls._intern_tuple(cls(value)._components)
+
+    @classmethod
     def parse(cls, uri: str) -> "Name":
         """Parse a slash-delimited name like ``/youtube/alice/video.avi/137``.
 
         A leading slash is required for non-root names; the bare string
-        ``/`` parses to the root (empty) name.
+        ``/`` parses to the root (empty) name.  Parsing is memoized: the
+        same URI returns the same (interned) instance.
         """
+        cached = cls._parse_cache.get(uri)
+        if cached is not None:
+            return cached
         if uri == "/":
-            return cls(())
-        if not uri.startswith("/"):
-            raise NameError_(f"name URI must start with '/': {uri!r}")
-        parts = uri[1:].split("/")
-        if any(part == "" for part in parts):
-            raise NameError_(f"empty component in name URI: {uri!r}")
-        return cls(parts)
+            name = cls._intern_tuple(())
+        else:
+            if not uri.startswith("/"):
+                raise NameError_(f"name URI must start with '/': {uri!r}")
+            parts = uri[1:].split("/")
+            if any(part == "" for part in parts):
+                raise NameError_(f"empty component in name URI: {uri!r}")
+            name = cls._intern_tuple(cls(parts)._components)
+        cls._parse_cache[uri] = name
+        return name
 
     @classmethod
     def root(cls) -> "Name":
         """The zero-component root name (prefix of everything)."""
-        return cls(())
+        return cls._intern_tuple(())
+
+    @classmethod
+    def clear_caches(cls) -> None:
+        """Drop the intern pool and parse memo (tests / memory pressure).
+
+        Existing instances stay valid; only canonicalization state is
+        reset, so post-clear parses return fresh canonical objects.
+        """
+        cls._intern_pool.clear()
+        cls._parse_cache.clear()
 
     # ------------------------------------------------------------------
     # Accessors
@@ -82,7 +157,7 @@ class Name:
 
     def __getitem__(self, index: Union[int, slice]) -> Union[str, "Name"]:
         if isinstance(index, slice):
-            return Name(self._components[index])
+            return Name._from_tuple(self._components[index])
         return self._components[index]
 
     @property
@@ -103,7 +178,7 @@ class Name:
         """Return the name with the last component removed."""
         if not self._components:
             raise NameError_("root name has no parent")
-        return Name(self._components[:-1])
+        return Name._from_tuple(self._components[:-1])
 
     def prefix(self, length: int) -> "Name":
         """Return the first ``length`` components as a name."""
@@ -111,12 +186,24 @@ class Name:
             raise NameError_(
                 f"prefix length {length} out of range for {self}"
             )
-        return Name(self._components[:length])
+        return Name._from_tuple(self._components[:length])
 
     def prefixes(self) -> Iterator["Name"]:
-        """Yield every prefix of this name, longest first (self included)."""
-        for length in range(len(self._components), -1, -1):
-            yield Name(self._components[:length])
+        """Yield every prefix of this name, longest first (self included).
+
+        The chain of interned prefix names is computed once per instance;
+        subsequent iterations allocate nothing.
+        """
+        chain = self._prefix_chain
+        if chain is None:
+            comps = self._components
+            intern = Name._intern_tuple
+            chain = tuple(
+                intern(comps[:length])
+                for length in range(len(comps), -1, -1)
+            )
+            self._prefix_chain = chain
+        return iter(chain)
 
     def is_prefix_of(self, other: "Name") -> bool:
         """True iff every component of self matches the start of ``other``.
@@ -151,6 +238,8 @@ class Name:
     # Dunder plumbing
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if not isinstance(other, Name):
             return NotImplemented
         return self._components == other._components
@@ -163,10 +252,21 @@ class Name:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Pickle by component tuple only: the lazy URI/prefix caches are
+        # per-process state and must not leak into (or be required from)
+        # serialized form — checkpoint files stay version-stable.
+        return (Name, (self._components,))
+
     def __str__(self) -> str:
-        if not self._components:
-            return "/"
-        return "/" + "/".join(self._components)
+        uri = self._uri
+        if uri is None:
+            if self._components:
+                uri = "/" + "/".join(self._components)
+            else:
+                uri = "/"
+            self._uri = uri
+        return uri
 
     def __repr__(self) -> str:
         return f"Name({str(self)!r})"

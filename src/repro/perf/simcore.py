@@ -1,0 +1,168 @@
+"""Full-topology simulator-core workload drivers (star and tree).
+
+These drive the *packet-level* substrate — engine, links, forwarders,
+CS/PIT/FIB — with many consumers fetching a shared object universe, and
+report **packet-hops per second**: every :meth:`Link.transmit` is one
+packet-hop, so the metric prices exactly the per-hop fast path the
+full-topology experiments (Figure 3, amplification, overload) pay.
+
+Two fixed topologies:
+
+* ``star`` — N consumers on jittery LAN links around one router R with
+  the producer behind it (the Figure-1 shape at scale),
+* ``tree`` — a 3-level router tree (root - 2 aggregation - 4 leaves, two
+  consumers per leaf) on deterministic links, which maximizes equal-time
+  event ties and therefore stresses the engine's insertion-order
+  determinism.
+
+Both are deterministic per seed; :mod:`benchmarks.bench_sim_core` and the
+``repro-experiments profile`` command build on them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.ndn.link import FixedDelay, GaussianJitterDelay, LogNormalDelay
+from repro.ndn.network import Network
+from repro.sim.rng import RngRegistry
+
+#: Prefix the sim-core object universe lives under.
+SIMCORE_PREFIX = "/content"
+
+
+@dataclass(frozen=True)
+class SimCoreResult:
+    """Outcome of one sim-core run: throughput plus integrity counters."""
+
+    topology: str
+    consumers: int
+    requests: int
+    delivered: int
+    packet_hops: int
+    events: int
+    cache_hits: int
+    sim_end_ms: float
+    wall_s: float
+
+    @property
+    def hops_per_sec(self) -> float:
+        """Packet-hops per wall-clock second (the headline metric)."""
+        return self.packet_hops / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Engine events per wall-clock second."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _drive(
+    net: Network,
+    topology: str,
+    consumer_names: List[str],
+    requests_per_consumer: int,
+    universe: int,
+) -> SimCoreResult:
+    """Spawn one fetch loop per consumer and run the engine to completion.
+
+    Consumer ``j`` fetches object ``(i * 3 + j) % universe`` on step ``i``
+    — a deterministic interleaving that mixes cache hits and misses
+    across consumers without any RNG draws in the workload itself.
+    """
+    delivered = [0]
+
+    def fetch_loop(j: int, consumer):
+        for i in range(requests_per_consumer):
+            index = (i * 3 + j) % universe
+            result = yield from consumer.fetch(
+                f"{SIMCORE_PREFIX}/obj-{index}", timeout=4000.0
+            )
+            if result is not None:
+                delivered[0] += 1
+
+    for j, name in enumerate(consumer_names):
+        net.spawn(fetch_loop(j, net[name]), label=f"simcore:{name}")
+
+    start = time.perf_counter()
+    end = net.run()
+    wall = time.perf_counter() - start
+
+    hops = sum(link.packets_sent for link in net.links.values())
+    hits = sum(
+        router.monitor.counter("cs_hit") for router in net.routers.values()
+    )
+    return SimCoreResult(
+        topology=topology,
+        consumers=len(consumer_names),
+        requests=requests_per_consumer * len(consumer_names),
+        delivered=delivered[0],
+        packet_hops=hops,
+        events=net.engine.events_processed,
+        cache_hits=hits,
+        sim_end_ms=end,
+        wall_s=wall,
+    )
+
+
+def run_star(
+    consumers: int = 16,
+    requests_per_consumer: int = 200,
+    seed: int = 0,
+    cache_capacity: int = 64,
+) -> SimCoreResult:
+    """Star: N consumers around one caching router, producer behind it."""
+    net = Network(rng=RngRegistry(seed))
+    net.add_router("R", capacity=cache_capacity)
+    net.add_producer("P", SIMCORE_PREFIX)
+    net.connect("R", "P", LogNormalDelay(base=1.0, tail_scale=0.7, sigma=0.8))
+    net.add_route("R", SIMCORE_PREFIX, "P")
+    names = []
+    for j in range(consumers):
+        name = f"C{j}"
+        net.add_consumer(name)
+        net.connect(
+            name, "R", GaussianJitterDelay(base=1.8, jitter_std=0.12, floor=1.5)
+        )
+        names.append(name)
+    universe = max(4, consumers * 4)
+    return _drive(net, "star", names, requests_per_consumer, universe)
+
+
+def run_tree(
+    requests_per_consumer: int = 150,
+    seed: int = 0,
+    cache_capacity: int = 32,
+) -> SimCoreResult:
+    """3-level tree: root - 2 aggregation routers - 4 leaves, 2 consumers
+    per leaf.  Deterministic link delays maximize equal-time event ties."""
+    net = Network(rng=RngRegistry(seed))
+    net.add_producer("P", SIMCORE_PREFIX)
+    net.add_router("R0", capacity=cache_capacity)
+    net.connect("R0", "P", FixedDelay(1.0))
+    net.add_route("R0", SIMCORE_PREFIX, "P")
+
+    names: List[str] = []
+    leaf_of: Dict[str, str] = {}
+    for a in range(2):
+        agg = f"R1-{a}"
+        net.add_router(agg, capacity=cache_capacity)
+        net.connect(agg, "R0", FixedDelay(0.8))
+        net.add_route(agg, SIMCORE_PREFIX, "R0")
+        for l in range(2):
+            leaf = f"R2-{a}{l}"
+            net.add_router(leaf, capacity=cache_capacity)
+            net.connect(leaf, agg, FixedDelay(0.5))
+            net.add_route(leaf, SIMCORE_PREFIX, agg)
+            for c in range(2):
+                name = f"C{a}{l}{c}"
+                net.add_consumer(name)
+                net.connect(name, leaf, FixedDelay(0.3))
+                names.append(name)
+                leaf_of[name] = leaf
+    universe = 32
+    return _drive(net, "tree", names, requests_per_consumer, universe)
+
+
+RUNNERS = {"star": run_star, "tree": run_tree}

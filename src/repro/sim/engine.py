@@ -13,13 +13,24 @@ Both plain callbacks (:meth:`Engine.schedule`) and generator-based processes
 (:meth:`Engine.spawn`, see :mod:`repro.sim.process`) are supported; the NDN
 substrate uses callbacks for the forwarding fast path and processes for
 application behavior (consumers, attackers).
+
+Hot-path design: the heap holds uniform ``(time, seq, callback, args,
+event)`` tuples, so ordering is native tuple comparison (time, then the
+unique sequence number — the comparison never reaches the callback).
+Cancellable schedules carry an :class:`Event` handle in the last slot;
+:meth:`Engine.schedule_fire_and_forget` enqueues with ``None`` there,
+skipping the handle allocation entirely — the fast lane link deliveries
+ride on.  Both lanes share one sequence counter, so interleaved
+same-timestamp events fire in exact insertion order regardless of lane.
 """
 
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Generator, Optional
 
+from repro.sim import profiling
 from repro.sim.errors import ClockError, SimulationError
 from repro.sim.events import Event, EventState
 
@@ -29,7 +40,8 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        # Uniform heap entries: (time, seq, callback, args, event-or-None).
+        self._queue: list = []
         self._seq = 0
         self._running = False
         self._events_processed = 0
@@ -83,10 +95,29 @@ class Engine:
             )
         event = Event(time, self._seq, callback, args, label=label)
         event.on_cancel = self._note_cancel
+        heapq.heappush(self._queue, (time, self._seq, callback, args, event))
         self._seq += 1
-        heapq.heappush(self._queue, event)
         self._pending += 1
         return event
+
+    def schedule_fire_and_forget(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule an *uncancellable* ``callback(*args)`` ``delay`` ms out.
+
+        The fast lane: no :class:`Event` handle is allocated, so use this
+        only for work that is never cancelled (link packet deliveries).
+        Shares the sequence counter with :meth:`schedule`, so tie-breaking
+        at equal timestamps is identical to the regular lane — interleaved
+        schedules fire in insertion order.
+        """
+        if delay < 0:
+            raise ClockError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self._now + delay, self._seq, callback, args, None)
+        )
+        self._seq += 1
+        self._pending += 1
 
     def _note_cancel(self) -> None:
         self._pending -= 1
@@ -124,24 +155,46 @@ class Engine:
             raise SimulationError("engine is not reentrant: run() called from a callback")
         self._running = True
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        cancelled = EventState.CANCELLED
+        fired = EventState.FIRED
+        prof = profiling.state
         try:
             while True:
-                self._purge_cancelled()
-                if not self._queue:
+                # Drop cancelled events sitting at the head of the heap.
+                while queue:
+                    head_event = queue[0][4]
+                    if head_event is not None and head_event.state is cancelled:
+                        heappop(queue)
+                    else:
+                        break
+                if not queue:
                     # Queue drained; if a horizon was given, advance to it
                     # so that back-to-back run(until=...) calls observe
                     # monotonic time.
                     if until is not None and until > self._now:
                         self._now = until
                     break
-                event = self._queue[0]
-                if until is not None and event.time > until:
+                entry = queue[0]
+                if until is not None and entry[0] > until:
                     self._now = until
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                heapq.heappop(self._queue)
-                self._fire(event)
+                heappop(queue)
+                self._now = entry[0]
+                event = entry[4]
+                if event is not None:
+                    event.state = fired
+                self._pending -= 1
+                if prof.enabled:
+                    t0 = perf_counter()
+                    entry[2](*entry[3])
+                    prof.add("engine.callback", perf_counter() - t0)
+                else:
+                    entry[2](*entry[3])
+                self._events_processed += 1
                 executed += 1
         finally:
             self._running = False
@@ -158,25 +211,34 @@ class Engine:
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         self._purge_cancelled()
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def _purge_cancelled(self) -> None:
         """Drop cancelled events sitting at the head of the heap."""
         queue = self._queue
-        while queue and queue[0].state is EventState.CANCELLED:
-            heapq.heappop(queue)
+        while queue:
+            event = queue[0][4]
+            if event is not None and event.state is EventState.CANCELLED:
+                heapq.heappop(queue)
+            else:
+                break
 
-    def _fire(self, event: Event) -> None:
-        """Execute one pending event that was just popped off the heap."""
-        self._now = event.time
-        event.state = EventState.FIRED
+    def _fire(self, entry: tuple) -> None:
+        """Execute one pending heap entry that was just popped."""
+        self._now = entry[0]
+        event = entry[4]
+        if event is not None:
+            event.state = EventState.FIRED
         self._pending -= 1
-        event.callback(*event.args)
+        entry[2](*entry[3])
         self._events_processed += 1
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued (O(1))."""
+        """Number of not-yet-cancelled events still queued (O(1)).
+
+        Counts both lanes: cancellable events and fire-and-forget entries.
+        """
         return self._pending
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -74,7 +74,9 @@ class Event:
         return self.state is EventState.PENDING
 
     def __lt__(self, other: "Event") -> bool:
-        # Heap ordering: time first, then insertion order for determinism.
+        # Time first, then insertion order for determinism.  The engine's
+        # heap orders its own (time, seq, ...) tuples and never compares
+        # Event objects; this stays for handle sorting in user code.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

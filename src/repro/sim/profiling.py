@@ -1,0 +1,101 @@
+"""Per-subsystem counter timers for the forwarding fast path.
+
+A tiny, zero-cost-when-off observability layer: hot functions (engine
+callback dispatch, link transmit, forwarder pipelines, CS lookup, FIB
+longest-prefix match) bracket their bodies with::
+
+    from repro.sim.profiling import state as _prof
+    ...
+    if _prof.enabled:
+        _t0 = perf_counter()
+        <body>
+        _prof.add("link.transmit", perf_counter() - _t0)
+    else:
+        <body>
+
+When profiling is off the only cost is one attribute read per call —
+no timer objects, no context managers, no allocation.  Timers are
+*inclusive* (nested subsystems count inside their parents), which is the
+useful view for "where does a packet-hop's wall time go".
+
+Enable programmatically (:func:`enable`) or by setting the
+``REPRO_PROFILE`` environment variable before import; the
+``repro-experiments profile --timers`` command wires this up for a whole
+run and prints :func:`report`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+
+class ProfilingState:
+    """Mutable profiling switchboard: the on/off flag plus counters."""
+
+    __slots__ = ("enabled", "counters")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        #: key -> [calls, total_seconds]
+        self.counters: Dict[str, List[float]] = {}
+
+    def add(self, key: str, seconds: float) -> None:
+        """Accumulate one timed call under ``key``."""
+        entry = self.counters.get(key)
+        if entry is None:
+            self.counters[key] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+
+#: The process-wide profiling state all hot paths consult.
+state = ProfilingState()
+
+
+def enable() -> None:
+    """Turn subsystem timers on (counters keep accumulating)."""
+    state.enabled = True
+
+
+def disable() -> None:
+    """Turn subsystem timers off (counters are retained, not cleared)."""
+    state.enabled = False
+
+
+def reset() -> None:
+    """Clear all accumulated counters."""
+    state.counters.clear()
+
+
+def snapshot() -> Dict[str, Dict[str, float]]:
+    """Counters as ``{key: {"calls": n, "total_s": s, "per_call_us": u}}``."""
+    out: Dict[str, Dict[str, float]] = {}
+    for key, (calls, total) in state.counters.items():
+        out[key] = {
+            "calls": float(calls),
+            "total_s": total,
+            "per_call_us": (total / calls * 1e6) if calls else 0.0,
+        }
+    return out
+
+
+def report() -> str:
+    """A printable table of all subsystem timers, heaviest first."""
+    if not state.counters:
+        return "subsystem timers: no samples (profiling off or nothing ran)"
+    rows = sorted(
+        state.counters.items(), key=lambda item: item[1][1], reverse=True
+    )
+    lines = [
+        f"{'subsystem':<24} {'calls':>10} {'total_s':>10} {'per_call_us':>12}"
+    ]
+    for key, (calls, total) in rows:
+        per_call = (total / calls * 1e6) if calls else 0.0
+        lines.append(f"{key:<24} {int(calls):>10} {total:>10.4f} {per_call:>12.2f}")
+    return "\n".join(lines)
+
+
+if os.environ.get("REPRO_PROFILE"):  # pragma: no cover - env-driven switch
+    enable()

@@ -75,12 +75,80 @@ class TestRemoval:
             fib.remove_route(Name.parse("/a"), "other")
 
 
+class TestLpmCache:
+    """The memoized longest-prefix match must never serve stale routes."""
+
+    def test_repeat_lookup_same_result(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "f")
+        name = Name.parse("/a/x")
+        assert fib.longest_prefix_match(name) is fib.longest_prefix_match(name)
+
+    def test_add_route_invalidates_hit(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "short")
+        name = Name.parse("/a/b/c")
+        assert fib.next_hop(name) == "short"
+        fib.add_route(Name.parse("/a/b"), "long")
+        assert fib.next_hop(name) == "long"
+
+    def test_add_route_invalidates_cached_miss(self):
+        fib = Fib()
+        name = Name.parse("/new/route")
+        assert fib.next_hop(name) is None  # miss is memoized
+        fib.add_route(Name.parse("/new"), "f")
+        assert fib.next_hop(name) == "f"
+
+    def test_remove_route_invalidates(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "outer")
+        fib.add_route(Name.parse("/a/b"), "inner")
+        name = Name.parse("/a/b/c")
+        assert fib.next_hop(name) == "inner"
+        fib.remove_route(Name.parse("/a/b"), "inner")
+        assert fib.next_hop(name) == "outer"
+        fib.remove_route(Name.parse("/a"), "outer")
+        assert fib.next_hop(name) is None
+
+    def test_cost_update_invalidates(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "f1", cost=1)
+        fib.add_route(Name.parse("/a"), "f2", cost=2)
+        assert fib.next_hop(Name.parse("/a/x")) == "f1"
+        fib.add_route(Name.parse("/a"), "f2", cost=0)
+        assert fib.next_hop(Name.parse("/a/x")) == "f2"
+
+    def test_equal_but_distinct_name_objects_share_semantics(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "f")
+        assert fib.next_hop(Name(("a", "x"))) == "f"
+        assert fib.next_hop(Name(("a", "x"))) == "f"
+
+
 class TestIntrospection:
     def test_prefixes_sorted(self):
         fib = Fib()
         fib.add_route(Name.parse("/z"), "f")
         fib.add_route(Name.parse("/a"), "f")
         assert fib.prefixes == [Name.parse("/a"), Name.parse("/z")]
+
+    def test_prefixes_view_tracks_mutation(self):
+        """The cached sorted view is refreshed on add/remove (regression:
+        a stale cache would keep serving dropped or missing prefixes)."""
+        fib = Fib()
+        fib.add_route(Name.parse("/m"), "f")
+        assert fib.prefixes == [Name.parse("/m")]
+        fib.add_route(Name.parse("/b"), "f")
+        assert fib.prefixes == [Name.parse("/b"), Name.parse("/m")]
+        fib.remove_route(Name.parse("/m"), "f")
+        assert fib.prefixes == [Name.parse("/b")]
+
+    def test_prefixes_returns_fresh_list(self):
+        fib = Fib()
+        fib.add_route(Name.parse("/a"), "f")
+        view = fib.prefixes
+        view.append(Name.parse("/corrupted"))
+        assert fib.prefixes == [Name.parse("/a")]
 
     def test_contains(self):
         fib = Fib()

@@ -131,6 +131,68 @@ class TestPrivacyMarking:
         assert not Name.parse("/a/b/c").has_component("z")
 
 
+class TestInterning:
+    def test_parse_is_memoized(self):
+        assert Name.parse("/intern/a") is Name.parse("/intern/a")
+
+    def test_intern_of_equal_values_is_same_object(self):
+        via_parse = Name.parse("/intern/b/c")
+        assert Name.intern("/intern/b/c") is via_parse
+        assert Name.intern(Name(("intern", "b", "c"))) is via_parse
+        assert Name.intern(["intern", "b", "c"]) is via_parse
+
+    def test_root_is_interned(self):
+        assert Name.root() is Name.root()
+        assert Name.parse("/") is Name.root()
+
+    def test_interned_names_are_plain_names(self):
+        name = Name.intern("/intern/plain")
+        assert name == Name(("intern", "plain"))
+        assert isinstance(name, Name)
+
+    def test_intern_validates(self):
+        with pytest.raises(NameError_):
+            Name.intern(["bad/slash"])
+
+    def test_str_is_cached(self):
+        name = Name(("cache", "uri"))
+        assert str(name) is str(name)
+        assert str(name) == "/cache/uri"
+
+    def test_str_cached_on_root(self):
+        root = Name(())
+        assert str(root) is str(root) == "/"
+
+    def test_prefixes_cached_and_interned(self):
+        name = Name.parse("/intern/p/q")
+        first = list(name.prefixes())
+        second = list(name.prefixes())
+        assert first == [
+            Name.parse("/intern/p/q"), Name.parse("/intern/p"),
+            Name.parse("/intern"), Name.root(),
+        ]
+        for a, b in zip(first, second):
+            assert a is b  # the chain is computed once
+
+    def test_clear_caches_resets_pool(self):
+        before = Name.parse("/intern/reset")
+        Name.clear_caches()
+        after = Name.parse("/intern/reset")
+        assert before == after
+        assert after is Name.parse("/intern/reset")
+
+    def test_pickle_roundtrip_drops_caches(self):
+        import pickle
+
+        name = Name.parse("/intern/pickled/name")
+        str(name)
+        list(name.prefixes())
+        clone = pickle.loads(pickle.dumps(name))
+        assert clone == name
+        assert str(clone) == "/intern/pickled/name"
+        assert list(clone.prefixes()) == list(name.prefixes())
+
+
 class TestDunder:
     def test_equality_and_hash(self):
         assert Name.parse("/a/b") == Name.parse("/a/b")

@@ -1,0 +1,119 @@
+"""Tests for the sim-core throughput workloads and the profiling layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.simcore import RUNNERS, run_star, run_tree
+from repro.sim import profiling
+
+
+class TestSimCoreDeterminism:
+    def test_star_runs_are_identical(self):
+        a = run_star(consumers=4, requests_per_consumer=30)
+        b = run_star(consumers=4, requests_per_consumer=30)
+        observable = lambda r: (  # noqa: E731 - everything but wall_s
+            r.packet_hops, r.events, r.delivered, r.requests,
+            r.cache_hits, r.sim_end_ms,
+        )
+        assert observable(a) == observable(b)
+
+    def test_tree_runs_are_identical(self):
+        a = run_tree(requests_per_consumer=25)
+        b = run_tree(requests_per_consumer=25)
+        assert (a.packet_hops, a.events, a.cache_hits, a.sim_end_ms) == (
+            b.packet_hops, b.events, b.cache_hits, b.sim_end_ms
+        )
+
+    def test_all_requests_delivered(self):
+        for runner in RUNNERS.values():
+            result = runner(requests_per_consumer=10)
+            assert result.delivered == result.requests > 0
+            assert result.packet_hops > 0
+
+    def test_seed_changes_timing_not_delivery(self):
+        a = run_star(consumers=4, requests_per_consumer=20, seed=0)
+        b = run_star(consumers=4, requests_per_consumer=20, seed=1)
+        assert a.delivered == b.delivered
+        assert a.sim_end_ms != b.sim_end_ms  # jittery links actually drew
+
+    def test_throughput_properties(self):
+        result = run_tree(requests_per_consumer=10)
+        assert result.hops_per_sec == pytest.approx(
+            result.packet_hops / result.wall_s
+        )
+        assert result.events_per_sec > 0
+
+
+class TestProfilingLayer:
+    @pytest.fixture(autouse=True)
+    def _clean_profiling(self):
+        profiling.disable()
+        profiling.reset()
+        yield
+        profiling.disable()
+        profiling.reset()
+
+    def test_off_by_default_collects_nothing(self):
+        run_tree(requests_per_consumer=5)
+        assert profiling.snapshot() == {}
+
+    def test_enabled_collects_subsystem_timers(self):
+        profiling.enable()
+        run_tree(requests_per_consumer=5)
+        profiling.disable()
+        snap = profiling.snapshot()
+        for key in ("engine.callback", "link.transmit", "forwarder.interest"):
+            assert key in snap
+            assert snap[key]["calls"] > 0
+            assert snap[key]["total_s"] >= 0.0
+        report = profiling.report()
+        assert "link.transmit" in report
+
+    def test_enabling_does_not_change_observables(self):
+        baseline = run_tree(requests_per_consumer=15)
+        profiling.enable()
+        profiled = run_tree(requests_per_consumer=15)
+        profiling.disable()
+        assert (baseline.packet_hops, baseline.events, baseline.sim_end_ms) == (
+            profiled.packet_hops, profiled.events, profiled.sim_end_ms
+        )
+
+    def test_reset_clears_counters(self):
+        profiling.state.add("x", 0.5)
+        profiling.reset()
+        assert profiling.snapshot() == {}
+
+    def test_report_without_samples(self):
+        assert "no samples" in profiling.report()
+
+
+class TestProfileCommand:
+    def test_sim_core_target(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "profile", "sim-core-tree", "--requests", "5", "--top", "5",
+            "--timers",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profiled sim-core 3-level tree topology" in out
+        assert "cumtime" in out  # cProfile table
+        assert "link.transmit" in out  # subsystem timers
+
+    def test_fig3_target(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "profile", "fig3a_lan", "--objects", "4", "--trials", "1",
+            "--top", "3", "--sort", "tottime",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profiled fig3 panel fig3a_lan" in out
+        assert "tottime" in out
+
+    def test_profile_timers_restore_disabled_state(self):
+        from repro.cli import main
+
+        main(["profile", "sim-core-tree", "--requests", "3", "--timers"])
+        assert not profiling.state.enabled

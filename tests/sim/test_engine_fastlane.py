@@ -1,0 +1,143 @@
+"""Determinism tests for the engine's fire-and-forget fast lane.
+
+The fast lane (:meth:`Engine.schedule_fire_and_forget`) shares one
+sequence counter with the regular cancellable lane, so interleaving the
+two at equal timestamps must fire callbacks in exact insertion order —
+the tie-break contract every bit-identity guarantee in the simulator
+rests on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.errors import ClockError
+
+
+class TestFireAndForget:
+    def test_runs_callback_at_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_fire_and_forget(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_args_passed_through(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_fire_and_forget(1.0, seen.append, "payload")
+        engine.run()
+        assert seen == ["payload"]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ClockError):
+            Engine().schedule_fire_and_forget(-0.1, lambda: None)
+
+    def test_returns_no_handle(self):
+        assert Engine().schedule_fire_and_forget(1.0, lambda: None) is None
+
+
+class TestInterleavedTieOrder:
+    def test_equal_timestamps_fire_in_insertion_order(self):
+        """Alternating lanes at one timestamp: strict insertion order."""
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            if i % 2 == 0:
+                engine.schedule(3.0, fired.append, i)
+            else:
+                engine.schedule_fire_and_forget(3.0, fired.append, i)
+        engine.run()
+        assert fired == list(range(10))
+
+    def test_fast_lane_respects_earlier_slow_lane(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, fired.append, "slow")
+        engine.schedule_fire_and_forget(1.0, fired.append, "fast")
+        engine.schedule(1.0, fired.append, "slow2")
+        engine.run()
+        assert fired == ["slow", "fast", "slow2"]
+
+    def test_cancel_between_fast_lane_entries(self):
+        """A cancelled slow-lane event must not disturb fast-lane order."""
+        engine = Engine()
+        fired = []
+        engine.schedule_fire_and_forget(2.0, fired.append, 0)
+        handle = engine.schedule(2.0, fired.append, "cancelled")
+        engine.schedule_fire_and_forget(2.0, fired.append, 1)
+        handle.cancel()
+        engine.run()
+        assert fired == [0, 1]
+
+
+class TestPendingCount:
+    def test_counts_both_lanes(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule_fire_and_forget(2.0, lambda: None)
+        assert engine.pending_count == 2
+
+    def test_exact_across_fire_and_cancel(self):
+        engine = Engine()
+        handle = engine.schedule(5.0, lambda: None)
+        engine.schedule_fire_and_forget(1.0, lambda: None)
+        engine.schedule_fire_and_forget(2.0, lambda: None)
+        assert engine.pending_count == 3
+        engine.run(until=1.5)
+        assert engine.pending_count == 2
+        handle.cancel()
+        assert engine.pending_count == 1
+        engine.run()
+        assert engine.pending_count == 0
+
+    def test_step_drains_both_lanes(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_fire_and_forget(1.0, fired.append, "a")
+        engine.schedule(2.0, fired.append, "b")
+        assert engine.step() and engine.step()
+        assert not engine.step()
+        assert fired == ["a", "b"]
+        assert engine.pending_count == 0
+
+
+class TestRandomInterleavings:
+    """Property-style: any seeded interleaving of the two lanes fires in
+    (time, insertion) order, and pending_count stays exact throughout."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_order_matches_reference(self, seed):
+        rng = random.Random(seed)
+        engine = Engine()
+        fired = []
+        expected = []  # (time, insertion index)
+        cancelled = set()
+        handles = {}
+        for i in range(200):
+            delay = rng.choice([0.0, 1.0, 1.0, 2.5, 7.0])
+            if rng.random() < 0.5:
+                engine.schedule_fire_and_forget(delay, fired.append, i)
+            else:
+                handles[i] = engine.schedule(delay, fired.append, i)
+            expected.append((delay, i))
+        # Cancel a random subset of the cancellable ones.
+        for i, handle in handles.items():
+            if rng.random() < 0.3:
+                handle.cancel()
+                cancelled.add(i)
+        want = [
+            i
+            for _, i in sorted(
+                (entry for entry in expected if entry[1] not in cancelled),
+                key=lambda entry: (entry[0], entry[1]),
+            )
+        ]
+        assert engine.pending_count == 200 - len(cancelled)
+        engine.run()
+        assert fired == want
+        assert engine.pending_count == 0
+        assert engine.events_processed == len(want)
