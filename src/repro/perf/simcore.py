@@ -15,7 +15,14 @@ Two fixed topologies:
   event ties and therefore stresses the engine's insertion-order
   determinism.
 
-Both are deterministic per seed; :mod:`benchmarks.bench_sim_core` and the
+Both are deterministic per seed and expressed as
+:class:`~repro.sim.batch.script.ConsumerScript` workloads, so the same
+topology+workload pair runs on either engine: ``run_star``/``run_tree``
+drive the reference object-graph engine, ``run_star_batch``/
+``run_tree_batch`` the struct-of-arrays kernel.  Observables are
+bit-identical between the two (asserted by
+:func:`repro.validation.differential.validate_topology_differential`);
+only ``wall_s`` differs.  :mod:`benchmarks.bench_sim_core` and the
 ``repro-experiments profile`` command build on them.
 """
 
@@ -23,10 +30,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List, Tuple
 
 from repro.ndn.link import FixedDelay, GaussianJitterDelay, LogNormalDelay
 from repro.ndn.network import Network
+from repro.sim.batch.compile import compile_topology
+from repro.sim.batch.kernel import run_compiled
+from repro.sim.batch.script import (
+    ConsumerScript,
+    FetchStep,
+    TopologyObservables,
+    _script_process,
+)
 from repro.sim.rng import RngRegistry
 
 #: Prefix the sim-core object universe lives under.
@@ -58,6 +73,30 @@ class SimCoreResult:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
 
 
+def simcore_scripts(
+    consumer_names: List[str], requests_per_consumer: int, universe: int
+) -> List[ConsumerScript]:
+    """The canonical sim-core workload as declarative consumer scripts.
+
+    Consumer ``j`` fetches object ``(i * 3 + j) % universe`` on step ``i``
+    — a deterministic interleaving that mixes cache hits and misses
+    across consumers without any RNG draws in the workload itself.
+    """
+    return [
+        ConsumerScript(
+            consumer=name,
+            steps=tuple(
+                FetchStep(
+                    f"{SIMCORE_PREFIX}/obj-{(i * 3 + j) % universe}",
+                    timeout=4000.0,
+                )
+                for i in range(requests_per_consumer)
+            ),
+        )
+        for j, name in enumerate(consumer_names)
+    ]
+
+
 def _drive(
     net: Network,
     topology: str,
@@ -65,25 +104,15 @@ def _drive(
     requests_per_consumer: int,
     universe: int,
 ) -> SimCoreResult:
-    """Spawn one fetch loop per consumer and run the engine to completion.
-
-    Consumer ``j`` fetches object ``(i * 3 + j) % universe`` on step ``i``
-    — a deterministic interleaving that mixes cache hits and misses
-    across consumers without any RNG draws in the workload itself.
-    """
-    delivered = [0]
-
-    def fetch_loop(j: int, consumer):
-        for i in range(requests_per_consumer):
-            index = (i * 3 + j) % universe
-            result = yield from consumer.fetch(
-                f"{SIMCORE_PREFIX}/obj-{index}", timeout=4000.0
-            )
-            if result is not None:
-                delivered[0] += 1
-
-    for j, name in enumerate(consumer_names):
-        net.spawn(fetch_loop(j, net[name]), label=f"simcore:{name}")
+    """Run the sim-core scripts on the reference engine, timing only
+    :meth:`Network.run` (setup and spawning stay outside the clock)."""
+    scripts = simcore_scripts(consumer_names, requests_per_consumer, universe)
+    delivered = {s.consumer: 0 for s in scripts}
+    for script in scripts:
+        net.spawn(
+            _script_process(script, net[script.consumer], delivered),
+            label=f"simcore:{script.consumer}",
+        )
 
     start = time.perf_counter()
     end = net.run()
@@ -97,7 +126,7 @@ def _drive(
         topology=topology,
         consumers=len(consumer_names),
         requests=requests_per_consumer * len(consumer_names),
-        delivered=delivered[0],
+        delivered=sum(delivered.values()),
         packet_hops=hops,
         events=net.engine.events_processed,
         cache_hits=hits,
@@ -106,13 +135,53 @@ def _drive(
     )
 
 
-def run_star(
-    consumers: int = 16,
-    requests_per_consumer: int = 200,
-    seed: int = 0,
-    cache_capacity: int = 64,
+def _drive_batch(
+    net: Network,
+    topology: str,
+    consumer_names: List[str],
+    requests_per_consumer: int,
+    universe: int,
 ) -> SimCoreResult:
-    """Star: N consumers around one caching router, producer behind it."""
+    """Run the same scripts on the batch kernel, timing only the kernel
+    dispatch loop (compilation stays outside the clock, mirroring how
+    :func:`_drive` keeps spawning outside it)."""
+    scripts = simcore_scripts(consumer_names, requests_per_consumer, universe)
+    compiled = compile_topology(net, scripts)
+
+    start = time.perf_counter()
+    obs = run_compiled(compiled)
+    wall = time.perf_counter() - start
+
+    return _result_from_observables(
+        topology, obs, len(consumer_names), requests_per_consumer, wall
+    )
+
+
+def _result_from_observables(
+    topology: str,
+    obs: TopologyObservables,
+    consumers: int,
+    requests_per_consumer: int,
+    wall_s: float,
+) -> SimCoreResult:
+    """Fold the observables contract into the sim-core result shape."""
+    return SimCoreResult(
+        topology=topology,
+        consumers=consumers,
+        requests=requests_per_consumer * consumers,
+        delivered=obs.total_delivered,
+        packet_hops=obs.total_hops,
+        events=obs.events_processed,
+        cache_hits=obs.total_cache_hits,
+        sim_end_ms=obs.end_time,
+        wall_s=wall_s,
+    )
+
+
+def build_star(
+    consumers: int = 16, seed: int = 0, cache_capacity: int = 64
+) -> Tuple[Network, List[str], int]:
+    """Star topology: returns ``(net, consumer_names, universe)``."""
     net = Network(rng=RngRegistry(seed))
     net.add_router("R", capacity=cache_capacity)
     net.add_producer("P", SIMCORE_PREFIX)
@@ -126,17 +195,13 @@ def run_star(
             name, "R", GaussianJitterDelay(base=1.8, jitter_std=0.12, floor=1.5)
         )
         names.append(name)
-    universe = max(4, consumers * 4)
-    return _drive(net, "star", names, requests_per_consumer, universe)
+    return net, names, max(4, consumers * 4)
 
 
-def run_tree(
-    requests_per_consumer: int = 150,
-    seed: int = 0,
-    cache_capacity: int = 32,
-) -> SimCoreResult:
-    """3-level tree: root - 2 aggregation routers - 4 leaves, 2 consumers
-    per leaf.  Deterministic link delays maximize equal-time event ties."""
+def build_tree(
+    seed: int = 0, cache_capacity: int = 32
+) -> Tuple[Network, List[str], int]:
+    """3-level tree topology: returns ``(net, consumer_names, universe)``."""
     net = Network(rng=RngRegistry(seed))
     net.add_producer("P", SIMCORE_PREFIX)
     net.add_router("R0", capacity=cache_capacity)
@@ -144,7 +209,6 @@ def run_tree(
     net.add_route("R0", SIMCORE_PREFIX, "P")
 
     names: List[str] = []
-    leaf_of: Dict[str, str] = {}
     for a in range(2):
         agg = f"R1-{a}"
         net.add_router(agg, capacity=cache_capacity)
@@ -160,9 +224,55 @@ def run_tree(
                 net.add_consumer(name)
                 net.connect(name, leaf, FixedDelay(0.3))
                 names.append(name)
-                leaf_of[name] = leaf
-    universe = 32
+    return net, names, 32
+
+
+def run_star(
+    consumers: int = 16,
+    requests_per_consumer: int = 200,
+    seed: int = 0,
+    cache_capacity: int = 64,
+) -> SimCoreResult:
+    """Star: N consumers around one caching router, producer behind it."""
+    net, names, universe = build_star(consumers, seed, cache_capacity)
+    return _drive(net, "star", names, requests_per_consumer, universe)
+
+
+def run_tree(
+    requests_per_consumer: int = 150,
+    seed: int = 0,
+    cache_capacity: int = 32,
+) -> SimCoreResult:
+    """3-level tree: root - 2 aggregation routers - 4 leaves, 2 consumers
+    per leaf.  Deterministic link delays maximize equal-time event ties."""
+    net, names, universe = build_tree(seed, cache_capacity)
     return _drive(net, "tree", names, requests_per_consumer, universe)
 
 
-RUNNERS = {"star": run_star, "tree": run_tree}
+def run_star_batch(
+    consumers: int = 16,
+    requests_per_consumer: int = 200,
+    seed: int = 0,
+    cache_capacity: int = 64,
+) -> SimCoreResult:
+    """The star workload on the batch kernel (bit-identical counts)."""
+    net, names, universe = build_star(consumers, seed, cache_capacity)
+    return _drive_batch(net, "star_batch", names, requests_per_consumer, universe)
+
+
+def run_tree_batch(
+    requests_per_consumer: int = 150,
+    seed: int = 0,
+    cache_capacity: int = 32,
+) -> SimCoreResult:
+    """The tree workload on the batch kernel (bit-identical counts)."""
+    net, names, universe = build_tree(seed, cache_capacity)
+    return _drive_batch(net, "tree_batch", names, requests_per_consumer, universe)
+
+
+RUNNERS = {
+    "star": run_star,
+    "tree": run_tree,
+    "star_batch": run_star_batch,
+    "tree_batch": run_tree_batch,
+}

@@ -9,6 +9,8 @@ File format (one JSON object)::
 
     {
       "bench": "fig5",                  # BENCH_<bench>.json
+      "schema_version": 2,              # record-format version
+      "git_rev": "a1e51ee",             # HEAD at write time ("" if unknown)
       "created_unix": 1730000000.0,     # time.time() at write
       "scale": {"requests": 100000},    # knobs the numbers depend on
       "peak_rss_bytes": 123456789,      # process peak RSS at write time
@@ -19,18 +21,42 @@ File format (one JSON object)::
         ...
       ]
     }
+
+Schema history: v1 had no ``schema_version``/``git_rev`` fields (their
+absence identifies a v1 file); v2 added both so cross-PR comparisons can
+pin which commit produced which numbers.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 ENV_BENCH_DIR = "REPRO_BENCH_DIR"
+
+#: Version of the BENCH_*.json record format (bump on breaking changes).
+SCHEMA_VERSION = 2
+
+
+def git_rev() -> str:
+    """Abbreviated git HEAD of the working tree, or ``""`` when the
+    bench runs outside a checkout (or git is unavailable)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
 
 
 def peak_rss_bytes() -> int:
@@ -155,6 +181,8 @@ class BenchReporter:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "bench": self.bench,
+            "schema_version": SCHEMA_VERSION,
+            "git_rev": git_rev(),
             "created_unix": time.time(),
             "scale": self.scale,
             "peak_rss_bytes": peak_rss_bytes(),

@@ -1,0 +1,616 @@
+"""Topology compiler: lower a ``Network`` object graph into dense arrays.
+
+The compiler walks an *untouched* network (fresh engine, empty caches)
+plus its consumer scripts and emits a :class:`CompiledTopology` of plain
+ints, lists, and bytearrays that :mod:`repro.sim.batch.kernel` executes
+without touching a single ``Name``/``Interest``/``Data`` object on the
+hot path:
+
+* **names** — the workload vocabulary is interned to dense content ids;
+  the vocabulary must be prefix-free so exact-id matching is provably
+  equal to the reference prefix-matching (CS lookup, PIT satisfy,
+  consumer matching, producer resolve),
+* **faces** — every directed link direction becomes an int edge id
+  (``2*link`` and ``2*link+1``); the reverse direction is ``edge ^ 1``,
+  which is how the kernel recovers a packet's arrival face,
+* **FIB** — per (router, name) next-hop candidate lists of send-edge
+  ids, precomputed from the longest-prefix match in FIB cost order,
+* **CS/PIT/schemes** — capacities, replacement-policy kinds (and their
+  RNG streams), :class:`~repro.core.schemes.base.SchemeKernel` instances
+  and delay-policy modes; PIT state itself is runtime kernel state.
+
+Anything the kernel cannot reproduce *bit-identically* raises
+:class:`BatchCompileError` with the reason, and callers fall back to the
+reference engine — unsupported combinations are loud at compile time and
+silent (but correct) at run time, never silently divergent.
+
+Compilation is read-only with respect to observables: it may warm
+memoized caches (FIB LPM memo, interned names) and construct scheme
+kernels, but it never advances an RNG stream, schedules an event, or
+mutates a counter, so a failed or unused compile leaves the network
+ready for a reference run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schemes.base import CacheScheme, SchemeKernel
+from repro.core.schemes.delay_policies import ConstantDelay, ContentSpecificDelay
+from repro.core.schemes.marking import MarkingPolicy
+from repro.ndn.apps.consumer import Consumer
+from repro.ndn.apps.producer import Producer
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.link import FixedDelay, GaussianJitterDelay, LogNormalDelay
+from repro.ndn.name import Name
+from repro.ndn.network import Network
+from repro.ndn.replacement import (
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    RandomPolicy,
+)
+from repro.sim.batch.script import ConsumerScript, FetchStep, SleepStep
+
+
+class BatchCompileError(Exception):
+    """The topology/scheme/script combination cannot be lowered."""
+
+
+# ----------------------------------------------------------------------
+# Router monitor counters the kernel maintains (index = position here).
+# This is the complete set the reference forwarder can touch on the
+# supported subset; anything outside it (Nacks, rate limiting, scope
+# drops, crashes) is excluded by a compile-time check below.
+# ----------------------------------------------------------------------
+COUNTER_NAMES: Tuple[str, ...] = (
+    "interest_in",
+    "cs_hit",
+    "cs_disguised_hit",
+    "cs_forced_miss",
+    "cs_miss",
+    "pit_collapse",
+    "interest_retransmitted",
+    "no_route",
+    "pit_insert",
+    "interest_forwarded",
+    "pit_expired",
+    "data_in",
+    "unsolicited_data",
+    "pit_satisfied",
+    "cs_insert",
+    "data_out",
+)
+
+#: Node kinds for the edge destination table.
+DEST_ROUTER = 0
+DEST_CONSUMER = 1
+DEST_PRODUCER = 2
+
+#: Link delay-model kinds.
+DELAY_FIXED = 0
+DELAY_GAUSSIAN = 1
+DELAY_LOGNORMAL = 2
+
+#: Scheme artificial-delay modes.
+SCHEME_DELAY_NONE = 0  # scheme can never answer DELAYED_HIT
+SCHEME_DELAY_CONTENT = 1  # ContentSpecificDelay: entry fetch_delay
+SCHEME_DELAY_CONSTANT = 2  # ConstantDelay: fixed gamma
+
+#: Producer serve modes, per (producer, name).
+SERVE_SILENT = 0
+SERVE_DATA = 1
+
+
+@dataclass
+class CompiledLink:
+    """One physical link: delay sampler spec plus its RNG stream."""
+
+    name: str
+    delay_kind: int
+    # FIXED: (delay,); GAUSSIAN: (base, std, floor); LOGNORMAL: (base, scale, sigma)
+    params: Tuple[float, ...]
+    rng: object  # np.random.Generator — the link's own stream
+
+
+@dataclass
+class CompiledRouter:
+    """One forwarder lowered to array-backed state descriptors."""
+
+    name: str
+    capacity: Optional[int]
+    policy_kind: str  # "lru" | "fifo" | "lfu" | "random"
+    policy_rng: object  # RandomPolicy's stream (None otherwise)
+    kernel: SchemeKernel
+    delay_mode: int
+    delay_gamma: float
+    processing_delay: float
+    #: Per name id: candidate send-edge ids in FIB cost order (or ()).
+    next_hops: List[Tuple[int, ...]]
+
+
+@dataclass
+class CompiledConsumer:
+    """One consumer: its uplink edge and precompiled script steps."""
+
+    name: str
+    edge: int  # send-edge id toward the network
+    #: Steps: ("F", name_id, timeout, lifetime, private) | ("S", delay)
+    steps: List[tuple]
+
+
+@dataclass
+class CompiledProducer:
+    """One producer: per-name serve table and processing delay."""
+
+    name: str
+    processing_delay: float
+    serve: bytearray  # per name id: SERVE_SILENT | SERVE_DATA
+
+
+@dataclass
+class CompiledTopology:
+    """Everything the batch kernel needs, plus the source net for
+    assembling final observables (names, capacities, link labels)."""
+
+    net: Network
+    scripts: Sequence[ConsumerScript]
+    names: List[Name]
+    #: Per name id: Data.effectively_private of the object serving it.
+    name_private: List[bool]
+    links: List[CompiledLink]
+    #: Per directed edge id: destination node kind / index.
+    dest_kind: List[int]
+    dest_idx: List[int]
+    routers: List[CompiledRouter]
+    consumers: List[CompiledConsumer]
+    producers: List[CompiledProducer]
+    #: Per *entity-order* consumer index (the index space ``dest_idx``
+    #: uses): position in :attr:`consumers` (script order), or -1 for a
+    #: consumer entity with no script (it can only sink stray packets).
+    consumer_script_of_entity: List[int]
+
+
+def _check_engine_fresh(net: Network) -> None:
+    engine = net.engine
+    if engine.now != 0.0 or engine.events_processed or engine._queue:
+        raise BatchCompileError(
+            "engine already ran: the batch kernel requires a fresh network"
+        )
+
+
+def _require(condition: bool, reason: str) -> None:
+    if not condition:
+        raise BatchCompileError(reason)
+
+
+def _collect_entities(net: Network):
+    routers: List[Forwarder] = []
+    consumers: List[Consumer] = []
+    producers: List[Producer] = []
+    for name, entity in net._entities.items():
+        if isinstance(entity, Forwarder):
+            routers.append(entity)
+        elif isinstance(entity, Consumer):
+            consumers.append(entity)
+        elif isinstance(entity, Producer):
+            producers.append(entity)
+        else:
+            raise BatchCompileError(
+                f"entity {name!r} has unsupported type {type(entity).__name__}"
+            )
+    return routers, consumers, producers
+
+
+def _intern_vocabulary(
+    scripts: Sequence[ConsumerScript],
+) -> Tuple[List[Name], Dict[Name, int]]:
+    """The workload vocabulary in first-seen order, prefix-free checked."""
+    names: List[Name] = []
+    ids: Dict[Name, int] = {}
+    for script in scripts:
+        for step in script.steps:
+            if isinstance(step, FetchStep):
+                name = Name.intern(step.name)
+                if name not in ids:
+                    ids[name] = len(names)
+                    names.append(name)
+    _require(bool(names), "scripts contain no fetch steps")
+    # Prefix-freeness: sorted component tuples put any prefix immediately
+    # before an extension of it.
+    ordered = sorted(n.components for n in names)
+    for a, b in zip(ordered, ordered[1:]):
+        if b[: len(a)] == a:
+            raise BatchCompileError(
+                f"vocabulary is not prefix-free: {'/' + '/'.join(a)} is a "
+                f"prefix of {'/' + '/'.join(b)}"
+            )
+    return names, ids
+
+
+def _compile_link(link) -> CompiledLink:
+    _require(link.up, f"link {link.name}: down links are not supported")
+    _require(
+        link.loss_rate == 0.0 and not link._loss_models,
+        f"link {link.name}: loss is not supported",
+    )
+    _require(
+        link.extra_delay == 0.0,
+        f"link {link.name}: extra_delay is not supported",
+    )
+    model = link.delay_model
+    if type(model) is FixedDelay:
+        return CompiledLink(link.name, DELAY_FIXED, (model._delay,), link.rng)
+    if type(model) is GaussianJitterDelay:
+        return CompiledLink(
+            link.name,
+            DELAY_GAUSSIAN,
+            (model._base, model._std, model._floor),
+            link.rng,
+        )
+    if type(model) is LogNormalDelay:
+        return CompiledLink(
+            link.name,
+            DELAY_LOGNORMAL,
+            (model._base, model._scale, model._sigma),
+            link.rng,
+        )
+    raise BatchCompileError(
+        f"link {link.name}: unsupported delay model {type(model).__name__}"
+    )
+
+
+def _scheme_delay_mode(scheme: CacheScheme) -> Tuple[int, float]:
+    policy = getattr(scheme, "delay_policy", None)
+    if policy is None:
+        return SCHEME_DELAY_NONE, 0.0
+    if type(policy) is ContentSpecificDelay:
+        return SCHEME_DELAY_CONTENT, 0.0
+    if type(policy) is ConstantDelay:
+        return SCHEME_DELAY_CONSTANT, policy.gamma
+    raise BatchCompileError(
+        f"unsupported delay policy {type(policy).__name__} "
+        f"(DynamicDelay needs per-entry access counts)"
+    )
+
+
+def _compile_router(
+    router: Forwarder,
+    names: List[Name],
+    face_to_edge: Dict[int, int],
+    kernel_cache: Dict[int, SchemeKernel],
+    scheme_owner: Dict[int, str],
+) -> CompiledRouter:
+    name = router.name
+    _require(router.up, f"router {name}: crashed routers are not supported")
+    _require(
+        router.strategy == "best-route",
+        f"router {name}: strategy {router.strategy!r} is not supported",
+    )
+    _require(
+        router.rate_limiter is None,
+        f"router {name}: rate limiting is not supported",
+    )
+    _require(
+        router.cache_filter is None,
+        f"router {name}: cache filters are not supported",
+    )
+    _require(
+        not router.nack_on_no_route,
+        f"router {name}: nack_on_no_route is not supported",
+    )
+    _require(
+        type(router.marking) is MarkingPolicy,
+        f"router {name}: custom marking policy "
+        f"{type(router.marking).__name__} is not supported",
+    )
+    pit = router.pit
+    _require(
+        pit.capacity is None and len(pit) == 0,
+        f"router {name}: bounded or pre-populated PITs are not supported",
+    )
+    cs = router.cs
+    _require(len(cs) == 0, f"router {name}: pre-populated CS is not supported")
+    policy = cs.policy
+    if type(policy) is LruPolicy:
+        policy_kind, policy_rng = "lru", None
+    elif type(policy) is FifoPolicy:
+        policy_kind, policy_rng = "fifo", None
+    elif type(policy) is LfuPolicy:
+        policy_kind, policy_rng = "lfu", None
+    elif type(policy) is RandomPolicy:
+        policy_kind, policy_rng = "random", policy._rng
+    else:
+        raise BatchCompileError(
+            f"router {name}: unsupported replacement policy "
+            f"{type(policy).__name__}"
+        )
+
+    scheme = router.scheme
+    key = id(scheme)
+    if key in kernel_cache:
+        # One scheme instance on two routers shares RNG *and* per-content
+        # state in the reference; the int-keyed kernel cannot mirror the
+        # cross-router entry bookkeeping, so refuse rather than diverge.
+        raise BatchCompileError(
+            f"scheme instance shared between routers "
+            f"{scheme_owner[key]!r} and {name!r}"
+        )
+    kernel = scheme.make_kernel(names)
+    if kernel is None:
+        raise BatchCompileError(
+            f"router {name}: scheme {type(scheme).__name__} provides no kernel"
+        )
+    kernel_cache[key] = kernel
+    scheme_owner[key] = name
+    delay_mode, delay_gamma = _scheme_delay_mode(scheme)
+
+    next_hops: List[Tuple[int, ...]] = []
+    for content in names:
+        hops = router.fib.longest_prefix_match(content)
+        if not hops:
+            next_hops.append(())
+            continue
+        edges = []
+        for hop in hops:
+            edge = face_to_edge.get(id(hop.face))
+            if edge is None:
+                raise BatchCompileError(
+                    f"router {name}: FIB face {hop.face!r} is not attached "
+                    f"to a compiled link"
+                )
+            edges.append(edge)
+        next_hops.append(tuple(edges))
+
+    return CompiledRouter(
+        name=name,
+        capacity=cs.capacity,
+        policy_kind=policy_kind,
+        policy_rng=policy_rng,
+        kernel=kernel,
+        delay_mode=delay_mode,
+        delay_gamma=delay_gamma,
+        processing_delay=router.processing_delay,
+        next_hops=next_hops,
+    )
+
+
+def _compile_producer(
+    producer: Producer, names: List[Name], name_private: List[Optional[bool]]
+) -> CompiledProducer:
+    serve = bytearray(len(names))
+    for nid, content in enumerate(names):
+        if not producer.prefix.is_prefix_of(content):
+            continue  # foreign interest: silently unanswered
+        data = producer.repo.get(content)
+        if data is not None:
+            if data.freshness is not None:
+                raise BatchCompileError(
+                    f"producer {producer.producer_id}: freshness-bounded "
+                    f"content {content} needs the reference stale logic"
+                )
+            flag = data.effectively_private
+        else:
+            # The reference would serve a *differently named* published
+            # object if one extends this name — the kernel cannot (data
+            # ids are exact), so refuse that shape.
+            for published in producer.repo:
+                if content.is_prefix_of(published) and not producer.repo[
+                    published
+                ].exact_match_only:
+                    raise BatchCompileError(
+                        f"producer {producer.producer_id}: published name "
+                        f"{published} extends workload name {content}"
+                    )
+            if not producer.auto_generate:
+                continue
+            flag = producer.private_by_default or content.marked_private
+        serve[nid] = SERVE_DATA
+        previous = name_private[nid]
+        if previous is None:
+            name_private[nid] = flag
+        elif previous != flag:
+            raise BatchCompileError(
+                f"name {content} is served with conflicting privacy "
+                f"flags by different producers"
+            )
+    return CompiledProducer(
+        name=producer.producer_id,
+        processing_delay=producer.processing_delay,
+        serve=serve,
+    )
+
+
+def _compile_consumer_scripts(
+    net: Network,
+    scripts: Sequence[ConsumerScript],
+    name_ids: Dict[Name, int],
+    face_to_edge: Dict[int, int],
+) -> List[CompiledConsumer]:
+    compiled: List[CompiledConsumer] = []
+    seen: Dict[str, bool] = {}
+    for script in scripts:
+        _require(
+            script.consumer not in seen,
+            f"consumer {script.consumer!r} appears in multiple scripts",
+        )
+        seen[script.consumer] = True
+        _require(
+            script.consumer in net,
+            f"script references unknown entity {script.consumer!r}",
+        )
+        consumer = net[script.consumer]
+        _require(
+            type(consumer) is Consumer,
+            f"script target {script.consumer!r} is not a plain Consumer",
+        )
+        _require(
+            consumer.face is not None and consumer.face.link is not None,
+            f"consumer {script.consumer!r} has no connected face",
+        )
+        _require(
+            not consumer._pending and not consumer.rtts,
+            f"consumer {script.consumer!r} already has fetch state",
+        )
+        edge = face_to_edge.get(id(consumer.face))
+        _require(
+            edge is not None,
+            f"consumer {script.consumer!r}: face not on a compiled link",
+        )
+        steps: List[tuple] = []
+        for step in script.steps:
+            if isinstance(step, SleepStep):
+                _require(
+                    step.delay >= 0, f"negative sleep in {script.consumer!r}"
+                )
+                steps.append(("S", step.delay))
+            else:
+                _require(
+                    step.timeout is not None and step.timeout > 0,
+                    f"fetch timeout must be positive in {script.consumer!r}",
+                )
+                _require(
+                    step.lifetime > 0,
+                    f"interest lifetime must be positive in {script.consumer!r}",
+                )
+                steps.append(
+                    (
+                        "F",
+                        name_ids[Name.intern(step.name)],
+                        step.timeout,
+                        step.lifetime,
+                        bool(step.private),
+                    )
+                )
+        compiled.append(
+            CompiledConsumer(name=script.consumer, edge=edge, steps=steps)
+        )
+    return compiled
+
+
+def _check_acyclic_routes(
+    routers: List[CompiledRouter],
+    dest_kind: List[int],
+    dest_idx: List[int],
+    n_names: int,
+) -> None:
+    """Refuse route graphs where an interest could revisit a router.
+
+    A revisit would make the reference's nonce-based retransmission test
+    observable; on a per-name acyclic candidate graph every nonce visits
+    every router at most once, so ``arrival face already in PIT faces``
+    is exactly the reference predicate.
+    """
+    for nid in range(n_names):
+        # Edges: router index -> set of successor router indices.
+        successors: List[List[int]] = []
+        for router in routers:
+            succ = []
+            for edge in router.next_hops[nid]:
+                if dest_kind[edge] == DEST_ROUTER:
+                    succ.append(dest_idx[edge])
+            successors.append(succ)
+        color = [0] * len(routers)  # 0 unvisited, 1 in-stack, 2 done
+
+        def visit(start: int) -> None:
+            stack = [(start, iter(successors[start]))]
+            color[start] = 1
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if color[nxt] == 1:
+                        raise BatchCompileError(
+                            "route graph has a cycle (interest could "
+                            "revisit a router)"
+                        )
+                    if color[nxt] == 0:
+                        color[nxt] = 1
+                        stack.append((nxt, iter(successors[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = 2
+                    stack.pop()
+
+        for start in range(len(routers)):
+            if color[start] == 0:
+                visit(start)
+
+
+def compile_topology(
+    net: Network, scripts: Sequence[ConsumerScript]
+) -> CompiledTopology:
+    """Lower ``net`` + ``scripts`` for the batch kernel, or raise
+    :class:`BatchCompileError` naming the first unsupported feature."""
+    _require(bool(scripts), "no consumer scripts given")
+    _check_engine_fresh(net)
+    routers, consumers, producers = _collect_entities(net)
+    names, name_ids = _intern_vocabulary(scripts)
+
+    # Directed edges from links, in insertion order.
+    links: List[CompiledLink] = []
+    dest_kind: List[int] = []
+    dest_idx: List[int] = []
+    face_to_edge: Dict[int, int] = {}
+    router_index = {id(r): i for i, r in enumerate(routers)}
+    consumer_index = {id(c): i for i, c in enumerate(consumers)}
+    producer_index = {id(p): i for i, p in enumerate(producers)}
+
+    def _owner_ref(owner) -> Tuple[int, int]:
+        key = id(owner)
+        if key in router_index:
+            return DEST_ROUTER, router_index[key]
+        if key in consumer_index:
+            return DEST_CONSUMER, consumer_index[key]
+        if key in producer_index:
+            return DEST_PRODUCER, producer_index[key]
+        raise BatchCompileError(
+            f"link endpoint owner {owner!r} is not a compiled entity"
+        )
+
+    for link in net.links.values():
+        compiled_link = _compile_link(link)
+        links.append(compiled_link)
+        # Edge 2i: face_a sends, delivered to face_b's owner (and vice versa).
+        for sender, receiver in ((link.face_a, link.face_b), (link.face_b, link.face_a)):
+            kind, idx = _owner_ref(receiver.owner)
+            face_to_edge[id(sender)] = len(dest_kind)
+            dest_kind.append(kind)
+            dest_idx.append(idx)
+
+    kernel_cache: Dict[int, SchemeKernel] = {}
+    scheme_owner: Dict[int, str] = {}
+    compiled_routers = [
+        _compile_router(r, names, face_to_edge, kernel_cache, scheme_owner)
+        for r in routers
+    ]
+
+    name_private: List[Optional[bool]] = [None] * len(names)
+    compiled_producers = [
+        _compile_producer(p, names, name_private) for p in producers
+    ]
+
+    compiled_consumers = _compile_consumer_scripts(
+        net, scripts, name_ids, face_to_edge
+    )
+    consumer_script_of_entity = [-1] * len(consumers)
+    for pos, compiled_consumer in enumerate(compiled_consumers):
+        entity = net[compiled_consumer.name]
+        consumer_script_of_entity[consumer_index[id(entity)]] = pos
+    _check_acyclic_routes(compiled_routers, dest_kind, dest_idx, len(names))
+
+    return CompiledTopology(
+        net=net,
+        scripts=scripts,
+        names=names,
+        name_private=[bool(flag) for flag in name_private],
+        links=links,
+        dest_kind=dest_kind,
+        dest_idx=dest_idx,
+        routers=compiled_routers,
+        consumers=compiled_consumers,
+        producers=compiled_producers,
+        consumer_script_of_entity=consumer_script_of_entity,
+    )

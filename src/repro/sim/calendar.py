@@ -1,0 +1,155 @@
+"""Calendar-queue event storage for the batch simulation kernel.
+
+A calendar queue (bucketed timing wheel) replaces the binary heap where
+event *insertion* dominates: pushes into future buckets are plain list
+appends (O(1), no sift-up), and only the currently active bucket pays for
+heap ordering.  Far-future events — PIT expiry timers and consumer
+timeouts land thousands of ms out — go to a small overflow heap instead
+of wrapping the wheel, and migrate into the active bucket when the clock
+reaches them.
+
+The ordering contract is exactly the engine's: entries are tuples whose
+first two slots are ``(time, seq)`` with a unique monotonic ``seq``, and
+:meth:`pop` yields them in ``(time, seq)`` order — bit-identical to a
+``heapq`` over the same tuples (asserted by the property suite in
+``tests/sim/test_calendar.py``).  Cancellation mirrors the engine's lazy
+purge (:meth:`Engine._purge_cancelled`): a cancelled sequence number is
+remembered in a set and the entry is skipped when it surfaces, so cancel
+is O(1) and never restructures a bucket.
+
+Invariants (checked informally in comments, exercised by the fuzz suite):
+
+* every entry in the active heap has bucket index ``== _cur``,
+* wheel slots only hold entries with ``_cur < bucket < _cur + n_slots``
+  (distinct buckets in that window map to distinct slots),
+* the overflow heap never holds a bucket ``<= _cur`` after an activation
+  (each activation drains matured overflow entries first).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Set, Tuple
+
+
+class CalendarQueue:
+    """Bucketed timing wheel with heap-identical ``(time, seq)`` ordering.
+
+    Entries are tuples ``(time, seq, *payload)``; ``seq`` must be unique
+    across the queue's lifetime (the kernel uses one monotonic counter,
+    like the engine), so tuple comparison never reaches the payload.
+    """
+
+    __slots__ = (
+        "_width",
+        "_n_slots",
+        "_slots",
+        "_active",
+        "_overflow",
+        "_cur",
+        "_size",
+        "_wheel_count",
+        "_cancelled",
+    )
+
+    def __init__(self, bucket_width: float = 1.0, n_slots: int = 1024) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be > 0, got {bucket_width}")
+        if n_slots < 2:
+            raise ValueError(f"n_slots must be >= 2, got {n_slots}")
+        self._width = float(bucket_width)
+        self._n_slots = n_slots
+        self._slots: List[List[tuple]] = [[] for _ in range(n_slots)]
+        self._active: List[tuple] = []  # heap over (time, seq, ...) tuples
+        self._overflow: List[tuple] = []  # heap for buckets beyond the wheel
+        self._cur = 0  # bucket index currently feeding the active heap
+        self._size = 0  # live (not-cancelled) entries across all structures
+        self._wheel_count = 0  # structural entries sitting in wheel slots
+        self._cancelled: Set[int] = set()
+
+    def __len__(self) -> int:
+        """Live (not-cancelled) entries still queued."""
+        return self._size
+
+    def push(self, entry: Tuple) -> None:
+        """Insert ``(time, seq, *payload)``; ``time`` must not precede the
+        last popped entry's time (the engine enforces this upstream)."""
+        bucket = int(entry[0] // self._width)
+        self._size += 1
+        if bucket <= self._cur:
+            heapq.heappush(self._active, entry)
+        elif bucket < self._cur + self._n_slots:
+            self._slots[bucket % self._n_slots].append(entry)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._overflow, entry)
+
+    def cancel(self, seq: int) -> None:
+        """Mark the entry carrying ``seq`` cancelled (lazy removal at pop).
+
+        The caller must only cancel a sequence number that is currently
+        queued and not yet cancelled — the same contract the engine's
+        :class:`Event` handle enforces with its state machine.
+        """
+        self._cancelled.add(seq)
+        self._size -= 1
+
+    def pop(self) -> Optional[tuple]:
+        """Remove and return the earliest live entry, or ``None`` if empty.
+
+        Cancelled entries surfacing at the head are dropped silently —
+        identical semantics to ``Engine._purge_cancelled`` followed by a
+        heap pop.
+        """
+        if self._size == 0:
+            return None
+        active = self._active
+        cancelled = self._cancelled
+        heappop = heapq.heappop
+        while True:
+            while active:
+                entry = heappop(active)
+                if entry[1] in cancelled:
+                    cancelled.discard(entry[1])
+                    continue
+                self._size -= 1
+                return entry
+            self._advance()
+
+    def _advance(self) -> None:
+        """Move the clock to the next non-empty bucket and activate it.
+
+        Only called with live entries remaining and the active heap empty.
+        """
+        overflow = self._overflow
+        slots = self._slots
+        n_slots = self._n_slots
+        width = self._width
+        active = self._active
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        while True:
+            if self._wheel_count == 0:
+                # Everything ahead lives in the overflow heap: jump the
+                # clock straight to its earliest bucket.
+                head_bucket = int(overflow[0][0] // width)
+                self._cur = max(self._cur + 1, head_bucket)
+            else:
+                self._cur += 1
+            cur = self._cur
+            slot = slots[cur % n_slots]
+            if slot:
+                self._wheel_count -= len(slot)
+                if active:
+                    for entry in slot:
+                        heappush(active, entry)
+                else:
+                    active.extend(slot)
+                    heapq.heapify(active)
+                del slot[:]
+            # Migrate matured far-future events into the active bucket.
+            boundary = cur + 1
+            while overflow and int(overflow[0][0] // width) < boundary:
+                heappush(active, heappop(overflow))
+            if active:
+                return

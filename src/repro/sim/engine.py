@@ -157,18 +157,12 @@ class Engine:
         executed = 0
         queue = self._queue
         heappop = heapq.heappop
-        cancelled = EventState.CANCELLED
         fired = EventState.FIRED
         prof = profiling.state
+        purge = self._purge_cancelled
         try:
             while True:
-                # Drop cancelled events sitting at the head of the heap.
-                while queue:
-                    head_event = queue[0][4]
-                    if head_event is not None and head_event.state is cancelled:
-                        heappop(queue)
-                    else:
-                        break
+                purge()
                 if not queue:
                     # Queue drained; if a horizon was given, advance to it
                     # so that back-to-back run(until=...) calls observe
@@ -214,12 +208,20 @@ class Engine:
         return self._queue[0][0] if self._queue else None
 
     def _purge_cancelled(self) -> None:
-        """Drop cancelled events sitting at the head of the heap."""
+        """Drop cancelled events sitting at the head of the heap.
+
+        The single purge helper shared by :meth:`run`, :meth:`step`, and
+        :meth:`peek` — and mirrored by the calendar-queue backend
+        (:class:`repro.sim.calendar.CalendarQueue`), which implements the
+        same lazy skip-at-pop semantics over its bucket structure.
+        """
         queue = self._queue
+        cancelled = EventState.CANCELLED
+        heappop = heapq.heappop
         while queue:
             event = queue[0][4]
-            if event is not None and event.state is EventState.CANCELLED:
-                heapq.heappop(queue)
+            if event is not None and event.state is cancelled:
+                heappop(queue)
             else:
                 break
 

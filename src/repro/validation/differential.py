@@ -16,9 +16,20 @@ second, reporting a false mismatch.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.ndn.link import FixedDelay, GaussianJitterDelay, LogNormalDelay
+from repro.ndn.network import Network
+from repro.ndn.topology import local_lan
 from repro.perf.parallel import build_scheme
+from repro.sim.batch.script import (
+    ConsumerScript,
+    FetchStep,
+    TopologyObservables,
+    diff_observables,
+    run_scripts_reference,
+)
+from repro.sim.rng import RngRegistry
 from repro.workload.fast_replay import fast_replay
 from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
 from repro.workload.marking import RequestMarking
@@ -167,3 +178,239 @@ def validate_differential(
             )
         )
     return DifferentialReport(results=results, trace_requests=len(trace))
+
+
+# ======================================================================
+# Topology differential: reference engine vs the batch kernel
+# ======================================================================
+#: Prefix the topology-differential object universe lives under (matches
+#: both the sim-core workloads and the fig3 attack topologies).
+_TOPO_PREFIX = "/content"
+
+
+@dataclass(frozen=True)
+class TopologyCase:
+    """One (topology, scheme, policy, workload) configuration to
+    cross-check between the reference engine and the batch kernel."""
+
+    topology: str  # "star" | "tree" | "fig3a_lan"
+    scheme: str = "no-privacy"
+    policy: str = "lru"
+    requests_per_consumer: int = 30
+    #: Consumer wait budget; set below the topology RTT to exercise the
+    #: timeout / PIT-expiry / retransmission paths.
+    timeout: float = 4000.0
+    #: Every Nth fetch carries the privacy mark (0 disables marking).
+    private_period: int = 3
+    cache_capacity: int = 8
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        """Human-readable configuration tag."""
+        return (
+            f"{self.topology}/{self.scheme}/{self.policy}"
+            f"/to={self.timeout}/seed={self.seed}"
+        )
+
+
+def default_topology_cases(seed: int = 0) -> List[TopologyCase]:
+    """The CI grid: sim-core shapes plus the fig3 LAN panel, covering
+    NoPrivacy and the privacy schemes, all four replacement policies, and
+    a small-timeout retransmission case."""
+    return [
+        TopologyCase("star", "no-privacy", "lru", seed=seed),
+        TopologyCase("star", "uniform", "random", seed=seed),
+        TopologyCase("tree", "exponential", "lfu", seed=seed),
+        # Fixed-delay tree RTT is >= 5.2 ms; a 2.4 ms budget forces
+        # consumer timeouts, PIT expiry, and same-name refetch races.
+        TopologyCase("tree", "no-privacy", "fifo", timeout=2.4, seed=seed),
+        TopologyCase("fig3a_lan", "no-privacy", "lru", seed=seed),
+        TopologyCase("fig3a_lan", "uniform", "lru", seed=seed),
+        TopologyCase("fig3a_lan", "always-delay", "lru", seed=seed),
+    ]
+
+
+def _topology_scripts(
+    consumer_names: Sequence[str], case: TopologyCase, universe: int
+) -> List[ConsumerScript]:
+    """Deterministic interleaved workload with a fixed fraction of
+    privacy-marked fetches (no RNG draws in the workload itself)."""
+    period = case.private_period
+    return [
+        ConsumerScript(
+            consumer=name,
+            steps=tuple(
+                FetchStep(
+                    f"{_TOPO_PREFIX}/obj-{(i * 3 + j) % universe}",
+                    timeout=case.timeout,
+                    private=(period > 0 and (i + j) % period == 0),
+                )
+                for i in range(case.requests_per_consumer)
+            ),
+        )
+        for j, name in enumerate(consumer_names)
+    ]
+
+
+def _build_topology_case(
+    case: TopologyCase,
+) -> Tuple[Network, List[ConsumerScript]]:
+    """Build a **fresh** network + scripts for ``case``.
+
+    Called once per engine: schemes and jittery links are RNG-stateful,
+    so sharing a network between runs would desynchronize the second run
+    and report a false mismatch (same rule as :func:`_run_case`).
+    """
+    scheme_n = 0
+
+    def scheme():
+        # Distinct instance per router (the batch compiler rejects shared
+        # scheme objects), deterministic per (case seed, router ordinal).
+        nonlocal scheme_n
+        scheme_n += 1
+        return build_scheme(case.scheme, seed=case.seed * 101 + scheme_n)
+
+    if case.topology == "star":
+        net = Network(rng=RngRegistry(case.seed))
+        net.add_router(
+            "R",
+            capacity=case.cache_capacity,
+            scheme=scheme(),
+            policy=case.policy,
+        )
+        net.add_producer("P", _TOPO_PREFIX)
+        net.connect(
+            "R", "P", LogNormalDelay(base=1.0, tail_scale=0.7, sigma=0.8)
+        )
+        net.add_route("R", _TOPO_PREFIX, "P")
+        names = []
+        for j in range(4):
+            name = f"C{j}"
+            net.add_consumer(name)
+            net.connect(
+                name,
+                "R",
+                GaussianJitterDelay(base=1.8, jitter_std=0.12, floor=1.5),
+            )
+            names.append(name)
+        return net, _topology_scripts(names, case, universe=12)
+
+    if case.topology == "tree":
+        net = Network(rng=RngRegistry(case.seed))
+        net.add_producer("P", _TOPO_PREFIX, processing_delay=0.4)
+        net.add_router(
+            "R0",
+            capacity=case.cache_capacity,
+            scheme=scheme(),
+            policy=case.policy,
+            processing_delay=0.2,
+        )
+        net.connect("R0", "P", FixedDelay(1.0))
+        net.add_route("R0", _TOPO_PREFIX, "P")
+        names: List[str] = []
+        for a in range(2):
+            leaf = f"R1-{a}"
+            net.add_router(
+                leaf,
+                capacity=case.cache_capacity,
+                scheme=scheme(),
+                policy=case.policy,
+            )
+            net.connect(leaf, "R0", FixedDelay(0.5))
+            net.add_route(leaf, _TOPO_PREFIX, "R0")
+            for c in range(2):
+                name = f"C{a}{c}"
+                net.add_consumer(name)
+                net.connect(name, leaf, FixedDelay(0.3))
+                names.append(name)
+        return net, _topology_scripts(names, case, universe=10)
+
+    if case.topology == "fig3a_lan":
+        topo = local_lan(
+            seed=case.seed,
+            scheme=scheme(),
+            cache_capacity=case.cache_capacity,
+        )
+        names = ["U", "Adv"]
+        return topo.network, _topology_scripts(names, case, universe=8)
+
+    raise ValueError(
+        f"unknown topology {case.topology!r}; "
+        "choose from 'star', 'tree', 'fig3a_lan'"
+    )
+
+
+@dataclass
+class TopologyCaseResult:
+    """Outcome of one cross-checked topology configuration."""
+
+    case: TopologyCase
+    oracle: TopologyObservables
+    batch: TopologyObservables
+    mismatches: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """True when the two engines agreed bit-for-bit."""
+        return not self.mismatches
+
+
+@dataclass
+class TopologyDifferentialReport:
+    """All case results of one topology differential run."""
+
+    results: List[TopologyCaseResult]
+
+    @property
+    def ok(self) -> bool:
+        """True when every configuration agreed."""
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[TopologyCaseResult]:
+        """The disagreeing configurations."""
+        return [r for r in self.results if not r.ok]
+
+    def summary(self) -> str:
+        """One line per case, pass/fail."""
+        lines = []
+        for r in self.results:
+            status = "ok" if r.ok else "MISMATCH " + "; ".join(r.mismatches)
+            lines.append(f"{r.case.label}: {status}")
+        return "\n".join(lines)
+
+
+def validate_topology_differential(
+    cases: Optional[Sequence[TopologyCase]] = None,
+    seed: int = 0,
+) -> TopologyDifferentialReport:
+    """Cross-check the reference engine vs the batch kernel over whole
+    topologies: delivery counts, per-consumer RTT streams, per-link
+    packet tallies, per-router counters and ``stats_summary``, event
+    counts, and the simulated end time must all be bit-identical.
+
+    Each engine gets a freshly built (network, scripts) pair per case.
+    The batch leg goes through :func:`repro.sim.batch.kernel.run_scripts_batch`
+    directly — a topology that cannot compile is a case *failure* here,
+    not a silent fallback (that transparency belongs to ``run_scripts``).
+    """
+    from repro.sim.batch.kernel import run_scripts_batch
+
+    if cases is None:
+        cases = default_topology_cases(seed=seed)
+    results: List[TopologyCaseResult] = []
+    for case in cases:
+        net, scripts = _build_topology_case(case)
+        oracle = run_scripts_reference(net, scripts)
+        net, scripts = _build_topology_case(case)
+        batch = run_scripts_batch(net, scripts)
+        results.append(
+            TopologyCaseResult(
+                case=case,
+                oracle=oracle,
+                batch=batch,
+                mismatches=diff_observables(oracle, batch),
+            )
+        )
+    return TopologyDifferentialReport(results=results)

@@ -37,6 +37,9 @@ def test_reporter_writes_bench_json(tmp_path):
     assert path == tmp_path / "BENCH_smoke.json"
     payload = json.loads(path.read_text())
     assert payload["bench"] == "smoke"
+    assert payload["schema_version"] == 2
+    # Short hex hash inside a checkout, "" when git is unavailable.
+    assert all(c in "0123456789abcdef" for c in payload["git_rev"])
     assert payload["scale"] == {"requests": 1000}
     labels = [r["label"] for r in payload["records"]]
     assert labels == ["a", "b"]

@@ -1,0 +1,180 @@
+"""Batch kernel vs reference engine: parity and fallback transparency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.link import FixedDelay, GaussianJitterDelay, LogNormalDelay
+from repro.ndn.network import Network
+from repro.perf.simcore import (
+    run_star,
+    run_star_batch,
+    run_tree,
+    run_tree_batch,
+)
+from repro.sim.batch import (
+    BatchCompileError,
+    ConsumerScript,
+    FetchStep,
+    SleepStep,
+    diff_observables,
+    run_scripts,
+    run_scripts_batch,
+    run_scripts_reference,
+)
+from repro.sim.rng import RngRegistry
+
+
+def small_star(seed=0, loss_rate=0.0, consumers=3, capacity=4):
+    net = Network(rng=RngRegistry(seed))
+    net.add_router("R", capacity=capacity)
+    net.add_producer("P", "/content")
+    net.connect(
+        "R",
+        "P",
+        LogNormalDelay(base=1.0, tail_scale=0.7, sigma=0.8),
+        loss_rate=loss_rate,
+    )
+    net.add_route("R", "/content", "P")
+    names = []
+    for j in range(consumers):
+        name = f"C{j}"
+        net.add_consumer(name)
+        net.connect(
+            name, "R", GaussianJitterDelay(base=1.8, jitter_std=0.12, floor=1.5)
+        )
+        names.append(name)
+    return net, names
+
+
+def star_scripts(names, requests=12, universe=6, timeout=4000.0):
+    return [
+        ConsumerScript(
+            consumer=name,
+            steps=tuple(
+                FetchStep(
+                    f"/content/obj-{(i * 3 + j) % universe}",
+                    timeout=timeout,
+                    private=((i + j) % 3 == 0),
+                )
+                for i in range(requests)
+            )
+            + (SleepStep(1.5),),
+        )
+        for j, name in enumerate(names)
+    ]
+
+
+def test_star_parity_bit_identical():
+    net, names = small_star()
+    oracle = run_scripts_reference(net, star_scripts(names))
+    net, names = small_star()
+    batch = run_scripts_batch(net, star_scripts(names))
+    assert batch.kernel == "batch"
+    assert oracle.kernel == "reference"
+    assert diff_observables(oracle, batch) == []
+    assert batch.total_delivered == 3 * 12
+    assert batch.end_time == oracle.end_time  # full float precision
+
+
+def test_tree_parity_with_timeouts_and_retransmission():
+    def build():
+        net = Network(rng=RngRegistry(3))
+        net.add_producer("P", "/content", processing_delay=0.4)
+        net.add_router("R0", capacity=3, processing_delay=0.2)
+        net.connect("R0", "P", FixedDelay(1.0))
+        net.add_route("R0", "/content", "P")
+        names = []
+        for a in range(2):
+            leaf = f"R1-{a}"
+            net.add_router(leaf, capacity=3)
+            net.connect(leaf, "R0", FixedDelay(0.5))
+            net.add_route(leaf, "/content", "R0")
+            for c in range(2):
+                name = f"C{a}{c}"
+                net.add_consumer(name)
+                net.connect(name, leaf, FixedDelay(0.3))
+                names.append(name)
+        # A 2.4 ms budget is below the >=5.2 ms first-fetch RTT: every
+        # consumer times out and refetches, exercising PIT expiry and
+        # the in-PIT retransmission path on both engines.
+        return net, star_scripts(names, requests=10, universe=5, timeout=2.4)
+
+    net, scripts = build()
+    oracle = run_scripts_reference(net, scripts)
+    net, scripts = build()
+    batch = run_scripts_batch(net, scripts)
+    assert diff_observables(oracle, batch) == []
+    # Timed-out fetches leave gaps, and the refetch collapses onto the
+    # still-pending PIT entry — the race both engines must break alike.
+    assert oracle.total_delivered < 4 * 10
+    assert oracle.router_counters["R0"].get("pit_collapse", 0) > 0
+
+
+def test_auto_falls_back_transparently_on_lossy_link():
+    net, names = small_star(loss_rate=0.1)
+    scripts = star_scripts(names, requests=4)
+    obs = run_scripts(net, scripts, kernel="auto")
+    # The unsupported combination silently takes the oracle path, and
+    # the observables say so rather than pretending it was batched.
+    assert obs.kernel == "reference"
+    assert obs.total_delivered > 0
+
+
+def test_batch_kernel_raises_on_unsupported_topology():
+    net, names = small_star(loss_rate=0.1)
+    scripts = star_scripts(names, requests=4)
+    with pytest.raises(BatchCompileError, match="loss"):
+        run_scripts_batch(net, scripts)
+
+
+def test_shared_scheme_instance_is_rejected():
+    from repro.core.schemes.uniform import UniformRandomCache
+    import numpy as np
+
+    shared = UniformRandomCache(K=4, rng=np.random.default_rng(0))
+    net = Network(rng=RngRegistry(0))
+    net.add_router("R0", capacity=4, scheme=shared)
+    net.add_router("R1", capacity=4, scheme=shared)
+    net.add_producer("P", "/content")
+    net.add_consumer("C")
+    net.connect("C", "R0", FixedDelay(0.5))
+    net.connect("R0", "R1", FixedDelay(0.5))
+    net.connect("R1", "P", FixedDelay(0.5))
+    net.add_route("R0", "/content", "R1")
+    net.add_route("R1", "/content", "P")
+    scripts = [ConsumerScript("C", (FetchStep("/content/obj-0"),))]
+    with pytest.raises(BatchCompileError, match="shared"):
+        run_scripts_batch(net, scripts)
+    # ... and the auto path still runs it on the reference engine.
+    net_obs = run_scripts(net, scripts, kernel="auto")
+    assert net_obs.kernel == "reference"
+    assert net_obs.total_delivered == 1
+
+
+def test_unknown_kernel_name_rejected():
+    net, names = small_star()
+    with pytest.raises(ValueError, match="unknown kernel"):
+        run_scripts(net, star_scripts(names, requests=1), kernel="vector")
+
+
+def test_simcore_batch_matches_reference_counts():
+    ref = run_star(consumers=4, requests_per_consumer=25)
+    fast = run_star_batch(consumers=4, requests_per_consumer=25)
+    assert (fast.packet_hops, fast.events, fast.delivered, fast.cache_hits) == (
+        ref.packet_hops,
+        ref.events,
+        ref.delivered,
+        ref.cache_hits,
+    )
+    assert fast.sim_end_ms == ref.sim_end_ms
+
+    ref = run_tree(requests_per_consumer=20)
+    fast = run_tree_batch(requests_per_consumer=20)
+    assert (fast.packet_hops, fast.events, fast.delivered, fast.cache_hits) == (
+        ref.packet_hops,
+        ref.events,
+        ref.delivered,
+        ref.cache_hits,
+    )
+    assert fast.sim_end_ms == ref.sim_end_ms

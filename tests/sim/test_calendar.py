@@ -1,0 +1,142 @@
+"""Calendar-queue determinism: heap-identical ``(time, seq)`` ordering.
+
+The batch kernel's correctness rests on :class:`CalendarQueue` popping
+entries in exactly the order a ``heapq`` over the same tuples would —
+including ties at equal timestamps (broken by the monotonic ``seq``) and
+lazy cancellation.  The property suite drives both structures through
+random interleaved schedule/cancel programs, biased toward equal
+timestamps and far-future overflow entries, and asserts identical drain
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.calendar import CalendarQueue
+
+# One program step: (delay-bucket choice, cancel-target fraction or None).
+# Delays mix three regimes: zero (same-time ties), near (wheel slots),
+# and far (the overflow heap beyond the wheel horizon).
+steps = st.lists(
+    st.tuples(
+        st.sampled_from([0.0, 0.25, 1.0, 3.5, 7.0, 1500.0, 8000.0]),
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.0)),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def run_program(program, bucket_width=1.0, n_slots=8):
+    """Execute one schedule/cancel program against both structures.
+
+    A tiny wheel (8 slots) forces heavy wrap-around and overflow-heap
+    traffic at small scale.  Returns (calendar_order, heap_order).
+    """
+    cal = CalendarQueue(bucket_width=bucket_width, n_slots=n_slots)
+    heap = []
+    cancelled = set()
+    live = []  # seqs currently queued in both structures
+    seq = 0
+    clock = 0.0
+    cal_out, heap_out = [], []
+
+    def pop_heap():
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[1] in cancelled:
+                cancelled.discard(entry[1])
+                continue
+            return entry
+        return None
+
+    for delay, cancel_frac in program:
+        if cancel_frac is not None and live:
+            victim = live.pop(int(cancel_frac * (len(live) - 1)))
+            cal.cancel(victim)
+            cancelled.add(victim)
+        else:
+            entry = (clock + delay, seq, "payload", seq)
+            cal.push(entry)
+            heapq.heappush(heap, entry)
+            live.append(seq)
+            seq += 1
+        # Interleave pops so the clock advances mid-program (events may
+        # be scheduled relative to partially drained state).
+        if len(live) > 4:
+            a, b = cal.pop(), pop_heap()
+            assert a == b
+            clock = a[0]
+            live.remove(a[1])
+            cal_out.append(a)
+            heap_out.append(b)
+
+    while True:
+        a, b = cal.pop(), pop_heap()
+        assert a == b
+        if a is None:
+            break
+        cal_out.append(a)
+        heap_out.append(b)
+    assert len(cal) == 0
+    return cal_out, heap_out
+
+
+@given(steps)
+@settings(max_examples=200, deadline=None)
+def test_calendar_matches_heap_under_random_programs(program):
+    cal_out, heap_out = run_program(program)
+    assert cal_out == heap_out
+
+
+@given(steps, st.sampled_from([0.5, 1.0, 4.0]), st.sampled_from([2, 8, 64]))
+@settings(max_examples=100, deadline=None)
+def test_calendar_matches_heap_across_geometries(program, width, n_slots):
+    cal_out, heap_out = run_program(program, bucket_width=width, n_slots=n_slots)
+    assert cal_out == heap_out
+
+
+def test_equal_time_ties_break_by_seq():
+    cal = CalendarQueue()
+    entries = [(5.0, seq, f"p{seq}") for seq in (3, 1, 4, 0, 2)]
+    for entry in entries:
+        cal.push(entry)
+    assert [cal.pop()[1] for _ in range(5)] == [0, 1, 2, 3, 4]
+    assert cal.pop() is None
+
+
+def test_cancel_is_lazy_and_size_accurate():
+    cal = CalendarQueue()
+    cal.push((1.0, 0))
+    cal.push((2.0, 1))
+    cal.push((3.0, 2))
+    assert len(cal) == 3
+    cal.cancel(1)
+    assert len(cal) == 2
+    assert [cal.pop()[1] for _ in range(2)] == [0, 2]
+    assert cal.pop() is None
+
+
+def test_overflow_clock_jump():
+    # Everything lands far beyond the wheel horizon: popping must jump
+    # the clock through the overflow heap without scanning empty slots.
+    cal = CalendarQueue(bucket_width=1.0, n_slots=4)
+    cal.push((10_000.0, 0))
+    cal.push((50_000.0, 1))
+    cal.push((10_000.0, 2))  # same far bucket, later seq
+    assert cal.pop() == (10_000.0, 0)
+    assert cal.pop() == (10_000.0, 2)
+    assert cal.pop() == (50_000.0, 1)
+    assert cal.pop() is None
+
+
+def test_constructor_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        CalendarQueue(bucket_width=0.0)
+    with pytest.raises(ValueError):
+        CalendarQueue(n_slots=1)
