@@ -152,6 +152,64 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also enable the per-subsystem counter timers "
                               "and print their report")
 
+    deploy = sub.add_parser(
+        "deploy",
+        help="real-socket deployment mode (geo differential, soak, daemon)",
+    )
+    deploy_sub = deploy.add_subparsers(dest="deploy_command", required=True)
+
+    geo = deploy_sub.add_parser(
+        "geo",
+        help="CDN/VPN geo scenario on loopback: sim-vs-socket differential",
+    )
+    geo.add_argument("--schemes", nargs="+",
+                     default=["no-privacy", "uniform"],
+                     help="privacy schemes to compare at the edge cache")
+    geo.add_argument("--seed", type=int, default=7)
+    geo.add_argument("--requests", type=int, default=60)
+    geo.add_argument("--probes", type=int, default=12)
+    geo.add_argument("--catalog", type=int, default=24)
+    geo.add_argument("--loss", type=float, default=0.0,
+                     help="chaos-proxy loss rate on the user link; nonzero "
+                          "skips the exact differential (loss changes "
+                          "decisions) and reports summaries only")
+    geo.add_argument("--skip-sim", action="store_true",
+                     help="socket run only (no differential)")
+
+    soak = deploy_sub.add_parser(
+        "soak",
+        help="hostile-conditions soak: malformed/mgmt/interest floods, "
+             "producer crash, invariant audit",
+    )
+    soak.add_argument("--seed", type=int, default=11)
+    soak.add_argument("--scheme", default="uniform")
+    soak.add_argument("--background", type=int, default=40)
+    soak.add_argument("--malformed", type=int, default=300)
+    soak.add_argument("--mgmt-garbage", type=int, default=50)
+    soak.add_argument("--flood", type=int, default=200)
+    soak.add_argument("--loss", type=float, default=0.15)
+
+    daemon_cmd = deploy_sub.add_parser(
+        "daemon",
+        help="run one supervised forwarder daemon in the foreground "
+             "(SIGTERM/SIGINT drain-then-close)",
+    )
+    daemon_cmd.add_argument("--name", default="ndn-daemon")
+    daemon_cmd.add_argument("--scheme", default="no-privacy",
+                            help="privacy scheme (swap live via mgmt channel)")
+    daemon_cmd.add_argument("--seed", type=int, default=0)
+    daemon_cmd.add_argument("--listen", action="append", default=[],
+                            metavar="HOST:PORT",
+                            help="bind a UDP face (repeatable; default one "
+                                 "ephemeral loopback face)")
+    daemon_cmd.add_argument("--mgmt", default="127.0.0.1:0",
+                            metavar="HOST:PORT",
+                            help="TCP management channel bind address")
+    daemon_cmd.add_argument("--route", action="append", default=[],
+                            metavar="PREFIX=FACE_INDEX",
+                            help="install a route toward the Nth --listen "
+                                 "face (repeatable)")
+
     report = sub.add_parser(
         "report", help="run every figure and write a markdown report"
     )
@@ -247,6 +305,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate":
         return _run_validate(args)
 
+    if args.command == "deploy":
+        return _run_deploy(args)
+
     if args.command == "profile":
         return _run_profile(args)
 
@@ -324,6 +385,128 @@ def _run_validate(args) -> int:
 
     print("validation", "FAILED" if failed else "passed")
     return 1 if failed else 0
+
+
+def _run_deploy(args) -> int:
+    """Real-socket deployment commands: geo differential, soak, daemon."""
+    if args.deploy_command == "geo":
+        return _run_deploy_geo(args)
+    if args.deploy_command == "soak":
+        return _run_deploy_soak(args)
+    if args.deploy_command == "daemon":
+        return _run_deploy_daemon(args)
+    raise AssertionError(f"unhandled deploy command {args.deploy_command!r}")
+
+
+def _run_deploy_geo(args) -> int:
+    from repro.deploy import (
+        ChaosConfig,
+        GeoSpec,
+        differential,
+        run_geo_sim,
+        run_geo_socket,
+    )
+
+    chaos = ChaosConfig.lossy(args.loss) if args.loss > 0 else None
+    failed = False
+    for scheme in args.schemes:
+        spec = GeoSpec(
+            seed=args.seed,
+            scheme=scheme,
+            requests=args.requests,
+            probes=args.probes,
+            catalog_size=args.catalog,
+        )
+        socket_result = run_geo_socket(spec, chaos=chaos)
+        print(f"[{scheme}] socket: {socket_result.summary()}")
+        if socket_result.violations:
+            failed = True
+            for violation in socket_result.violations:
+                print(f"  violation: {violation}")
+        if args.skip_sim:
+            continue
+        sim_result = run_geo_sim(spec)
+        print(f"[{scheme}] sim:    {sim_result.summary()}")
+        if sim_result.violations:
+            failed = True
+            for violation in sim_result.violations:
+                print(f"  violation: {violation}")
+        if args.loss > 0:
+            print(f"[{scheme}] differential skipped (lossy proxy)")
+            continue
+        mismatches = differential(sim_result, socket_result)
+        if mismatches:
+            failed = True
+            print(f"[{scheme}] DIFFERENTIAL FAILED: {len(mismatches)} mismatch(es)")
+            for mismatch in mismatches[:20]:
+                print(f"  - {mismatch}")
+        else:
+            print(
+                f"[{scheme}] differential ok: {len(sim_result.decisions)} "
+                f"decisions and {len(sim_result.probe_verdicts)} probe "
+                f"verdicts identical"
+            )
+    print("deploy geo", "FAILED" if failed else "passed")
+    return 1 if failed else 0
+
+
+def _run_deploy_soak(args) -> int:
+    import json
+
+    from repro.deploy import SoakSpec, run_soak
+
+    spec = SoakSpec(
+        seed=args.seed,
+        scheme=args.scheme,
+        background_fetches=args.background,
+        malformed_packets=args.malformed,
+        mgmt_garbage_lines=args.mgmt_garbage,
+        flood_interests=args.flood,
+        loss_rate=args.loss,
+    )
+    report = run_soak(spec)
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    print("deploy soak", "passed" if report.ok else "FAILED")
+    return 0 if report.ok else 1
+
+
+def _parse_hostport(text: str):
+    host, _, port = text.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def _run_deploy_daemon(args) -> int:
+    import asyncio
+
+    from repro.deploy import DaemonConfig, ForwarderDaemon, Supervisor
+
+    async def serve() -> int:
+        daemon = ForwarderDaemon(
+            DaemonConfig(name=args.name, seed=args.seed, scheme=args.scheme)
+        )
+        supervisor = Supervisor(
+            daemon,
+            mgmt_host=_parse_hostport(args.mgmt)[0],
+            mgmt_port=_parse_hostport(args.mgmt)[1],
+        )
+        await supervisor.start(install_signal_handlers=True)
+        binds = args.listen or ["127.0.0.1:0"]
+        faces = []
+        for spec in binds:
+            face = await daemon.add_udp_face(local=_parse_hostport(spec))
+            faces.append(face)
+            print(f"face {face.face_id} listening on {face.local_addr}")
+        for route in args.route:
+            prefix, _, index = route.partition("=")
+            daemon.add_route(prefix, faces[int(index)].face_id)
+            print(f"route {prefix} -> face {faces[int(index)].face_id}")
+        print(f"mgmt channel on {supervisor.mgmt_addr} "
+              f"(try: nc {supervisor.mgmt_addr[0]} {supervisor.mgmt_addr[1]})")
+        print("serving; SIGTERM/SIGINT drains then exits")
+        await supervisor.wait_closed()
+        return 0
+
+    return asyncio.run(serve())
 
 
 def _run_profile(args) -> int:

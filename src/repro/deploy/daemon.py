@@ -1,0 +1,296 @@
+"""The forwarder daemon: one real NDN node as an asyncio process.
+
+A :class:`ForwarderDaemon` wraps the *unchanged*
+:class:`repro.ndn.forwarder.Forwarder` — Content Store, privacy scheme,
+bounded PIT, token-bucket admission, Nack plane — behind
+:class:`~repro.deploy.faces.AsyncUdpFace` sockets and a
+:class:`~repro.deploy.clock.RealTimeEngine` clock, plus the operational
+surface a process needs:
+
+* face and route management (callable locally or over the TCP management
+  channel, :mod:`repro.deploy.mgmt`);
+* live privacy-scheme swap by name (``no-privacy``, ``uniform``,
+  ``exponential``, ``always-delay``), preserving the CS evict-listener
+  wiring;
+* **drain mode** — new interests are refused with a congestion Nack
+  while in-flight PIT entries are allowed to complete, the first phase of
+  graceful shutdown;
+* health/readiness probes and a counter snapshot for monitoring, with
+  the :mod:`repro.validation` conservation laws checkable on the live
+  counters at any quiescent moment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.schemes.always_delay import AlwaysDelayScheme
+from repro.core.schemes.base import CacheScheme
+from repro.core.schemes.exponential import ExponentialRandomCache
+from repro.core.schemes.no_privacy import NoPrivacyScheme
+from repro.core.schemes.uniform import UniformRandomCache
+from repro.deploy.clock import RealTimeEngine
+from repro.deploy.faces import Address, AsyncUdpFace
+from repro.ndn.admission import InterestRateLimit
+from repro.ndn.cs import ContentStore
+from repro.ndn.errors import TopologyError
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.name import Name, name_of
+from repro.ndn.packets import NACK_CONGESTION, Interest, Nack
+from repro.ndn.pit import Pit
+from repro.ndn.replacement import make_policy
+from repro.sim.rng import RngRegistry
+
+#: Scheme factories for the mgmt channel's ``scheme`` command.  Each gets
+#: the daemon's RNG stream so swaps stay seed-reproducible.
+SCHEME_FACTORIES = {
+    "no-privacy": lambda rng: NoPrivacyScheme(),
+    "uniform": lambda rng: UniformRandomCache(K=8, rng=rng),
+    "exponential": lambda rng: ExponentialRandomCache(alpha=0.5, K=16, rng=rng),
+    "always-delay": lambda rng: AlwaysDelayScheme(),
+}
+
+
+def make_scheme(name: str, rng: Optional[np.random.Generator] = None) -> CacheScheme:
+    """Build a privacy scheme by mgmt-channel name."""
+    try:
+        factory = SCHEME_FACTORIES[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEME_FACTORIES)}"
+        ) from None
+    return factory(rng)
+
+
+@dataclass
+class DaemonConfig:
+    """Everything a forwarder daemon needs to come up.
+
+    The defaults give a hardened node: bounded PIT with Nack-on-overflow,
+    per-face admission control, and Nacks for routeless interests — the
+    PR-3 overload plane engaged from the start, so the daemon degrades by
+    refusing load instead of growing queues.
+    """
+
+    name: str = "ndn-daemon"
+    seed: int = 0
+    scheme: str = "no-privacy"
+    cs_capacity: Optional[int] = 4096
+    cs_policy: str = "lru"
+    pit_capacity: Optional[int] = 4096
+    pit_overflow: str = "drop-new"
+    rate_limit: Optional[InterestRateLimit] = field(
+        default_factory=lambda: InterestRateLimit(rate=5000.0, burst=1000.0)
+    )
+    nack_on_no_route: bool = True
+    honor_scope: bool = True
+    processing_delay: float = 0.0
+    strategy: str = "best-route"
+    #: Per-face receive/send queue bounds (datagrams).
+    rx_queue: int = 1024
+    tx_queue: int = 1024
+    #: Engine-ms per wall-ms stretch factor (tests slow scenarios down).
+    time_scale: float = 1.0
+
+
+class ForwarderDaemon:
+    """A supervised real-socket NDN forwarder."""
+
+    def __init__(self, config: Optional[DaemonConfig] = None) -> None:
+        self.config = config if config is not None else DaemonConfig()
+        self.rng = RngRegistry(self.config.seed)
+        self.engine: Optional[RealTimeEngine] = None
+        self.forwarder: Optional[Forwarder] = None
+        self.faces: Dict[int, AsyncUdpFace] = {}
+        self.draining = False
+        self.ready = False
+        self.drained_interests = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ForwarderDaemon":
+        """Build the engine + forwarder on the running loop."""
+        if self._started:
+            return self
+        cfg = self.config
+        self.engine = RealTimeEngine(
+            asyncio.get_running_loop(), time_scale=cfg.time_scale
+        )
+        cs = ContentStore(
+            capacity=cfg.cs_capacity,
+            policy=make_policy(
+                cfg.cs_policy, self.rng.stream(f"policy:{cfg.name}")
+            ),
+        )
+        self.forwarder = Forwarder(
+            engine=self.engine,
+            name=cfg.name,
+            cs=cs,
+            scheme=make_scheme(cfg.scheme, self.rng.stream(f"scheme:{cfg.name}")),
+            honor_scope=cfg.honor_scope,
+            processing_delay=cfg.processing_delay,
+            strategy=cfg.strategy,
+            pit=Pit(capacity=cfg.pit_capacity, overflow=cfg.pit_overflow),
+            rate_limit=cfg.rate_limit,
+            nack_on_no_route=cfg.nack_on_no_route,
+        )
+        self._started = True
+        self.ready = True
+        return self
+
+    async def add_udp_face(
+        self,
+        local: Address = ("127.0.0.1", 0),
+        peer: Optional[Address] = None,
+        label: str = "",
+    ) -> AsyncUdpFace:
+        """Bind a new UDP face and register it with the forwarder."""
+        if self.forwarder is None:
+            raise TopologyError("daemon not started")
+        face = await AsyncUdpFace.create(
+            self.forwarder,
+            local=local,
+            peer=peer,
+            label=label or f"{self.config.name}:face{len(self.faces)}",
+            rx_queue=self.config.rx_queue,
+            tx_queue=self.config.tx_queue,
+        )
+        face.interest_gate = self._admit_interest
+        self.forwarder.faces.append(face)
+        self.faces[face.face_id] = face
+        return face
+
+    async def stop(self) -> None:
+        """Close every face (mgmt channel is owned by the supervisor)."""
+        self.ready = False
+        for face in list(self.faces.values()):
+            await face.close()
+
+    # ------------------------------------------------------------------
+    # Drain / graceful degradation
+    # ------------------------------------------------------------------
+    def _admit_interest(self, interest: Interest, face: AsyncUdpFace) -> bool:
+        """Face-level gate: in drain mode, refuse with a congestion Nack."""
+        if not self.draining:
+            return True
+        self.drained_interests += 1
+        face.send_nack(Nack.for_interest(interest, NACK_CONGESTION))
+        return False
+
+    def drain(self) -> None:
+        """Stop admitting new interests; in-flight entries complete."""
+        self.draining = True
+        self.ready = False
+
+    def undrain(self) -> None:
+        """Resume admitting interests."""
+        self.draining = False
+        self.ready = self._started
+
+    async def wait_pit_drained(self, timeout_ms: float = 2000.0) -> bool:
+        """Wait (bounded) for the PIT to empty; True when it drained."""
+        if self.forwarder is None:
+            return True
+        deadline = asyncio.get_running_loop().time() + timeout_ms / 1000.0
+        while len(self.forwarder.pit) > 0:
+            if asyncio.get_running_loop().time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
+    # ------------------------------------------------------------------
+    # Management operations (local API; mgmt.py exposes them over TCP)
+    # ------------------------------------------------------------------
+    def add_route(self, prefix, face_id: int, cost: int = 0) -> None:
+        """Install a FIB route toward the face with ``face_id``."""
+        face = self._face(face_id)
+        self.forwarder.fib.add_route(name_of(prefix), face, cost)
+
+    def remove_route(self, prefix, face_id: int) -> None:
+        """Remove a FIB route."""
+        face = self._face(face_id)
+        self.forwarder.fib.remove_route(name_of(prefix), face)
+
+    def set_scheme(self, scheme_name: str) -> CacheScheme:
+        """Swap the privacy scheme live, preserving listener wiring.
+
+        The CS is flushed: per-entry scheme state (k_C counters) does not
+        transfer between schemes, and a half-initialized cache would
+        leak exactly the timing signal the schemes exist to hide.
+        """
+        if self.forwarder is None:
+            raise TopologyError("daemon not started")
+        new = make_scheme(
+            scheme_name,
+            self.rng.stream(f"scheme:{self.config.name}:{scheme_name}"),
+        )
+        old = self.forwarder.scheme
+        self.forwarder.flush_cache()
+        self.forwarder.cs.remove_evict_listener(old.on_evict)
+        self.forwarder.cs.add_evict_listener(new.on_evict)
+        self.forwarder.scheme = new
+        return new
+
+    def _face(self, face_id: int) -> AsyncUdpFace:
+        try:
+            return self.faces[face_id]
+        except KeyError:
+            raise TopologyError(f"unknown face id {face_id}") from None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """Liveness snapshot for the mgmt ``health`` command."""
+        fwd = self.forwarder
+        return {
+            "name": self.config.name,
+            "up": bool(fwd is not None and fwd.up),
+            "ready": self.ready,
+            "draining": self.draining,
+            "faces": len(self.faces),
+            "faces_alive": sum(1 for f in self.faces.values() if f.tasks_alive),
+            "pit": len(fwd.pit) if fwd else 0,
+            "cs": len(fwd.cs) if fwd else 0,
+            "now_ms": self.engine.now if self.engine else 0.0,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Counters: forwarder summary + monitor counters + per-face."""
+        fwd = self.forwarder
+        if fwd is None:
+            return {"started": False}
+        return {
+            "name": self.config.name,
+            "scheme": fwd.scheme.name,
+            "summary": fwd.stats_summary(),
+            "counters": fwd.monitor.counters,
+            "drained_interests": self.drained_interests,
+            "faces": {fid: face.stats() for fid, face in self.faces.items()},
+        }
+
+    def face_tuple(self) -> Tuple[AsyncUdpFace, ...]:
+        """All faces, for tests that index by creation order."""
+        return tuple(self.faces.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ForwarderDaemon({self.config.name}, faces={len(self.faces)}, "
+            f"ready={self.ready}, draining={self.draining})"
+        )
+
+
+# Re-exported for type hints in scenario/supervisor modules.
+__all__ = [
+    "DaemonConfig",
+    "ForwarderDaemon",
+    "SCHEME_FACTORIES",
+    "make_scheme",
+    "Name",
+]

@@ -1,0 +1,309 @@
+"""UDP faces: the simulator's Face contract over real datagram sockets.
+
+An :class:`AsyncUdpFace` is one endpoint of a (conceptually)
+point-to-point UDP association, owned by a packet handler exactly like
+the simulator's :class:`~repro.ndn.link.Face` — the forwarder neither
+knows nor cares which kind it holds.  Differences from the simulated
+face are exactly the things a real deployment needs:
+
+* **wire codec** — packets are encoded/decoded with
+  :mod:`repro.ndn.wire`; the decode path is hardened: any datagram that
+  does not parse into exactly one well-formed packet is counted
+  (``malformed_dropped``) and dropped, never raised into the transport;
+* **bounded receive queue** — inbound packets queue per face and are
+  dispatched to the owner by a dedicated task; when the queue is full
+  the datagram is dropped and counted (``rx_overflow``) instead of
+  growing memory without bound (graceful degradation under flood);
+* **send backpressure** — outbound packets ride a bounded queue drained
+  by a sender task; overflow is dropped and counted (``tx_overflow``);
+* **crash isolation** — exceptions escaping the owner's packet handlers
+  are counted (``handler_errors``) and logged, keeping one poison packet
+  from killing the dispatch task (the supervisor additionally restarts
+  the task if it ever dies).
+
+The face learns its peer from the first datagram when constructed
+without one (producer-side listening faces); with an explicit peer,
+datagrams from any other source are counted (``foreign_dropped``) and
+ignored.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Optional, Tuple, Union
+
+from repro.ndn.errors import PacketError, TopologyError
+from repro.ndn.link import Face
+from repro.ndn.packets import Data, Interest, Nack
+from repro.ndn.wire import decode_packet, encode_packet
+
+log = logging.getLogger("repro.deploy.faces")
+
+Address = Tuple[str, int]
+Packet = Union[Interest, Data, Nack]
+
+
+class _UdpFaceProtocol(asyncio.DatagramProtocol):
+    """Datagram glue: feeds received payloads to the owning face."""
+
+    def __init__(self, face: "AsyncUdpFace") -> None:
+        self.face = face
+
+    def datagram_received(self, payload: bytes, addr: Address) -> None:
+        self.face._on_datagram(payload, addr)
+
+    def error_received(self, exc: OSError) -> None:
+        self.face.socket_errors += 1
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        if exc is not None:
+            self.face.socket_errors += 1
+
+
+class AsyncUdpFace(Face):
+    """A Face whose link is a UDP socket instead of a simulated Link."""
+
+    def __init__(
+        self,
+        owner,
+        label: str = "",
+        peer: Optional[Address] = None,
+        rx_queue: int = 1024,
+        tx_queue: int = 1024,
+        max_datagram: int = 65507,
+    ) -> None:
+        super().__init__(owner, label=label)
+        self.peer_addr: Optional[Address] = peer
+        self._peer_locked = peer is not None
+        self.max_datagram = max_datagram
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.local_addr: Optional[Address] = None
+        self._rx: asyncio.Queue = asyncio.Queue(maxsize=rx_queue)
+        self._tx: asyncio.Queue = asyncio.Queue(maxsize=tx_queue)
+        self._tasks: list = []
+        self.closed = False
+        # Hardening / observability counters.
+        self.malformed_dropped = 0
+        self.rx_overflow = 0
+        self.tx_overflow = 0
+        self.foreign_dropped = 0
+        self.handler_errors = 0
+        self.socket_errors = 0
+        self.oversize_dropped = 0
+        self.interests_in = 0
+        self.data_in = 0
+        self.nacks_in = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        #: Optional admission hook installed by the daemon: called with
+        #: each decoded Interest before dispatch; returning False drops it
+        #: (drain mode counts it and answers with a congestion Nack).
+        self.interest_gate = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    async def create(
+        cls,
+        owner,
+        local: Address = ("127.0.0.1", 0),
+        peer: Optional[Address] = None,
+        label: str = "",
+        rx_queue: int = 1024,
+        tx_queue: int = 1024,
+    ) -> "AsyncUdpFace":
+        """Bind a UDP socket at ``local`` and start the face's tasks."""
+        face = cls(owner, label=label, peer=peer, rx_queue=rx_queue, tx_queue=tx_queue)
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UdpFaceProtocol(face), local_addr=local
+        )
+        face.transport = transport
+        face.local_addr = transport.get_extra_info("sockname")[:2]
+        face._spawn_tasks(loop)
+        return face
+
+    def _spawn_tasks(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._tasks = [
+            loop.create_task(self._dispatch_loop(), name=f"{self.label}:rx"),
+            loop.create_task(self._sender_loop(), name=f"{self.label}:tx"),
+        ]
+
+    def respawn_dead_tasks(self) -> int:
+        """Recreate dispatch/sender tasks that crashed; returns the count.
+
+        The loops catch per-packet exceptions themselves, so a dead task
+        means something escaped that isolation (or a bug in the loop
+        body).  The supervisor calls this as its restart primitive —
+        queues and counters survive, so in-flight state is preserved.
+        """
+        if self.closed or not self._tasks:
+            return 0
+        loop = asyncio.get_running_loop()
+        factories = (
+            (f"{self.label}:rx", self._dispatch_loop),
+            (f"{self.label}:tx", self._sender_loop),
+        )
+        respawned = 0
+        for i, task in enumerate(self._tasks):
+            if task.done() and not task.cancelled():
+                name, factory = factories[i]
+                exc = task.exception()
+                if exc is not None:
+                    log.warning("%s: task %s died: %r", self.label, name, exc)
+                self._tasks[i] = loop.create_task(factory(), name=name)
+                respawned += 1
+        return respawned
+
+    async def close(self) -> None:
+        """Stop tasks and close the socket (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            except Exception:
+                # A task that already died on an exception re-raises it
+                # here; the face is closing, so account and move on.
+                pass
+        if self.transport is not None:
+            self.transport.close()
+
+    def set_peer(self, peer: Address, lock: bool = True) -> None:
+        """Point the face at ``peer`` (and lock out other sources)."""
+        self.peer_addr = peer
+        self._peer_locked = lock
+
+    # ------------------------------------------------------------------
+    # Send path (Face contract)
+    # ------------------------------------------------------------------
+    def send_interest(self, interest: Interest) -> None:
+        self.interests_out += 1
+        self._enqueue_send(interest)
+
+    def send_data(self, data: Data) -> None:
+        self.data_out += 1
+        self._enqueue_send(data)
+
+    def send_nack(self, nack: Nack) -> None:
+        self.nacks_out += 1
+        self._enqueue_send(nack)
+
+    def _enqueue_send(self, packet: Packet) -> None:
+        if self.closed:
+            return
+        if self.peer_addr is None:
+            raise TopologyError(f"{self.label}: no peer address to send to")
+        try:
+            self._tx.put_nowait(packet)
+        except asyncio.QueueFull:
+            self.tx_overflow += 1
+
+    async def _sender_loop(self) -> None:
+        while True:
+            packet = await self._tx.get()
+            try:
+                payload = encode_packet(packet)
+                if len(payload) > self.max_datagram:
+                    self.oversize_dropped += 1
+                    continue
+                self.bytes_out += len(payload)
+                if self.transport is not None and self.peer_addr is not None:
+                    self.transport.sendto(payload, self.peer_addr)
+            except asyncio.CancelledError:  # pragma: no cover - shutdown
+                raise
+            except Exception:
+                self.socket_errors += 1
+                log.exception("%s: send failed", self.label)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_datagram(self, payload: bytes, addr: Address) -> None:
+        if self._peer_locked and addr != self.peer_addr:
+            self.foreign_dropped += 1
+            return
+        try:
+            packet = decode_packet(payload)
+        except PacketError:
+            self.malformed_dropped += 1
+            return
+        if self.peer_addr is None:
+            # Learn the peer from the first well-formed packet.
+            self.peer_addr = addr
+        self.bytes_in += len(payload)
+        try:
+            self._rx.put_nowait(packet)
+        except asyncio.QueueFull:
+            self.rx_overflow += 1
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            packet = await self._rx.get()
+            try:
+                self._dispatch(packet)
+            except asyncio.CancelledError:  # pragma: no cover - shutdown
+                raise
+            except Exception:
+                self.handler_errors += 1
+                log.exception("%s: packet handler failed", self.label)
+
+    def _dispatch(self, packet: Packet) -> None:
+        if isinstance(packet, Interest):
+            self.interests_in += 1
+            if self.interest_gate is not None and not self.interest_gate(
+                packet, self
+            ):
+                return
+            self.owner.receive_interest(packet, self)
+        elif isinstance(packet, Data):
+            self.data_in += 1
+            self.owner.receive_data(packet, self)
+        else:
+            self.nacks_in += 1
+            handler = getattr(self.owner, "receive_nack", None)
+            if handler is None:
+                return
+            handler(packet, self)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot for the mgmt channel and the soak harness."""
+        return {
+            "label": self.label,
+            "face_id": self.face_id,
+            "local": list(self.local_addr) if self.local_addr else None,
+            "peer": list(self.peer_addr) if self.peer_addr else None,
+            "interests_in": self.interests_in,
+            "data_in": self.data_in,
+            "nacks_in": self.nacks_in,
+            "interests_out": self.interests_out,
+            "data_out": self.data_out,
+            "nacks_out": self.nacks_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "malformed_dropped": self.malformed_dropped,
+            "rx_overflow": self.rx_overflow,
+            "tx_overflow": self.tx_overflow,
+            "foreign_dropped": self.foreign_dropped,
+            "handler_errors": self.handler_errors,
+            "socket_errors": self.socket_errors,
+            "oversize_dropped": self.oversize_dropped,
+        }
+
+    @property
+    def tasks_alive(self) -> bool:
+        """True while both the dispatch and sender tasks are running."""
+        return bool(self._tasks) and all(not t.done() for t in self._tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AsyncUdpFace({self.label}, local={self.local_addr}, peer={self.peer_addr})"

@@ -1,0 +1,645 @@
+"""The CDN/VPN geo scenario and the soak harness, sim and socket.
+
+One :class:`GeoSpec` describes a UoE_NDNx-style deployment — a user
+device behind a VPN exit reaching a CDN edge cache, with an adversary
+attached directly to the edge — and two runners execute it:
+
+* :func:`run_geo_sim` in the discrete-event simulator (the reproduction
+  substrate every prior PR validated);
+* :func:`run_geo_socket` over real UDP sockets on loopback, through
+  :class:`~repro.deploy.daemon.ForwarderDaemon` processes and a
+  :class:`~repro.deploy.chaos.ChaosUdpProxy`.
+
+Both runners replay the *same* concrete request sequence (derived once
+from the spec's seed) against forwarders built from the *same* named RNG
+streams, and privacy-scheme decisions depend only on request order and
+those streams — never on wall-clock time.  With a zero-loss proxy the
+socket run must therefore reproduce the simulator's per-request cache
+decisions and scope-probe verdicts exactly; :func:`differential` diffs
+the two reports and returns every disagreement.
+
+:func:`run_soak` is the robustness counterpart: a supervised daemon
+behind a *faulty* chaos proxy survives a malformed-datagram flood, an
+interest flood, a management-channel garbage flood, and a producer
+crash/restart — with zero task crashes and the :mod:`repro.validation`
+conservation laws holding on its counters at quiescence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.deploy.chaos import ChaosConfig, ChaosUdpProxy
+from repro.deploy.clock import RealTimeEngine
+from repro.deploy.daemon import DaemonConfig, ForwarderDaemon, make_scheme
+from repro.deploy.endpoints import AsyncConsumer, AsyncProducer
+from repro.deploy.supervisor import Supervisor, SupervisorConfig
+from repro.faults.retry import RetryPolicy
+from repro.ndn.link import FixedDelay
+from repro.ndn.network import Network
+from repro.sim.process import Timeout
+from repro.sim.rng import RngRegistry
+from repro.validation.invariants import InvariantChecker
+
+#: Counter names whose per-request delta classifies a cache decision.
+DECISION_COUNTERS = ("cs_hit", "cs_disguised_hit", "cs_forced_miss", "cs_miss")
+
+
+@dataclass(frozen=True)
+class GeoSpec:
+    """The CDN/VPN geo scenario, fully determined by its fields."""
+
+    seed: int = 7
+    scheme: str = "uniform"
+    prefix: str = "/cdn"
+    catalog_size: int = 24
+    requests: int = 60
+    probes: int = 12
+    edge_cs_capacity: int = 16
+    vpn_cs_capacity: int = 8
+    zipf_s: float = 0.8
+    #: Per-request budget (engine ms; socket: wall ms at time_scale 1).
+    fetch_timeout: float = 2000.0
+    #: Scope-2 probe wait — an unanswered probe burns all of it.
+    probe_timeout: float = 300.0
+    #: Simulated one-way link delay (ms); irrelevant to decisions.
+    link_delay: float = 5.0
+
+
+def build_workload(spec: GeoSpec) -> Tuple[List[str], List[str]]:
+    """Derive (requests, probe targets) from the spec — pure in the seed.
+
+    Requests follow a Zipf-like popularity over the catalog.  Probe
+    targets mix names the workload touched (candidate hits) with cold
+    names it never requested (certain misses), so probe accuracy is
+    measured against a non-trivial ground truth.
+    """
+    rng = RngRegistry(spec.seed).stream("workload:geo")
+    catalog = [f"{spec.prefix}/object-{i}" for i in range(spec.catalog_size)]
+    ranks = np.arange(1, spec.catalog_size + 1, dtype=float)
+    weights = ranks**-spec.zipf_s
+    weights /= weights.sum()
+    picks = rng.choice(spec.catalog_size, size=spec.requests, p=weights)
+    requests = [catalog[i] for i in picks]
+    hot: List[str] = []
+    for name in requests:  # distinct requested names, first-seen order
+        if name not in hot:
+            hot.append(name)
+    n_hot = min(spec.probes // 2, len(hot))
+    targets = hot[:n_hot] + [
+        f"{spec.prefix}/cold-{i}" for i in range(spec.probes - n_hot)
+    ]
+    return requests, targets
+
+
+@dataclass
+class GeoRunResult:
+    """What one geo run observed — the unit the differential compares."""
+
+    mode: str
+    scheme: str
+    seed: int
+    #: Per request: (name, vpn decision, edge decision); a decision is one
+    #: of DECISION_COUNTERS or "none" (the request never reached that hop).
+    decisions: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Per probe: (target, answered) — answered == adversary decides HIT.
+    probe_verdicts: List[Tuple[str, bool]] = field(default_factory=list)
+    #: Edge CS contents right before the probe phase (ground truth).
+    cached_at_probe_time: List[str] = field(default_factory=list)
+    rtts: List[float] = field(default_factory=list)
+    fetch_failures: int = 0
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def edge_hit_rate(self) -> float:
+        """Observable hits (HIT + DELAYED_HIT) over edge lookups."""
+        served = sum(
+            1 for _, _, e in self.decisions if e in ("cs_hit", "cs_disguised_hit")
+        )
+        seen = sum(1 for _, _, e in self.decisions if e != "none")
+        return served / seen if seen else 0.0
+
+    @property
+    def probe_accuracy(self) -> float:
+        """Fraction of probe verdicts agreeing with cache ground truth."""
+        if not self.probe_verdicts:
+            return 0.0
+        truth = set(self.cached_at_probe_time)
+        correct = sum(
+            1
+            for target, answered in self.probe_verdicts
+            if answered == (target in truth)
+        )
+        return correct / len(self.probe_verdicts)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "requests": len(self.decisions),
+            "edge_hit_rate": round(self.edge_hit_rate, 4),
+            "probe_accuracy": round(self.probe_accuracy, 4),
+            "fetch_failures": self.fetch_failures,
+            "violations": len(self.violations),
+        }
+
+
+def _decision_delta(before: Dict[str, int], after: Dict[str, int]) -> str:
+    for key in DECISION_COUNTERS:
+        if after.get(key, 0) - before.get(key, 0) > 0:
+            return key
+    return "none"
+
+
+def differential(sim: GeoRunResult, socket: GeoRunResult) -> List[str]:
+    """Every observable disagreement between a sim and a socket run."""
+    mismatches: List[str] = []
+    if len(sim.decisions) != len(socket.decisions):
+        mismatches.append(
+            f"request count: sim={len(sim.decisions)} socket={len(socket.decisions)}"
+        )
+    for i, (s, k) in enumerate(zip(sim.decisions, socket.decisions)):
+        if s != k:
+            mismatches.append(f"request[{i}]: sim={s} socket={k}")
+    if sim.cached_at_probe_time != socket.cached_at_probe_time:
+        mismatches.append(
+            f"cache at probe time: sim={sim.cached_at_probe_time} "
+            f"socket={socket.cached_at_probe_time}"
+        )
+    if len(sim.probe_verdicts) != len(socket.probe_verdicts):
+        mismatches.append(
+            f"probe count: sim={len(sim.probe_verdicts)} "
+            f"socket={len(socket.probe_verdicts)}"
+        )
+    for i, (s, k) in enumerate(zip(sim.probe_verdicts, socket.probe_verdicts)):
+        if s != k:
+            mismatches.append(f"probe[{i}]: sim={s} socket={k}")
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# Simulator runner
+# ----------------------------------------------------------------------
+def run_geo_sim(spec: GeoSpec) -> GeoRunResult:
+    """Run the geo scenario in the discrete-event simulator."""
+    requests, targets = build_workload(spec)
+    result = GeoRunResult(mode="sim", scheme=spec.scheme, seed=spec.seed)
+    net = Network(rng=RngRegistry(spec.seed))
+    vpn = net.add_router(
+        "vpn",
+        capacity=spec.vpn_cs_capacity,
+        scheme=make_scheme("no-privacy", net.rng.stream("scheme:vpn")),
+        nack_on_no_route=True,
+    )
+    edge = net.add_router(
+        "edge",
+        capacity=spec.edge_cs_capacity,
+        scheme=make_scheme(spec.scheme, net.rng.stream("scheme:edge")),
+        nack_on_no_route=True,
+    )
+    net.add_producer("origin", spec.prefix, auto_generate=True)
+    user = net.add_consumer("user")
+    adversary = net.add_consumer("adversary")
+    delay = FixedDelay(spec.link_delay)
+    net.connect("user", "vpn", delay)
+    net.connect("vpn", "edge", delay)
+    net.connect("edge", "origin", delay)
+    net.connect("adversary", "edge", delay)
+    net.add_route_chain(spec.prefix, "user", "vpn", "edge", "origin")
+
+    def driver():
+        for name in requests:
+            before_vpn = dict(vpn.monitor.counters)
+            before_edge = dict(edge.monitor.counters)
+            fetched = yield from user.fetch(name, timeout=spec.fetch_timeout)
+            if fetched is None:
+                result.fetch_failures += 1
+            else:
+                result.rtts.append(fetched.rtt)
+            result.decisions.append(
+                (
+                    name,
+                    _decision_delta(before_vpn, vpn.monitor.counters),
+                    _decision_delta(before_edge, edge.monitor.counters),
+                )
+            )
+            yield Timeout(1.0)
+        result.cached_at_probe_time = [str(n) for n in edge.cs.names]
+        for target in targets:
+            fetched = yield from adversary.fetch(
+                target, scope=2, timeout=spec.probe_timeout
+            )
+            result.probe_verdicts.append((target, fetched is not None))
+            yield Timeout(1.0)
+
+    net.spawn(driver(), label="geo-driver")
+    net.run()
+    checker = InvariantChecker()
+    result.violations = [str(v) for v in checker.check_network(net)]
+    result.counters = {
+        "vpn": dict(vpn.monitor.counters),
+        "edge": dict(edge.monitor.counters),
+    }
+    return result
+
+
+# ----------------------------------------------------------------------
+# Socket runner
+# ----------------------------------------------------------------------
+@dataclass
+class _GeoRig:
+    """The live objects of one socket-mode geo deployment."""
+
+    engine: RealTimeEngine
+    vpn: ForwarderDaemon
+    edge: ForwarderDaemon
+    origin: AsyncProducer
+    user: AsyncConsumer
+    adversary: AsyncConsumer
+    proxy: ChaosUdpProxy
+
+    async def close(self) -> None:
+        await self.user.close()
+        await self.adversary.close()
+        await self.origin.close()
+        await self.proxy.close()
+        await self.vpn.stop()
+        await self.edge.stop()
+
+
+async def _build_geo_rig(
+    spec: GeoSpec, chaos: Optional[ChaosConfig] = None
+) -> _GeoRig:
+    """Bring the geo deployment up on loopback (all ports ephemeral)."""
+    engine = RealTimeEngine(asyncio.get_running_loop())
+    vpn = ForwarderDaemon(
+        DaemonConfig(
+            name="vpn",
+            seed=spec.seed,
+            scheme="no-privacy",
+            cs_capacity=spec.vpn_cs_capacity,
+            nack_on_no_route=True,
+        )
+    )
+    edge = ForwarderDaemon(
+        DaemonConfig(
+            name="edge",
+            seed=spec.seed,
+            scheme=spec.scheme,
+            cs_capacity=spec.edge_cs_capacity,
+            nack_on_no_route=True,
+        )
+    )
+    await vpn.start()
+    await edge.start()
+    vpn_face_user = await vpn.add_udp_face(label="vpn:user")
+    vpn_face_edge = await vpn.add_udp_face(label="vpn:edge")
+    edge_face_vpn = await edge.add_udp_face(label="edge:vpn")
+    edge_face_origin = await edge.add_udp_face(label="edge:origin")
+    edge_face_adv = await edge.add_udp_face(label="edge:adv")
+
+    origin = AsyncProducer(engine, spec.prefix, producer_id="origin")
+    await origin.attach(peer=edge_face_origin.local_addr, label="origin:edge")
+    edge_face_origin.set_peer(origin.face.local_addr)
+
+    user = AsyncConsumer(engine, name="user")
+    adversary = AsyncConsumer(engine, name="adversary")
+    await user.attach(label="user:vpn")
+    await adversary.attach(peer=edge_face_adv.local_addr, label="adv:edge")
+    edge_face_adv.set_peer(adversary.face.local_addr)
+
+    # User ↔ VPN rides the chaos proxy (zero-loss for the differential).
+    proxy = ChaosUdpProxy(
+        RngRegistry(spec.seed).stream("chaos:geo"),
+        config=chaos if chaos is not None else ChaosConfig.zero_loss(),
+    )
+    await proxy.start(
+        peer_a=user.face.local_addr, peer_b=vpn_face_user.local_addr
+    )
+    user.face.set_peer(proxy.addr_a)
+    vpn_face_user.set_peer(proxy.addr_b)
+
+    vpn_face_edge.set_peer(edge_face_vpn.local_addr)
+    edge_face_vpn.set_peer(vpn_face_edge.local_addr)
+
+    vpn.add_route(spec.prefix, vpn_face_edge.face_id)
+    edge.add_route(spec.prefix, edge_face_origin.face_id)
+    return _GeoRig(
+        engine=engine,
+        vpn=vpn,
+        edge=edge,
+        origin=origin,
+        user=user,
+        adversary=adversary,
+        proxy=proxy,
+    )
+
+
+async def _run_geo_socket_async(
+    spec: GeoSpec, chaos: Optional[ChaosConfig] = None
+) -> GeoRunResult:
+    requests, targets = build_workload(spec)
+    result = GeoRunResult(mode="socket", scheme=spec.scheme, seed=spec.seed)
+    rig = await _build_geo_rig(spec, chaos=chaos)
+    try:
+        vpn_mon = rig.vpn.forwarder.monitor
+        edge_mon = rig.edge.forwarder.monitor
+        one_shot = RetryPolicy(retries=0, timeout=spec.fetch_timeout, backoff=1.0)
+        for name in requests:
+            before_vpn = dict(vpn_mon.counters)
+            before_edge = dict(edge_mon.counters)
+            fetched = await rig.user.fetch_or_none(name, retry=one_shot)
+            if fetched is None:
+                result.fetch_failures += 1
+            else:
+                result.rtts.append(fetched.rtt)
+            result.decisions.append(
+                (
+                    name,
+                    _decision_delta(before_vpn, vpn_mon.counters),
+                    _decision_delta(before_edge, edge_mon.counters),
+                )
+            )
+        result.cached_at_probe_time = [
+            str(n) for n in rig.edge.forwarder.cs.names
+        ]
+        probe_policy = RetryPolicy(
+            retries=0, timeout=spec.probe_timeout, backoff=1.0
+        )
+        for target in targets:
+            fetched = await rig.adversary.fetch_or_none(
+                target, scope=2, retry=probe_policy
+            )
+            result.probe_verdicts.append((target, fetched is not None))
+        # Quiescence before auditing: scope-dropped probes leave no PIT
+        # state, but give in-flight timers a moment to settle.
+        await rig.vpn.wait_pit_drained()
+        await rig.edge.wait_pit_drained()
+        checker = InvariantChecker()
+        for daemon in (rig.vpn, rig.edge):
+            checker.check_forwarder(daemon.forwarder)
+        result.violations = [str(v) for v in checker.violations]
+        result.counters = {
+            "vpn": dict(vpn_mon.counters),
+            "edge": dict(edge_mon.counters),
+        }
+    finally:
+        await rig.close()
+    return result
+
+
+def run_geo_socket(
+    spec: GeoSpec, chaos: Optional[ChaosConfig] = None
+) -> GeoRunResult:
+    """Run the geo scenario over real UDP sockets on loopback."""
+    return asyncio.run(_run_geo_socket_async(spec, chaos=chaos))
+
+
+# ----------------------------------------------------------------------
+# Soak harness
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SoakSpec:
+    """Intensities for the hostile-conditions soak."""
+
+    seed: int = 11
+    scheme: str = "uniform"
+    prefix: str = "/cdn"
+    #: Background fetches through the faulty proxy.
+    background_fetches: int = 40
+    #: Garbage datagrams blasted at an unpinned daemon face.
+    malformed_packets: int = 300
+    #: Garbage lines thrown at the TCP management channel.
+    mgmt_garbage_lines: int = 50
+    #: Concurrent distinct-name interests in the flood phase.
+    flood_interests: int = 200
+    #: Fetches attempted while the producer is down / after restart.
+    crash_fetches: int = 5
+    pit_capacity: int = 64
+    loss_rate: float = 0.15
+    corrupt_prob: float = 0.1
+    duplicate_prob: float = 0.05
+    reorder_prob: float = 0.05
+    fetch_timeout: float = 250.0
+
+
+@dataclass
+class SoakReport:
+    """Everything the soak observed, plus the pass/fail verdict."""
+
+    phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    daemon_counters: Dict[str, int] = field(default_factory=dict)
+    face_stats: List[dict] = field(default_factory=list)
+    proxy_stats: Dict[str, int] = field(default_factory=dict)
+    supervisor_stats: Dict[str, object] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.violations
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "failures": self.failures,
+            "violations": self.violations,
+            "phases": self.phases,
+            "proxy": self.proxy_stats,
+            "supervisor": self.supervisor_stats,
+        }
+
+
+class _JunkSender(asyncio.DatagramProtocol):
+    """Fire-and-forget garbage source for the malformed flood."""
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+
+async def _run_soak_async(spec: SoakSpec) -> SoakReport:
+    report = SoakReport()
+    rng = RngRegistry(spec.seed)
+    loop = asyncio.get_running_loop()
+    engine = RealTimeEngine(loop)
+
+    daemon = ForwarderDaemon(
+        DaemonConfig(
+            name="soak-edge",
+            seed=spec.seed,
+            scheme=spec.scheme,
+            pit_capacity=spec.pit_capacity,
+            nack_on_no_route=True,
+        )
+    )
+    supervisor = Supervisor(daemon, SupervisorConfig(check_interval=0.05))
+    await supervisor.start()
+    face_user = await daemon.add_udp_face(label="soak:user")
+    face_origin = await daemon.add_udp_face(label="soak:origin")
+    #: Deliberately unpinned: the malformed flood lands here.
+    face_open = await daemon.add_udp_face(label="soak:open")
+
+    producer = AsyncProducer(engine, spec.prefix, producer_id="origin")
+    await producer.attach(peer=face_origin.local_addr, label="origin:soak")
+    face_origin.set_peer(producer.face.local_addr)
+    producer_port = producer.face.local_addr
+
+    consumer = AsyncConsumer(engine, name="soak-user")
+    await consumer.attach(label="user:soak")
+    proxy = ChaosUdpProxy(
+        rng.stream("chaos:soak"),
+        config=ChaosConfig(
+            loss=None,  # i.i.d. loss comes from the model below
+            delay_range=(0.0, 0.002),
+            duplicate_prob=spec.duplicate_prob,
+            reorder_prob=spec.reorder_prob,
+            corrupt_prob=spec.corrupt_prob,
+        ),
+    )
+    from repro.faults.loss import IidLoss
+
+    proxy.config.loss = IidLoss(spec.loss_rate)
+    await proxy.start(
+        peer_a=consumer.face.local_addr, peer_b=face_user.local_addr
+    )
+    consumer.face.set_peer(proxy.addr_a)
+    face_user.set_peer(proxy.addr_b)
+    daemon.add_route(spec.prefix, face_origin.face_id)
+
+    retry = RetryPolicy(
+        retries=2, timeout=spec.fetch_timeout, backoff=2.0, jitter=0.1
+    )
+    fetch_rng = rng.stream("soak:retry-jitter")
+    junk_rng = rng.stream("soak:junk")
+
+    try:
+        # Phase 1: background traffic through the faulty proxy.
+        ok = failed = 0
+        for i in range(spec.background_fetches):
+            got = await consumer.fetch_or_none(
+                f"{spec.prefix}/soak-{i % 10}", retry=retry, rng=fetch_rng
+            )
+            ok += got is not None
+            failed += got is None
+        report.phases["background"] = {"ok": ok, "failed": failed}
+
+        # Phase 2: malformed-datagram flood at the unpinned face.
+        junk_transport, _ = await loop.create_datagram_endpoint(
+            _JunkSender, remote_addr=face_open.local_addr
+        )
+        for _ in range(spec.malformed_packets):
+            size = int(junk_rng.integers(1, 128))
+            junk_transport.sendto(junk_rng.integers(0, 256, size).astype("uint8").tobytes())
+        await asyncio.sleep(0.2)
+        junk_transport.close()
+        report.phases["malformed_flood"] = {
+            "sent": spec.malformed_packets,
+            "dropped": face_open.malformed_dropped,
+        }
+        if face_open.malformed_dropped == 0:
+            report.failures.append("malformed flood never hit the decode path")
+
+        # Phase 3: management-channel garbage.
+        reader, writer = await asyncio.open_connection(*supervisor.mgmt_addr)
+        errors = 0
+        for i in range(spec.mgmt_garbage_lines):
+            writer.write(b"bogus-cmd %d \xff\xfe junk\n" % i)
+            await writer.drain()
+            reply = await reader.readline()
+            errors += reply.startswith(b"error")
+        writer.write(b"health\n")
+        await writer.drain()
+        health_reply = await reader.readline()
+        writer.close()
+        await writer.wait_closed()
+        report.phases["mgmt_garbage"] = {
+            "sent": spec.mgmt_garbage_lines,
+            "rejected": errors,
+        }
+        if not health_reply.startswith(b"ok"):
+            report.failures.append("mgmt channel unhealthy after garbage")
+
+        # Phase 4: interest flood (distinct names, concurrent, tiny budget).
+        flood_policy = RetryPolicy(retries=0, timeout=spec.fetch_timeout, backoff=1.0)
+        flood = await asyncio.gather(
+            *(
+                consumer.fetch_or_none(
+                    f"{spec.prefix}/flood-{i}", retry=flood_policy
+                )
+                for i in range(spec.flood_interests)
+            )
+        )
+        served = sum(1 for r in flood if r is not None)
+        report.phases["interest_flood"] = {
+            "sent": spec.flood_interests,
+            "served": served,
+            "refused_or_lost": spec.flood_interests - served,
+        }
+
+        # Phase 5: producer crash, fetches fail, restart, fetches recover.
+        await producer.close()
+        await asyncio.sleep(0.05)
+        down = 0
+        for i in range(spec.crash_fetches):
+            got = await consumer.fetch_or_none(
+                f"{spec.prefix}/post-crash-{i}", retry=flood_policy
+            )
+            down += got is None
+        producer = AsyncProducer(engine, spec.prefix, producer_id="origin")
+        await producer.attach(
+            local=producer_port, peer=face_origin.local_addr, label="origin:soak2"
+        )
+        face_origin.set_peer(producer.face.local_addr)
+        recovered = 0
+        for i in range(spec.crash_fetches):
+            got = await consumer.fetch_or_none(
+                f"{spec.prefix}/post-restart-{i}", retry=retry, rng=fetch_rng
+            )
+            recovered += got is not None
+        report.phases["producer_crash"] = {
+            "failed_while_down": down,
+            "recovered_after_restart": recovered,
+        }
+        if recovered == 0:
+            report.failures.append("no fetch succeeded after producer restart")
+
+        # Quiesce, audit, and shut down gracefully.
+        await daemon.wait_pit_drained(timeout_ms=3000.0)
+        checker = InvariantChecker()
+        checker.check_forwarder(daemon.forwarder)
+        report.violations = [str(v) for v in checker.violations]
+        report.daemon_counters = dict(daemon.forwarder.monitor.counters)
+        report.face_stats = [f.stats() for f in daemon.faces.values()]
+        report.proxy_stats = proxy.stats()
+
+        if not daemon.forwarder.up:
+            report.failures.append("forwarder marked down")
+        for face in daemon.faces.values():
+            if not face.tasks_alive:
+                report.failures.append(f"face {face.label} tasks dead")
+            if face.handler_errors:
+                report.failures.append(
+                    f"face {face.label} handler_errors={face.handler_errors}"
+                )
+        if supervisor.restarts_total:
+            report.failures.append(
+                f"supervisor had to restart tasks {supervisor.restarts_total}x"
+            )
+    finally:
+        await supervisor.shutdown()
+        report.supervisor_stats = supervisor.stats()
+        await consumer.close()
+        await producer.close()
+        await proxy.close()
+    return report
+
+
+def run_soak(spec: Optional[SoakSpec] = None) -> SoakReport:
+    """Run the hostile-conditions soak; see :class:`SoakSpec`."""
+    return asyncio.run(_run_soak_async(spec if spec is not None else SoakSpec()))

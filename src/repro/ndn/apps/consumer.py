@@ -47,8 +47,11 @@ class Consumer:
         self.name = name
         self.monitor = monitor if monitor is not None else Monitor()
         self.face: Optional[Face] = None
-        # Pending fetches: interest name -> [(signal, send_time), ...].
-        self._pending: Dict[Name, List[Tuple[Signal, float]]] = {}
+        # Pending fetches: interest name -> [(signal, send_time, nonce), ...].
+        # The nonce identifies which transmission a Nack rejects, so a Nack
+        # for an attempt that already timed out locally cannot be delivered
+        # to the attempt that replaced it (duplicate-retry suppression).
+        self._pending: Dict[Name, List[Tuple[Signal, float, int]]] = {}
         self.rtts: List[float] = []
 
     # ------------------------------------------------------------------
@@ -82,7 +85,9 @@ class Consumer:
             name=target, scope=scope, private=private, lifetime=lifetime
         )
         signal = Signal(name=f"{self.name}:fetch:{target}")
-        self._pending.setdefault(target, []).append((signal, self.engine.now))
+        self._pending.setdefault(target, []).append(
+            (signal, self.engine.now, interest.nonce)
+        )
         self.monitor.count("interests_sent")
         self.face.send_interest(interest)
         return signal
@@ -163,7 +168,7 @@ class Consumer:
             if not pending_name.is_prefix_of(data.name):
                 continue
             waiters = self._pending[pending_name]
-            signal, send_time = waiters.pop(0)
+            signal, send_time, _nonce = waiters.pop(0)
             if not waiters:
                 del self._pending[pending_name]
             result = FetchResult(
@@ -183,18 +188,37 @@ class Consumer:
         self.monitor.count("unexpected_interest")
 
     def receive_nack(self, nack: Nack, face: Face) -> None:
-        """Deliver an upstream rejection to the oldest waiting fetch.
+        """Deliver an upstream rejection to the waiter it belongs to.
 
         The waiter's signal fires with the :class:`Nack` itself so
         :meth:`fetch` (and :meth:`express_interest` callers) can
         distinguish explicit congestion pushback from a silent timeout
         and back off accordingly.
+
+        Nacks carry the nonce of the interest they reject, so the Nack
+        is matched to that exact transmission.  If the attempt already
+        timed out locally (its pending entry was withdrawn and a
+        retransmission re-armed under the same name), the late Nack is
+        counted as stale and dropped — it must not abort the live
+        replacement attempt, which would trigger a duplicate retry.
+        PIT-preemption Nacks are synthesized without a nonce (nonce 0)
+        and fall back to the oldest waiter.
         """
         waiters = self._pending.get(nack.name)
         if not waiters:
             self.monitor.count("unsolicited_nack")
             return
-        signal, _send_time = waiters.pop(0)
+        if nack.nonce != 0:
+            index = next(
+                (i for i, entry in enumerate(waiters) if entry[2] == nack.nonce),
+                None,
+            )
+            if index is None:
+                self.monitor.count("stale_nacks")
+                return
+        else:
+            index = 0
+        signal, _send_time, _nonce = waiters.pop(index)
         if not waiters:
             del self._pending[nack.name]
         self.monitor.count("nacks_received")

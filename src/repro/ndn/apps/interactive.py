@@ -54,7 +54,12 @@ class InteractiveEndpoint:
         self.monitor = monitor if monitor is not None else Monitor()
         self.face: Optional[Face] = None
         self.repo: Dict[Name, Data] = {}
-        self._pending: Dict[Name, Tuple[Signal, float]] = {}
+        # Pending frame fetches: name -> (signal, send_time, nonce).  The
+        # nonce ties a Nack to the exact transmission it rejects so a Nack
+        # arriving after the local timeout already re-armed (same name,
+        # fresh nonce) is dropped as stale instead of aborting the live
+        # replacement attempt (duplicate-retry suppression).
+        self._pending: Dict[Name, Tuple[Signal, float, int]] = {}
         self.frame_stats: List[FrameStats] = []
 
     # ------------------------------------------------------------------
@@ -92,8 +97,9 @@ class InteractiveEndpoint:
             raise RuntimeError(f"{self.label} has no face attached")
         name = self.namer.incoming_name(sequence)
         signal = Signal(name=f"{self.label}:frame:{sequence}")
-        self._pending[name] = (signal, self.engine.now)
-        self.face.send_interest(Interest(name=name, private=True, lifetime=lifetime))
+        interest = Interest(name=name, private=True, lifetime=lifetime)
+        self._pending[name] = (signal, self.engine.now, interest.nonce)
+        self.face.send_interest(interest)
         self.monitor.count("frames_requested")
         return signal
 
@@ -173,17 +179,28 @@ class InteractiveEndpoint:
         if pending is None:
             self.monitor.count("unsolicited_data")
             return
-        signal, _send_time = pending
+        signal, _send_time, _nonce = pending
         self.monitor.count("frames_received")
         signal.trigger(data, time=self.engine.now)
 
     def receive_nack(self, nack: Nack, face: Face) -> None:
-        """Resolve a pending frame fetch with the upstream rejection."""
-        pending = self._pending.pop(nack.name, None)
+        """Resolve a pending frame fetch with the upstream rejection.
+
+        A Nack whose nonce does not match the pending transmission is a
+        leftover from an attempt that already timed out and was re-armed;
+        it is counted stale and the live entry is kept (suppressing the
+        duplicate retry a spurious abort would cause).  Nonce 0 marks a
+        synthesized PIT-preemption Nack, which matches any entry.
+        """
+        pending = self._pending.get(nack.name)
         if pending is None:
             self.monitor.count("unsolicited_nack")
             return
-        signal, _send_time = pending
+        signal, _send_time, nonce = pending
+        if nack.nonce != 0 and nack.nonce != nonce:
+            self.monitor.count("stale_nacks")
+            return
+        del self._pending[nack.name]
         self.monitor.count("nacks_received")
         signal.trigger(nack, time=self.engine.now)
 

@@ -88,6 +88,18 @@ class ContentStore:
         """Register a callback invoked with each evicted entry."""
         self._evict_listeners.append(callback)
 
+    def remove_evict_listener(self, callback: Callable[[CacheEntry], None]) -> None:
+        """Unregister a listener (no-op if it was never registered).
+
+        Used by the deployment daemon's live scheme swap: the outgoing
+        scheme's ``on_evict`` hook must stop observing the cache before
+        the replacement's hook is installed.
+        """
+        try:
+            self._evict_listeners.remove(callback)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.ndn.errors import PacketError
+from repro.ndn.errors import NameError_, PacketError
 from repro.ndn.name import Name
 from repro.ndn.packets import Data, Interest, Nack
 
@@ -82,6 +82,30 @@ def _nonneg_int_bytes(value: int) -> bytes:
     return value.to_bytes((value.bit_length() + 7) // 8, "big")
 
 
+#: Widest integer field accepted on the wire.  Nothing legitimate encodes
+#: more than 8 bytes (``_nonneg_int_bytes`` never emits more for any field
+#: we produce), and unbounded widths let a hostile datagram manufacture
+#: huge Python ints that overflow ``float()`` downstream.
+MAX_INT_FIELD_BYTES = 8
+
+
+def _decode_uint(value: bytes, what: str) -> int:
+    """Big-endian unsigned integer field, width-capped."""
+    if len(value) > MAX_INT_FIELD_BYTES:
+        raise PacketError(
+            f"{what} field is {len(value)} bytes wide (max {MAX_INT_FIELD_BYTES})"
+        )
+    return int.from_bytes(value, "big")
+
+
+def _decode_str(value: bytes, what: str) -> str:
+    """UTF-8 string field; malformed encodings are a packet error."""
+    try:
+        return value.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise PacketError(f"{what} field is not valid UTF-8: {exc}") from None
+
+
 def iter_tlvs(buffer: bytes) -> Iterator[Tuple[int, bytes]]:
     """Yield (type, value) pairs from a TLV sequence; raises on garbage."""
     offset = 0
@@ -109,13 +133,22 @@ def encode_name(name: Name) -> bytes:
 
 
 def decode_name(payload: bytes) -> Name:
-    """Decode the *payload* of a Name TLV."""
+    """Decode the *payload* of a Name TLV.
+
+    Every way the payload can be unusable — garbage framing, non-UTF-8
+    component bytes, components the :class:`Name` invariants reject
+    (empty, or containing ``/``) — surfaces as :class:`PacketError`, so
+    transports can count-and-drop on one exception type.
+    """
     components: List[str] = []
     for type_code, value in iter_tlvs(payload):
         if type_code != TLV_NAME_COMPONENT:
             raise PacketError(f"unexpected TLV {type_code:#x} inside Name")
-        components.append(value.decode("utf-8"))
-    return Name(components)
+        components.append(_decode_str(value, "name component"))
+    try:
+        return Name(components)
+    except NameError_ as exc:
+        raise PacketError(f"invalid name on the wire: {exc}") from None
 
 
 # ----------------------------------------------------------------------
@@ -147,15 +180,15 @@ def _decode_interest_body(body: bytes) -> Interest:
         if type_code == TLV_NAME:
             name = decode_name(value)
         elif type_code == TLV_NONCE:
-            nonce = int.from_bytes(value, "big")
+            nonce = _decode_uint(value, "nonce")
         elif type_code == TLV_INTEREST_LIFETIME:
-            lifetime = float(int.from_bytes(value, "big"))
+            lifetime = float(_decode_uint(value, "lifetime"))
         elif type_code == TLV_APP_SCOPE:
-            scope = int.from_bytes(value, "big")
+            scope = _decode_uint(value, "scope")
         elif type_code == TLV_APP_PRIVATE:
             private = bool(value and value[0])
         elif type_code == TLV_APP_HOPS:
-            hops = int.from_bytes(value, "big")
+            hops = _decode_uint(value, "hops")
         # Unknown fields are skipped (forward compatibility).
     if name is None or nonce is None:
         raise PacketError("Interest missing Name or Nonce")
@@ -193,13 +226,13 @@ def _decode_data_body(body: bytes) -> Data:
         if type_code == TLV_NAME:
             name = decode_name(value)
         elif type_code == TLV_APP_PRODUCER:
-            producer = value.decode("utf-8")
+            producer = _decode_str(value, "producer")
         elif type_code == TLV_APP_SIZE:
-            size = int.from_bytes(value, "big")
+            size = _decode_uint(value, "size")
         elif type_code == TLV_APP_PRIVATE:
             private = bool(value and value[0])
         elif type_code == TLV_FRESHNESS_PERIOD:
-            freshness = float(int.from_bytes(value, "big"))
+            freshness = float(_decode_uint(value, "freshness"))
         elif type_code == TLV_APP_EXACT_MATCH_ONLY:
             exact_match_only = bool(value and value[0])
     if name is None:
@@ -231,11 +264,11 @@ def _decode_nack_body(body: bytes) -> Nack:
         if type_code == TLV_NAME:
             name = decode_name(value)
         elif type_code == TLV_NONCE:
-            nonce = int.from_bytes(value, "big")
+            nonce = _decode_uint(value, "nonce")
         elif type_code == TLV_APP_NACK_REASON:
-            reason = value.decode("utf-8")
+            reason = _decode_str(value, "nack reason")
         elif type_code == TLV_APP_HOPS:
-            hops = int.from_bytes(value, "big")
+            hops = _decode_uint(value, "hops")
     if name is None or reason is None:
         raise PacketError("Nack missing Name or Reason")
     return Nack(name=name, nonce=nonce, reason=reason, hops=hops)

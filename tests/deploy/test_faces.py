@@ -1,0 +1,197 @@
+"""AsyncUdpFace: codec over real sockets, hardening counters, respawn."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.deploy.faces import AsyncUdpFace
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, Interest, Nack
+
+
+class Recorder:
+    """Packet handler that records everything it receives."""
+
+    def __init__(self):
+        self.interests = []
+        self.data = []
+        self.nacks = []
+
+    def receive_interest(self, interest, face):
+        self.interests.append(interest)
+
+    def receive_data(self, data, face):
+        self.data.append(data)
+
+    def receive_nack(self, nack, face):
+        self.nacks.append(nack)
+
+
+async def face_pair():
+    """Two faces pointed at each other over loopback UDP."""
+    a_owner, b_owner = Recorder(), Recorder()
+    a = await AsyncUdpFace.create(a_owner, label="a")
+    b = await AsyncUdpFace.create(b_owner, label="b", peer=a.local_addr)
+    a.set_peer(b.local_addr)
+    return a, b, a_owner, b_owner
+
+
+async def settle(predicate, timeout=2.0):
+    """Poll until ``predicate()`` or fail the test on timeout."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        assert asyncio.get_running_loop().time() < deadline, "condition never held"
+        await asyncio.sleep(0.005)
+
+
+def test_packets_roundtrip_over_loopback():
+    async def scenario():
+        a, b, a_owner, b_owner = await face_pair()
+        try:
+            interest = Interest(name=Name.parse("/x/y"), nonce=42, lifetime=500.0)
+            data = Data(name=Name.parse("/x/y"), producer="p", size=64)
+            nack = Nack(name=Name.parse("/x/y"), nonce=42, reason="congestion")
+            a.send_interest(interest)
+            a.send_data(data)
+            a.send_nack(nack)
+            await settle(lambda: len(b_owner.nacks) == 1)
+            assert b_owner.interests == [interest]
+            assert b_owner.data == [data]
+            assert b_owner.nacks == [nack]
+            assert b.interests_in == 1 and b.data_in == 1 and b.nacks_in == 1
+            assert a.bytes_out > 0 and b.bytes_in == a.bytes_out
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_malformed_datagrams_counted_and_dropped():
+    async def scenario():
+        a, b, _, b_owner = await face_pair()
+        try:
+            for junk in (b"", b"\xff" * 40, b"\x05\x02x", b"not-a-packet"):
+                a.transport.sendto(junk, b.local_addr)
+            a.send_interest(Interest(name=Name.parse("/ok")))
+            await settle(lambda: len(b_owner.interests) == 1)
+            # Empty datagrams may be elided by the stack; everything else
+            # must land in malformed_dropped, and the face must stay up.
+            assert b.malformed_dropped >= 3
+            assert b.tasks_alive
+            assert b.handler_errors == 0
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_foreign_sender_dropped_when_peer_locked():
+    async def scenario():
+        a, b, _, b_owner = await face_pair()
+        stranger = await AsyncUdpFace.create(Recorder(), label="stranger")
+        stranger.set_peer(b.local_addr)
+        try:
+            stranger.send_interest(Interest(name=Name.parse("/evil")))
+            a.send_interest(Interest(name=Name.parse("/ok")))
+            await settle(lambda: len(b_owner.interests) == 1)
+            assert b_owner.interests[0].name == Name.parse("/ok")
+            assert b.foreign_dropped == 1
+        finally:
+            await a.close()
+            await b.close()
+            await stranger.close()
+
+    asyncio.run(scenario())
+
+
+def test_peer_learned_from_first_packet():
+    async def scenario():
+        listener_owner = Recorder()
+        listener = await AsyncUdpFace.create(listener_owner, label="listen")
+        caller_owner = Recorder()
+        caller = await AsyncUdpFace.create(
+            caller_owner, label="call", peer=listener.local_addr
+        )
+        try:
+            caller.send_interest(Interest(name=Name.parse("/hello")))
+            await settle(lambda: len(listener_owner.interests) == 1)
+            assert listener.peer_addr == caller.local_addr
+            # And the learned peer makes replies routable.
+            listener.send_data(Data(name=Name.parse("/hello")))
+            await settle(lambda: len(caller_owner.data) == 1)
+        finally:
+            await listener.close()
+            await caller.close()
+
+    asyncio.run(scenario())
+
+
+def test_handler_exception_is_isolated():
+    async def scenario():
+        class Exploder(Recorder):
+            def receive_interest(self, interest, face):
+                raise RuntimeError("boom")
+
+        owner = Exploder()
+        target = await AsyncUdpFace.create(owner, label="t")
+        src = await AsyncUdpFace.create(Recorder(), label="s", peer=target.local_addr)
+        target.set_peer(src.local_addr)
+        try:
+            src.send_interest(Interest(name=Name.parse("/a")))
+            src.send_data(Data(name=Name.parse("/b")))
+            await settle(lambda: len(owner.data) == 1)
+            assert target.handler_errors == 1
+            assert target.tasks_alive  # poison packet did not kill dispatch
+        finally:
+            await target.close()
+            await src.close()
+
+    asyncio.run(scenario())
+
+
+def test_respawn_dead_tasks_restores_service():
+    async def scenario():
+        a, b, _, b_owner = await face_pair()
+        try:
+            # Simulate a crashed dispatch task: replace it with one that
+            # died on an exception (cancelled tasks are deliberate stops
+            # and are never respawned).
+            async def crash():
+                raise RuntimeError("simulated task crash")
+
+            loop = asyncio.get_running_loop()
+            b._tasks[0].cancel()
+            b._tasks[0] = loop.create_task(crash())
+            await asyncio.sleep(0.02)
+            assert not b.tasks_alive
+            assert b.respawn_dead_tasks() == 1
+            assert b.tasks_alive
+            a.send_interest(Interest(name=Name.parse("/after")))
+            await settle(lambda: len(b_owner.interests) == 1)
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_interest_gate_refuses_before_dispatch():
+    async def scenario():
+        a, b, _, b_owner = await face_pair()
+        refused = []
+        b.interest_gate = lambda interest, face: (
+            refused.append(interest) or False
+        )
+        try:
+            a.send_interest(Interest(name=Name.parse("/gated")))
+            await settle(lambda: len(refused) == 1)
+            await asyncio.sleep(0.02)
+            assert b_owner.interests == []
+            assert b.interests_in == 1  # counted, then gated
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())

@@ -1,11 +1,14 @@
-"""Property-based round-trip tests for the TLV wire codec."""
+"""Property-based round-trip and fuzz tests for the TLV wire codec."""
 
 from __future__ import annotations
 
+import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.ndn.errors import PacketError
 from repro.ndn.name import Name
-from repro.ndn.packets import Data, Interest
+from repro.ndn.packets import Data, Interest, Nack
 from repro.ndn.wire import decode_packet, encode_packet
 
 component = st.text(
@@ -62,3 +65,91 @@ def test_wire_size_monotone_in_name_length(name):
     short = Interest(name=name, nonce=1)
     longer = Interest(name=name.append("xx"), nonce=1)
     assert len(encode_packet(longer)) > len(encode_packet(short))
+
+
+# ----------------------------------------------------------------------
+# Fuzz hardening: hostile buffers must only ever raise PacketError.
+#
+# Faces drop anything raising PacketError and count it malformed; any
+# other exception type would escape the `except PacketError` guard and
+# kill the face's receive task.  So the contract under test is: for
+# arbitrary bytes, decode_packet either returns a packet or raises
+# exactly PacketError — never IndexError, ValueError, OverflowError,
+# UnicodeDecodeError, or anything else.
+# ----------------------------------------------------------------------
+def _decode_must_be_clean(buffer: bytes) -> None:
+    try:
+        packet = decode_packet(buffer)
+    except PacketError:
+        return
+    assert isinstance(packet, (Interest, Data, Nack))
+
+
+@given(st.binary(min_size=0, max_size=400))
+@settings(max_examples=500, deadline=None)
+def test_arbitrary_bytes_never_leak_exceptions(buffer):
+    _decode_must_be_clean(buffer)
+
+
+@given(st.one_of(interests, datas), st.data())
+@settings(max_examples=300, deadline=None)
+def test_truncated_valid_packets_never_leak_exceptions(packet, data):
+    wire = encode_packet(packet)
+    cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+    _decode_must_be_clean(wire[:cut])
+
+
+@given(st.one_of(interests, datas), st.data())
+@settings(max_examples=300, deadline=None)
+def test_mutated_valid_packets_never_leak_exceptions(packet, data):
+    wire = bytearray(encode_packet(packet))
+    flips = data.draw(st.integers(min_value=1, max_value=8))
+    for _ in range(flips):
+        index = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        wire[index] ^= data.draw(st.integers(min_value=1, max_value=255))
+    _decode_must_be_clean(bytes(wire))
+
+
+def test_seeded_random_buffer_sweep_never_leaks_exceptions():
+    """Belt-and-braces pure-random sweep, independent of hypothesis."""
+    rng = np.random.default_rng(20260808)
+    for _ in range(2000):
+        size = int(rng.integers(0, 300))
+        _decode_must_be_clean(rng.bytes(size))
+
+
+def test_seeded_mutation_sweep_never_leaks_exceptions():
+    """Mutate real encodings byte-by-byte: every single-byte flip is safe."""
+    rng = np.random.default_rng(42)
+    packets = [
+        Interest(name=Name(["a", "b"]), nonce=7, scope=2, lifetime=1000.0),
+        Data(name=Name(["a", "b", "c"]), producer="p", size=512, freshness=50.0),
+        Nack(name=Name(["x"]), nonce=9, reason="congestion"),
+    ]
+    for packet in packets:
+        wire = encode_packet(packet)
+        for index in range(len(wire)):
+            for _ in range(4):
+                mutated = bytearray(wire)
+                mutated[index] ^= int(rng.integers(1, 256))
+                _decode_must_be_clean(bytes(mutated))
+
+
+@pytest.mark.parametrize(
+    "buffer",
+    [
+        b"",
+        b"\x05",                     # bare interest type, no length
+        b"\x05\xff",                 # 8-byte length prefix, truncated
+        b"\x05\x04\x07\x02\x08\xff", # name component length past end
+        # Interest whose nonce field claims 9 bytes (would overflow float()
+        # paths if width were uncapped).
+        b"\x05\x0f\x07\x03\x08\x01a\x0a\x09" + b"\xff" * 9,
+        # Data with a producer field that is invalid UTF-8.
+        b"\x06\x0a\x07\x03\x08\x01a\x83\x02\xff\xfe",
+        # Name component with an embedded '/' (NameError_ territory).
+        b"\x05\x08\x07\x04\x08\x02a/\x0a\x01\x01",
+    ],
+)
+def test_known_hostile_buffers_raise_packet_error_only(buffer):
+    _decode_must_be_clean(buffer)
