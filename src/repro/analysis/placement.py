@@ -1,0 +1,298 @@
+"""Privacy-vs-placement frontier: caching strategy × scheme × topology.
+
+The paper's countermeasures (Section V) trade adversary accuracy against
+cache utility at ONE shared router.  On multi-hop graphs a second,
+orthogonal axis appears: *where* copies are placed by the on-path
+cache-admission strategy (:mod:`repro.ndn.strategy`).  A strategy that
+keeps content off the probe router (LCD before the copy migrates,
+ProbCache far from the producer) suppresses the timing oracle much like
+a privacy scheme does — but it also moves the utility cost elsewhere in
+the network instead of burning it in delays.
+
+:func:`run_placement_sweep` quantifies that frontier.  For every
+(topology, scheme, strategy) point it runs the *actual* adversary
+procedure (:class:`~repro.attacks.timing.CacheProbeAttack` with ground
+truth, as in :func:`~repro.attacks.timing.attack_accuracy`) over fresh
+seeded topologies and reads the router counters afterwards:
+
+* ``probe_accuracy`` — fraction of the adversary's hit/miss verdicts
+  that match ground truth (0.5 ≈ coin flip, the privacy goal),
+* ``probe_hit_rate`` — observable hit fraction at the probe router,
+  ``(cs_hit + cs_disguised_hit) / interest_in``,
+* ``network_hit_rate`` — the same ratio summed over every router,
+* ``utility`` — the paper's u(c) at the probe router: undisguised hits
+  over all cache-resident requests,
+  ``cs_hit / (cs_hit + cs_disguised_hit + cs_forced_miss)``,
+* ``cache_declined`` — admissions refused by the strategy network-wide
+  (0 for LCE, by construction).
+
+Use ``repro-experiments strategy`` to run the sweep from a shell; it
+writes the frontier as a JSON artifact plus a ``BENCH_strategy.json``
+timing record (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.attacks.timing import CacheProbeAttack
+from repro.ndn.name import name_of
+from repro.ndn.strategy import STRATEGIES
+from repro.ndn.topology import (
+    AttackTopology,
+    fat_tree,
+    geant_backbone,
+    local_lan,
+    rocketfuel_isp,
+)
+from repro.perf.parallel import build_scheme
+from repro.perf.timing import BenchReporter
+from repro.sim.process import Timeout
+
+#: Topologies the sweep runs on by default: the paper's LAN panel (the
+#: single-router baseline, where placement cannot matter) plus the
+#: multi-hop scale graphs (where it does).
+SWEEP_TOPOLOGIES: Dict[str, Callable[..., AttackTopology]] = {
+    "fig3a_lan": local_lan,
+    "fat_tree": fat_tree,
+    "rocketfuel": rocketfuel_isp,
+    "geant": geant_backbone,
+}
+
+#: Scheme grid: the no-privacy baseline plus the two tunable schemes.
+SWEEP_SCHEMES = ("no-privacy", "uniform", "exponential")
+
+#: Strategy grid: every registered kind, in registry order.
+SWEEP_STRATEGIES = tuple(STRATEGIES)
+
+
+@dataclass(frozen=True)
+class PlacementPoint:
+    """One (topology, scheme, strategy) cell of the frontier."""
+
+    topology: str
+    scheme: str
+    strategy: str
+    probe_accuracy: float
+    probe_hit_rate: float
+    network_hit_rate: float
+    utility: float
+    cache_declined: int
+    verdicts: int
+
+
+@dataclass
+class PlacementFrontier:
+    """The full sweep result plus the configuration that produced it."""
+
+    points: List[PlacementPoint] = field(default_factory=list)
+    trials: int = 0
+    targets_per_trial: int = 0
+    cache_capacity: Optional[int] = None
+    seed: int = 0
+
+    def best_privacy(self) -> PlacementPoint:
+        """The point whose adversary is closest to coin-flipping."""
+        return min(self.points, key=lambda p: abs(p.probe_accuracy - 0.5))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable frontier (the artifact format)."""
+        return {
+            "experiment": "strategy_placement_frontier",
+            "trials": self.trials,
+            "targets_per_trial": self.targets_per_trial,
+            "cache_capacity": self.cache_capacity,
+            "seed": self.seed,
+            "points": [asdict(p) for p in self.points],
+        }
+
+    def render(self) -> str:
+        """Fixed-width table, one row per sweep point."""
+        header = (
+            f"{'topology':<12} {'scheme':<12} {'strategy':<10} "
+            f"{'accuracy':>8} {'hit@R':>7} {'hit@net':>7} "
+            f"{'u(c)':>6} {'declined':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for p in self.points:
+            lines.append(
+                f"{p.topology:<12} {p.scheme:<12} {p.strategy:<10} "
+                f"{p.probe_accuracy:>8.3f} {p.probe_hit_rate:>7.3f} "
+                f"{p.network_hit_rate:>7.3f} {p.utility:>6.3f} "
+                f"{p.cache_declined:>8d}"
+            )
+        return "\n".join(lines)
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def run_placement_point(
+    topology: str,
+    scheme: str,
+    strategy: str,
+    trials: int = 3,
+    targets_per_trial: int = 20,
+    cache_capacity: Optional[int] = 32,
+    base_seed: int = 1000,
+) -> PlacementPoint:
+    """One frontier cell: adversary accuracy + utility under ground truth.
+
+    Per trial a fresh topology is built (empty caches, new RNG streams,
+    a fresh scheme instance at the probe router — scheme objects are
+    RNG-stateful and must never be reused across trials).  The user
+    prefetches half the target set, the adversary runs the full probe
+    procedure, and the verdicts are scored against ground truth; router
+    counters accumulate over trials before the rates are formed.
+    """
+    builder = SWEEP_TOPOLOGIES[topology]
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+        )
+    if targets_per_trial < 2:
+        raise ValueError(
+            f"targets_per_trial must be >= 2, got {targets_per_trial}"
+        )
+    correct = total = 0
+    probe_ctr = {"interest_in": 0, "cs_hit": 0, "cs_disguised_hit": 0,
+                 "cs_forced_miss": 0}
+    net_ctr = {"interest_in": 0, "cs_hit": 0, "cs_disguised_hit": 0}
+    declined = 0
+    for trial in range(trials):
+        seed = base_seed + trial
+        topo = builder(
+            seed=seed,
+            scheme=build_scheme(scheme, seed=seed * 31 + 1),
+            cache_capacity=cache_capacity,
+            caching=strategy,
+        )
+        prefix = str(topo.content_prefix)
+        half = targets_per_trial // 2
+        # The victim's content carries the reserved ``/private/`` component
+        # (producer-driven marking): consumer-only marking is demoted by
+        # the adversary's own unmarked probe under the trigger rule, which
+        # would measure every scheme as no-privacy.
+        hot = [f"{prefix}/private/p{trial}-hot-{i}" for i in range(half)]
+        cold = [f"{prefix}/private/p{trial}-cold-{i}" for i in range(half)]
+        attack = CacheProbeAttack(topo)
+
+        def user_proc():
+            # The victim marks their requests private — the paper's trigger
+            # rule: only marked content is disguised by the scheme, so an
+            # unmarked prefetch would measure every scheme as no-privacy.
+            for name in hot:
+                result = yield from topo.user.fetch(name, private=True)
+                if result is None:
+                    raise RuntimeError(f"user prefetch of {name} failed")
+                yield Timeout(2.0)
+
+        def adversary_proc():
+            yield Timeout(1000.0 + targets_per_trial * 10.0)
+            yield from attack.run(
+                targets=hot + cold, reference=f"{prefix}/p{trial}-ref"
+            )
+
+        topo.engine.spawn(user_proc(), label=f"user-{trial}")
+        topo.engine.spawn(adversary_proc(), label=f"adv-{trial}")
+        topo.engine.run()
+
+        hot_set = {name_of(n) for n in hot}
+        for verdict in attack.verdicts:
+            correct += int(verdict.decided_hit == (verdict.target in hot_set))
+            total += 1
+        probe = topo.router.monitor
+        for key in probe_ctr:
+            probe_ctr[key] += probe.counter(key)
+        for router in topo.network.routers.values():
+            for key in net_ctr:
+                net_ctr[key] += router.monitor.counter(key)
+            declined += router.monitor.counter("cache_declined")
+    if total == 0:
+        raise RuntimeError(
+            f"{topology}/{scheme}/{strategy}: attack produced no verdicts"
+        )
+    resident = (
+        probe_ctr["cs_hit"]
+        + probe_ctr["cs_disguised_hit"]
+        + probe_ctr["cs_forced_miss"]
+    )
+    return PlacementPoint(
+        topology=topology,
+        scheme=scheme,
+        strategy=strategy,
+        probe_accuracy=correct / total,
+        probe_hit_rate=_ratio(
+            probe_ctr["cs_hit"] + probe_ctr["cs_disguised_hit"],
+            probe_ctr["interest_in"],
+        ),
+        network_hit_rate=_ratio(
+            net_ctr["cs_hit"] + net_ctr["cs_disguised_hit"],
+            net_ctr["interest_in"],
+        ),
+        utility=_ratio(probe_ctr["cs_hit"], resident),
+        cache_declined=declined,
+        verdicts=total,
+    )
+
+
+def run_placement_sweep(
+    topologies: Sequence[str] = ("fig3a_lan", "fat_tree"),
+    schemes: Sequence[str] = SWEEP_SCHEMES,
+    strategies: Sequence[str] = SWEEP_STRATEGIES,
+    trials: int = 2,
+    targets_per_trial: int = 20,
+    cache_capacity: Optional[int] = 32,
+    seed: int = 0,
+    reporter: Optional[BenchReporter] = None,
+) -> PlacementFrontier:
+    """The full strategy × scheme × topology sweep.
+
+    Pass a :class:`~repro.perf.timing.BenchReporter` to also collect one
+    timing record per point (the caller owns ``reporter.write()``).
+    """
+    unknown = [t for t in topologies if t not in SWEEP_TOPOLOGIES]
+    if unknown:
+        raise ValueError(
+            f"unknown topologies {unknown!r}; "
+            f"choose from {sorted(SWEEP_TOPOLOGIES)}"
+        )
+    frontier = PlacementFrontier(
+        trials=trials,
+        targets_per_trial=targets_per_trial,
+        cache_capacity=cache_capacity,
+        seed=seed,
+    )
+    for topology in topologies:
+        for scheme in schemes:
+            for strategy in strategies:
+                label = f"{topology}/{scheme}/{strategy}"
+                kwargs = dict(
+                    trials=trials,
+                    targets_per_trial=targets_per_trial,
+                    cache_capacity=cache_capacity,
+                    base_seed=1000 + seed,
+                )
+                if reporter is not None:
+                    point, record = reporter.time(
+                        label,
+                        run_placement_point,
+                        topology,
+                        scheme,
+                        strategy,
+                        **kwargs,
+                    )
+                    record.meta.update(
+                        probe_accuracy=point.probe_accuracy,
+                        probe_hit_rate=point.probe_hit_rate,
+                        utility=point.utility,
+                        cache_declined=point.cache_declined,
+                    )
+                else:
+                    point = run_placement_point(
+                        topology, scheme, strategy, **kwargs
+                    )
+                frontier.points.append(point)
+    return frontier

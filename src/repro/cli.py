@@ -11,6 +11,7 @@ Usage (installed as ``repro-experiments``, or ``python -m repro.cli``):
     repro-experiments amplification --p 0.59 --fragments 8
     repro-experiments trace --requests 50000 --out trace.tsv
     repro-experiments validate --requests 2000
+    repro-experiments strategy --topologies fig3a_lan fat_tree
 
 Each command prints the same rows/series the corresponding paper figure
 plots; ``trace`` writes a synthetic IRCache-style trace in the TSV format
@@ -120,6 +121,33 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--skip-topology-differential", action="store_true",
                           help="skip the reference-engine-vs-batch-kernel "
                                "topology cross-check")
+
+    strategy = sub.add_parser(
+        "strategy",
+        help="privacy-vs-placement frontier: caching strategy x scheme x "
+             "topology sweep",
+    )
+    strategy.add_argument("--topologies", nargs="+",
+                          default=["fig3a_lan", "fat_tree"],
+                          help="topology names (see "
+                               "repro.analysis.placement.SWEEP_TOPOLOGIES)")
+    strategy.add_argument("--schemes", nargs="+", default=None,
+                          help="privacy schemes (default: no-privacy, "
+                               "uniform, exponential)")
+    strategy.add_argument("--strategies", nargs="+", default=None,
+                          help="caching strategies (default: every "
+                               "registered kind)")
+    strategy.add_argument("--trials", type=int, default=2,
+                          help="fresh topologies per sweep point")
+    strategy.add_argument("--targets", type=int, default=20,
+                          help="probe targets per trial (half hot, half cold)")
+    strategy.add_argument("--cache-capacity", type=int, default=32,
+                          help="per-router CS capacity (0 = unlimited)")
+    strategy.add_argument("--seed", type=int, default=0)
+    strategy.add_argument("--out", default="strategy_frontier.json",
+                          help="frontier JSON artifact path")
+    strategy.add_argument("--no-bench", action="store_true",
+                          help="skip writing the BENCH_strategy.json record")
 
     profile = sub.add_parser(
         "profile",
@@ -305,6 +333,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate":
         return _run_validate(args)
 
+    if args.command == "strategy":
+        return _run_strategy(args)
+
     if args.command == "deploy":
         return _run_deploy(args)
 
@@ -385,6 +416,63 @@ def _run_validate(args) -> int:
 
     print("validation", "FAILED" if failed else "passed")
     return 1 if failed else 0
+
+
+def _run_strategy(args) -> int:
+    """Privacy-vs-placement frontier sweep; writes artifact + bench record."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.placement import (
+        SWEEP_SCHEMES,
+        SWEEP_STRATEGIES,
+        run_placement_sweep,
+    )
+    from repro.perf.timing import BenchReporter
+
+    capacity = args.cache_capacity if args.cache_capacity > 0 else None
+    schemes = args.schemes if args.schemes else SWEEP_SCHEMES
+    strategies = args.strategies if args.strategies else SWEEP_STRATEGIES
+    reporter = None
+    if not args.no_bench:
+        reporter = BenchReporter(
+            "strategy",
+            scale={
+                "topologies": list(args.topologies),
+                "schemes": list(schemes),
+                "strategies": list(strategies),
+                "trials": args.trials,
+                "targets_per_trial": args.targets,
+                "cache_capacity": capacity,
+                "seed": args.seed,
+            },
+        )
+    frontier = run_placement_sweep(
+        topologies=args.topologies,
+        schemes=schemes,
+        strategies=strategies,
+        trials=args.trials,
+        targets_per_trial=args.targets,
+        cache_capacity=capacity,
+        seed=args.seed,
+        reporter=reporter,
+    )
+    print(frontier.render())
+    best = frontier.best_privacy()
+    print(
+        f"\nbest privacy point: {best.topology}/{best.scheme}/{best.strategy} "
+        f"(accuracy {best.probe_accuracy:.3f}, u(c) {best.utility:.3f})"
+    )
+    out = Path(args.out)
+    out.write_text(
+        json.dumps(frontier.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote frontier artifact to {out}")
+    if reporter is not None:
+        bench_path = reporter.write()
+        print(f"wrote bench record to {bench_path}")
+    return 0
 
 
 def _run_deploy(args) -> int:

@@ -118,6 +118,11 @@ class ContentStore:
         """
         name = data.name
         if name in self._entries:
+            # Refresh in place: no ledger movement (insertions stays
+            # put), matching a removal-free refresh.  Together with the
+            # fact that a caching strategy's declined admission never
+            # reaches insert() at all, the ledger stays balanced under
+            # any (strategy, policy) combination.
             entry = self._entries[name]
             entry.data = data
             entry.last_access = now
@@ -267,6 +272,12 @@ class ContentStore:
 
     def __iter__(self) -> Iterator[CacheEntry]:
         return iter(self._entries.values())
+
+    @property
+    def ledger_balanced(self) -> bool:
+        """Law D of the invariant checker: every insertion is still
+        cached or accounted for in :attr:`removed`."""
+        return self.insertions == self.removed + len(self._entries)
 
     @property
     def names(self) -> List[Name]:

@@ -47,7 +47,7 @@ and the PIT ledger
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.schemes.base import CacheScheme, DecisionKind
 from repro.core.schemes.marking import MarkingPolicy
@@ -65,6 +65,7 @@ from repro.ndn.packets import (
     Nack,
 )
 from repro.ndn.pit import Pit, PitEntry
+from repro.ndn.strategy import CachingStrategy
 from repro.sim.engine import Engine
 from repro.sim.monitor import Monitor
 from repro.sim.profiling import state as _prof
@@ -88,11 +89,19 @@ class Forwarder:
         pit: Optional[Pit] = None,
         rate_limit: Optional[InterestRateLimit] = None,
         nack_on_no_route: bool = False,
+        caching: Optional[CachingStrategy] = None,
     ) -> None:
         """``strategy`` selects among FIB next hops: ``best-route``
         forwards to the single cheapest face; ``multicast`` forwards to
         every registered next hop (duplicate data returning on the losing
         paths is dropped as unsolicited).
+
+        ``caching`` installs an on-path cache-admission strategy
+        (:mod:`repro.ndn.strategy`); ``None`` keeps the paper's implicit
+        cache-everywhere (LCE) behavior with zero per-packet overhead.
+        Hop-counting strategies additionally need
+        :attr:`count_origin_hops` flipped on (the
+        :class:`~repro.ndn.network.Network` does this network-wide).
 
         ``pit`` installs a custom (typically capacity-bounded) pending
         interest table; ``rate_limit`` arms per-face interest admission
@@ -121,6 +130,17 @@ class Forwarder:
             FaceRateLimiter(rate_limit) if rate_limit is not None else None
         )
         self.nack_on_no_route = nack_on_no_route
+        self.caching = caching
+        # Hot-path shortcut: None when admission can never decline (no
+        # strategy, or a trivial one like LCE), so the default data path
+        # pays nothing for the strategy axis.
+        self._admit = (
+            caching.admit if caching is not None and not caching.trivial else None
+        )
+        #: Maintain ``Data.origin_hops`` on forwarded/served data.  Off by
+        #: default (the seed data path); the Network flips it on every
+        #: router once any installed strategy needs hop counts.
+        self.count_origin_hops = False
         self.faces: List[Face] = []
         #: False while crashed: every arriving packet is dropped.
         self.up = True
@@ -165,14 +185,19 @@ class Forwarder:
         if entry is not None:
             marking = self.marking.on_request(entry, interest)
             decision = self.scheme.on_request(entry, marking.private, self.engine.now)
+            # A cache hit makes this node the serving node: with hop
+            # counting on, the copy leaves with origin_hops reset to 0.
+            served = (
+                entry.data.at_origin() if self.count_origin_hops else entry.data
+            )
             if decision.kind is DecisionKind.HIT:
                 self.monitor.count("cs_hit")
-                self._send_data_on(face, entry.data, self.processing_delay)
+                self._send_data_on(face, served, self.processing_delay)
                 return
             if decision.kind is DecisionKind.DELAYED_HIT:
                 self.monitor.count("cs_disguised_hit")
                 self._send_data_on(
-                    face, entry.data, self.processing_delay + decision.delay
+                    face, served, self.processing_delay + decision.delay
                 )
                 return
             self.monitor.count("cs_forced_miss")
@@ -304,17 +329,36 @@ class Forwarder:
         if pit_entry.timer is not None and pit_entry.timer.pending:
             pit_entry.timer.cancel()
         fetch_delay = self.engine.now - pit_entry.first_arrival
-        self._maybe_cache(data, fetch_delay, requested_private=pit_entry.all_private)
+        self._maybe_cache(
+            data,
+            fetch_delay,
+            requested_private=pit_entry.all_private,
+            downstreams=pit_entry.faces,
+        )
+        out = data.hop() if self.count_origin_hops else data
         for downstream in pit_entry.faces:
-            self._send_data_on(downstream, data, self.processing_delay)
+            self._send_data_on(downstream, out, self.processing_delay)
 
     def _maybe_cache(
-        self, data: Data, fetch_delay: float, requested_private: bool
+        self,
+        data: Data,
+        fetch_delay: float,
+        requested_private: bool,
+        downstreams: Sequence[Face] = (),
     ) -> None:
         if self.cache_filter is not None and not self.cache_filter(data):
             self.monitor.count("cache_skipped")
             return
         is_new = data.name not in self.cs
+        if (
+            is_new
+            and self._admit is not None
+            and not self._admit(data.name, data.origin_hops, self, downstreams)
+        ):
+            # The caching strategy declined this hop: no insert, no
+            # ledger movement (law D stays balanced by construction).
+            self.monitor.count("cache_declined")
+            return
         private = self.marking.privacy_at_insert(data, requested_private)
         entry = self.cs.insert(
             data, self.engine.now, fetch_delay=fetch_delay, private=private
@@ -403,6 +447,8 @@ class Forwarder:
         """Empty the CS and reset scheme state (between attack trials)."""
         self.cs.clear()
         self.scheme.reset()
+        if self.caching is not None:
+            self.caching.reset()
 
     # ------------------------------------------------------------------
     # Fault injection (see repro.faults)

@@ -23,6 +23,7 @@ from repro.ndn.pit import Pit
 from repro.ndn.link import DelayModel, Face, Link
 from repro.ndn.name import Name, name_of
 from repro.ndn.replacement import make_policy
+from repro.ndn.strategy import CachingStrategy, strategy_of
 from repro.sim.engine import Engine
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RngRegistry
@@ -46,6 +47,10 @@ class Network:
         # (a, b) -> (face at a, face at b); stored both directions.
         self._faces: Dict[Tuple[str, str], Tuple[Face, Face]] = {}
         self.links: Dict[str, Link] = {}
+        # True once any router's caching strategy reads Data.origin_hops;
+        # hop counting is then enabled on *every* router (present and
+        # future) so the field is consistent along whole paths.
+        self._count_origin_hops = False
 
     # ------------------------------------------------------------------
     # Entity creation
@@ -69,8 +74,20 @@ class Network:
         pit_overflow: str = "drop-new",
         rate_limit: Optional[InterestRateLimit] = None,
         nack_on_no_route: bool = False,
+        caching: Union[str, CachingStrategy, None] = None,
     ) -> Forwarder:
         """Create a caching NDN router.
+
+        ``caching`` selects the on-path cache-admission strategy
+        (:mod:`repro.ndn.strategy`): a registered kind string (``"lce"``,
+        ``"lcd"``, ``"probcache"``, ``"edge"``, ``"cl4m"``,
+        ``"bernoulli"``) builds a per-router instance whose RNG stream is
+        ``caching:{name}`` (worker-count-independent, like the policy and
+        link streams), or pass a prebuilt
+        :class:`~repro.ndn.strategy.CachingStrategy`.  ``None`` keeps the
+        paper's cache-everywhere baseline.  Installing a hop-counting
+        strategy (LCD, ProbCache) turns ``Data.origin_hops`` maintenance
+        on network-wide.
 
         ``pit_capacity``/``pit_overflow`` bound the pending-interest table
         (``None`` keeps the paper's unbounded table); ``rate_limit`` arms
@@ -78,6 +95,12 @@ class Network:
         :class:`~repro.ndn.forwarder.Forwarder` for the Nack semantics of
         each rejection path.
         """
+        if isinstance(caching, str):
+            caching = strategy_of(
+                caching, rng=self.rng.stream(f"caching:{name}")
+            )
+        else:
+            caching = strategy_of(caching)
         cs = ContentStore(
             capacity=capacity,
             policy=make_policy(policy, self.rng.stream(f"policy:{name}")),
@@ -93,8 +116,14 @@ class Network:
             pit=Pit(capacity=pit_capacity, overflow=pit_overflow),
             rate_limit=rate_limit,
             nack_on_no_route=nack_on_no_route,
+            caching=caching,
         )
         self._register(name, router)
+        if caching is not None and caching.needs_origin_hops:
+            self._count_origin_hops = True
+        if self._count_origin_hops:
+            for node in self.routers.values():
+                node.count_origin_hops = True
         return router
 
     def add_consumer(self, name: str) -> Consumer:

@@ -113,6 +113,12 @@ class Data:
             footnote 5 of the paper: content whose name ends in an
             unpredictable ``rand`` component must only satisfy interests that
             explicitly express that component.
+        origin_hops: NDN hops traversed since the node that *served* this
+            copy (producer or cache hit), 0 at the serving node.  Maintained
+            by forwarders only when a hop-counting caching strategy (LCD,
+            ProbCache — see :mod:`repro.ndn.strategy`) is installed; stays 0
+            otherwise, and is then omitted from the wire encoding so
+            strategy-less deployments are byte-identical to older builds.
     """
 
     name: Name
@@ -121,6 +127,7 @@ class Data:
     size: int = 1024
     freshness: Optional[float] = None
     exact_match_only: bool = False
+    origin_hops: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 0:
@@ -129,6 +136,21 @@ class Data:
             raise PacketError(
                 f"content freshness must be > 0, got {self.freshness}"
             )
+        if self.origin_hops < 0:
+            raise PacketError(
+                f"content origin_hops must be >= 0, got {self.origin_hops}"
+            )
+
+    def hop(self) -> "Data":
+        """Return a copy with the origin hop count incremented."""
+        return replace(self, origin_hops=self.origin_hops + 1)
+
+    def at_origin(self) -> "Data":
+        """Return this object with ``origin_hops`` reset to 0 (the form a
+        serving node emits); returns ``self`` when already at 0."""
+        if self.origin_hops == 0:
+            return self
+        return replace(self, origin_hops=0)
 
     @property
     def effectively_private(self) -> bool:

@@ -1,0 +1,259 @@
+"""On-path caching strategies: *where* content is cached along the path.
+
+The paper evaluates its privacy schemes under a single implicit placement
+policy — cache everywhere (LCE).  Real NDN deployments use on-path
+placement strategies that change exactly which router holds a copy, and
+therefore exactly what an adversary's cache probes can observe.  This
+module makes placement a first-class axis, orthogonal to both the privacy
+schemes (:mod:`repro.core.schemes`) and the replacement policies
+(:mod:`repro.ndn.replacement`):
+
+* **scheme** — given that content *is* cached here, how is a request for
+  it answered (hit / delayed hit / forced miss)?
+* **replacement** — given that the cache is full, which entry leaves?
+* **strategy** (this module) — given that content just arrived, does this
+  hop take a copy at all?
+
+A strategy is consulted exactly once per candidate insertion, in
+:meth:`repro.ndn.forwarder.Forwarder._maybe_cache`, for content that is
+*new* to this router's CS (a refresh of an already-cached name bypasses
+admission, mirroring the batch kernel's re-insert path).  A declined
+admission counts the ``cache_declined`` monitor counter and leaves the
+CS conservation ledger untouched, so the invariant checker's law D
+(``insertions == removed + len(cs)``) holds under any strategy.
+
+Strategies that depend on *how far the serving node is* (LCD, ProbCache)
+read :attr:`repro.ndn.packets.Data.origin_hops`, the hop count since the
+node that served the content (producer or cache hit).  The field rides
+the wire as an application-range TLV and is maintained by the forwarder
+only when a hop-counting strategy is installed anywhere in the network
+(``count_origin_hops``), so the default LCE data path is byte-identical
+to a strategy-less build.
+
+Randomized strategies (ProbCache, Bernoulli) own a named per-router RNG
+stream (``caching:{router}`` under the network's
+:class:`~repro.sim.rng.RngRegistry`), following the PR-1 seeding
+discipline: decisions depend only on the root seed and the router name,
+never on worker count or construction order.
+
+Every strategy here lowers to an int-keyed kernel in
+:mod:`repro.sim.batch.compile` (strategy *subclasses* do not, and trigger
+the documented ``BatchCompileError`` reference fallback).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+from repro.ndn.name import Name
+
+
+class StrategyError(ValueError):
+    """A caching strategy was misconfigured or unknown."""
+
+
+class CachingStrategy:
+    """Base class: one cache-admission decision point, two engines.
+
+    Subclasses override :meth:`admit`.  Class attributes tell the data
+    plane what context the strategy actually needs, so the common case
+    (LCE) pays nothing:
+
+    * :attr:`trivial` — ``True`` when :meth:`admit` is identically
+      ``True``; the forwarder then skips the call entirely,
+    * :attr:`needs_origin_hops` — ``True`` when the decision reads
+      ``origin_hops``; the network then turns on per-hop counting.
+    """
+
+    #: Registry key (set per subclass).
+    kind: str = "?"
+    trivial: bool = False
+    needs_origin_hops: bool = False
+
+    def admit(
+        self,
+        name: Name,
+        origin_hops: int,
+        forwarder,
+        downstreams: Sequence = (),
+    ) -> bool:
+        """Should ``forwarder`` cache ``name`` arriving with ``origin_hops``?
+
+        ``downstreams`` are the PIT faces the data is about to fan out
+        on (used by edge detection).  Called only for content not already
+        in the CS, after the cache filter, before any eviction.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop per-trial state (none by default; RNG streams persist)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"
+
+
+class LceStrategy(CachingStrategy):
+    """Leave Copy Everywhere: every hop caches (the paper's implicit
+    baseline).  ``trivial`` lets the forwarder skip the call."""
+
+    kind = "lce"
+    trivial = True
+
+    def admit(self, name, origin_hops, forwarder, downstreams=()) -> bool:
+        return True
+
+
+class LcdStrategy(CachingStrategy):
+    """Leave Copy Down: cache only one hop below the serving node.
+
+    A copy migrates toward the consumer one hop per request: the router
+    adjacent to the node that served the content (``origin_hops == 0``)
+    admits; everyone further downstream declines.
+    """
+
+    kind = "lcd"
+    needs_origin_hops = True
+
+    def admit(self, name, origin_hops, forwarder, downstreams=()) -> bool:
+        return origin_hops == 0
+
+
+class ProbCacheStrategy(CachingStrategy):
+    """ProbCache-style probabilistic admission weighted by path position.
+
+    Admission probability grows with the distance already traveled from
+    the serving node: ``p = min(1, (origin_hops + 1) / weight)``, a
+    simplified single-parameter form of Psaras et al.'s ProbCache that
+    keeps copies near consumers without caching everywhere.  One RNG draw
+    per decision, always taken (even at ``p == 1``) so the stream
+    position is a pure function of the decision sequence.
+    """
+
+    kind = "probcache"
+    needs_origin_hops = True
+
+    def __init__(self, rng, weight: float = 10.0) -> None:
+        if rng is None:
+            raise StrategyError("probcache needs an RNG stream (seeded per router)")
+        if weight <= 0:
+            raise StrategyError(f"probcache weight must be > 0, got {weight}")
+        self._rng = rng
+        self.weight = float(weight)
+
+    def admit(self, name, origin_hops, forwarder, downstreams=()) -> bool:
+        p = (origin_hops + 1) / self.weight
+        if p > 1.0:
+            p = 1.0
+        return self._rng.random() < p
+
+
+class EdgeStrategy(CachingStrategy):
+    """Edge caching: only the consumer-facing edge router takes a copy.
+
+    A hop is "edge" for this data packet when any downstream PIT face
+    leads to an end host (consumer or producer — anything without a FIB)
+    rather than another router.
+    """
+
+    kind = "edge"
+
+    def admit(self, name, origin_hops, forwarder, downstreams=()) -> bool:
+        # End hosts have no FIB; routers do.  (Duck-typed to avoid a
+        # forwarder import cycle; the batch kernel mirrors this as
+        # ``dest_kind != DEST_ROUTER``.)
+        return any(
+            getattr(face.peer.owner, "fib", None) is None
+            for face in downstreams
+        )
+
+
+class Cl4mStrategy(CachingStrategy):
+    """Cache-Less-for-More-style betweenness placement (degree proxy).
+
+    CL4M caches at the node with the highest betweenness centrality on
+    the delivery path.  Computing true betweenness needs the global
+    graph; this implementation uses the standard local proxy — router
+    degree — and admits only at well-connected nodes
+    (``len(faces) >= min_degree``).  The approximation is deterministic
+    and lowers to an int kernel; the trade-off is documented in
+    DESIGN.md.
+    """
+
+    kind = "cl4m"
+
+    def __init__(self, min_degree: int = 3) -> None:
+        if min_degree < 1:
+            raise StrategyError(f"cl4m min_degree must be >= 1, got {min_degree}")
+        self.min_degree = int(min_degree)
+
+    def admit(self, name, origin_hops, forwarder, downstreams=()) -> bool:
+        return len(forwarder.faces) >= self.min_degree
+
+
+class BernoulliStrategy(CachingStrategy):
+    """Seeded Bernoulli(p) admission: cache with fixed probability.
+
+    The classic randomized baseline (``p = 1`` degenerates to LCE but
+    still draws, keeping the stream position decision-counted).
+    """
+
+    kind = "bernoulli"
+
+    def __init__(self, rng, p: float = 0.5) -> None:
+        if rng is None:
+            raise StrategyError("bernoulli needs an RNG stream (seeded per router)")
+        if not 0.0 <= p <= 1.0:
+            raise StrategyError(f"bernoulli p must be in [0, 1], got {p}")
+        self._rng = rng
+        self.p = float(p)
+
+    def admit(self, name, origin_hops, forwarder, downstreams=()) -> bool:
+        return self._rng.random() < self.p
+
+
+#: Registry of built-in strategies by kind.
+STRATEGIES: Dict[str, Type[CachingStrategy]] = {
+    "lce": LceStrategy,
+    "lcd": LcdStrategy,
+    "probcache": ProbCacheStrategy,
+    "edge": EdgeStrategy,
+    "cl4m": Cl4mStrategy,
+    "bernoulli": BernoulliStrategy,
+}
+
+#: Strategies whose decisions consume RNG draws (need a stream).
+_RANDOMIZED = ("probcache", "bernoulli")
+
+
+def make_strategy(
+    kind: str, rng=None, **params
+) -> CachingStrategy:
+    """Build a registered strategy by kind.
+
+    ``rng`` is the per-router stream (``RngRegistry.stream(f"caching:{name}")``)
+    and is required for the randomized strategies, ignored by the
+    deterministic ones.  Extra ``params`` go to the constructor
+    (``weight``, ``p``, ``min_degree``).
+    """
+    try:
+        cls = STRATEGIES[kind]
+    except KeyError:
+        raise StrategyError(
+            f"unknown caching strategy {kind!r}; choose from "
+            f"{sorted(STRATEGIES)}"
+        ) from None
+    if kind in _RANDOMIZED:
+        return cls(rng=rng, **params)
+    return cls(**params)
+
+
+def strategy_of(value: Optional[object], rng=None) -> Optional[CachingStrategy]:
+    """Normalize a strategy spec: None, a kind string, or an instance."""
+    if value is None or isinstance(value, CachingStrategy):
+        return value
+    if isinstance(value, str):
+        return make_strategy(value, rng=rng)
+    raise StrategyError(
+        f"caching strategy must be None, a kind string, or a "
+        f"CachingStrategy, got {type(value).__name__}"
+    )

@@ -20,16 +20,22 @@ paper used; EXPERIMENTS.md records the substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.schemes.base import CacheScheme
 from repro.ndn.apps.consumer import Consumer
 from repro.ndn.apps.producer import Producer
+from repro.ndn.errors import TopologyError
 from repro.ndn.forwarder import Forwarder
-from repro.ndn.link import GaussianJitterDelay, LogNormalDelay
+from repro.ndn.link import FixedDelay, GaussianJitterDelay, LogNormalDelay
 from repro.ndn.name import Name
 from repro.ndn.network import Network
+from repro.ndn.strategy import CachingStrategy
 from repro.sim.rng import RngRegistry
+
+#: A caching-strategy spec accepted by every builder: a registered kind
+#: string (instantiated per router with its own RNG stream) or ``None``.
+CachingSpec = Union[str, CachingStrategy, None]
 
 #: Default prefix all experiment content lives under.
 CONTENT_PREFIX = "/content"
@@ -69,6 +75,7 @@ def local_lan(
     seed: int = 0,
     scheme: Optional[CacheScheme] = None,
     cache_capacity: Optional[int] = None,
+    caching: CachingSpec = None,
 ) -> AttackTopology:
     """Fig. 3(a): U, Adv and R on one Fast-Ethernet segment, P behind R.
 
@@ -77,7 +84,9 @@ def local_lan(
     classification success).
     """
     net = _network(seed)
-    router = net.add_router("R", capacity=cache_capacity, scheme=scheme)
+    router = net.add_router(
+        "R", capacity=cache_capacity, scheme=scheme, caching=caching
+    )
     user = net.add_consumer("U")
     adversary = net.add_consumer("Adv")
     producer = net.add_producer("P", CONTENT_PREFIX)
@@ -102,6 +111,7 @@ def wan(
     scheme: Optional[CacheScheme] = None,
     cache_capacity: Optional[int] = None,
     producer_hops: int = 3,
+    caching: CachingSpec = None,
 ) -> AttackTopology:
     """Fig. 3(b): U/Adv several (non-NDN) hops from R; P ``producer_hops``
     NDN hops past R.
@@ -112,7 +122,9 @@ def wan(
     if producer_hops < 1:
         raise ValueError(f"producer_hops must be >= 1, got {producer_hops}")
     net = _network(seed)
-    router = net.add_router("R", capacity=cache_capacity, scheme=scheme)
+    router = net.add_router(
+        "R", capacity=cache_capacity, scheme=scheme, caching=caching
+    )
     user = net.add_consumer("U")
     adversary = net.add_consumer("Adv")
     producer = net.add_producer("P", CONTENT_PREFIX)
@@ -124,7 +136,7 @@ def wan(
     chain = ["R"]
     for i in range(1, producer_hops):
         name = f"R{i}"
-        producer_path.append(net.add_router(name))
+        producer_path.append(net.add_router(name, caching=caching))
         chain.append(name)
     chain.append("P")
     wan_link = lambda: LogNormalDelay(base=1.0, tail_scale=0.4, sigma=0.9)  # noqa: E731
@@ -149,6 +161,7 @@ def wan_producer(
     cache_capacity: Optional[int] = None,
     access_hops: int = 3,
     cache_on_access_path: bool = False,
+    caching: CachingSpec = None,
 ) -> AttackTopology:
     """Fig. 3(c): producer privacy.  P adjacent to R; U/Adv ``access_hops``
     WAN hops away.
@@ -166,7 +179,9 @@ def wan_producer(
     if access_hops < 1:
         raise ValueError(f"access_hops must be >= 1, got {access_hops}")
     net = _network(seed)
-    router = net.add_router("R", capacity=cache_capacity, scheme=scheme)
+    router = net.add_router(
+        "R", capacity=cache_capacity, scheme=scheme, caching=caching
+    )
     user = net.add_consumer("U")
     adversary = net.add_consumer("Adv")
     producer = net.add_producer("P", CONTENT_PREFIX)
@@ -177,7 +192,7 @@ def wan_producer(
         routers = []
         for i in range(1, access_hops):
             name = f"{tag}{i}"
-            node = net.add_router(name)
+            node = net.add_router(name, caching=caching)
             if not cache_on_access_path:
                 node.cache_filter = lambda data: False
             routers.append(node)
@@ -210,6 +225,7 @@ def local_host(
     seed: int = 0,
     scheme: Optional[CacheScheme] = None,
     cache_capacity: Optional[int] = None,
+    caching: CachingSpec = None,
 ) -> AttackTopology:
     """Fig. 3(d) / Fig. 2: malicious app probing the node-local cache.
 
@@ -219,7 +235,9 @@ def local_host(
     — the cleanest separation of the four settings.
     """
     net = _network(seed)
-    daemon = net.add_router("ccnd", capacity=cache_capacity, scheme=scheme)
+    daemon = net.add_router(
+        "ccnd", capacity=cache_capacity, scheme=scheme, caching=caching
+    )
     honest = net.add_consumer("honest-app")
     malicious = net.add_consumer("malicious-app")
     producer = net.add_producer("P", CONTENT_PREFIX)
@@ -239,10 +257,329 @@ def local_host(
     )
 
 
+# ----------------------------------------------------------------------
+# Scale topologies (beyond Figure 3)
+# ----------------------------------------------------------------------
+# The paper measures on small Figure-1/2 settings; cache-placement
+# strategies (repro.ndn.strategy) only differentiate themselves on
+# multi-hop graphs, so these builders provide three standard shapes:
+# a k-ary fat tree, a Rocketfuel-like ISP (backbone ring + chords with
+# gateway/leaf tiers), and a GEANT-style European backbone.  All three
+# install loop-free routes along a deterministic BFS tree toward the
+# producer, keep U/Adv on one shared first-hop router (the probe point
+# of Figure 1), and accept the same ``caching`` spec as ``add_router``.
+
+
+def _install_bfs_routes(
+    net: Network,
+    adjacency: Dict[str, List[str]],
+    root: str,
+    producer_name: str,
+) -> Dict[str, Optional[str]]:
+    """Route ``CONTENT_PREFIX`` on every router toward its BFS parent.
+
+    BFS order follows ``adjacency`` insertion order, so the tree (and
+    therefore every FIB) is a pure function of the graph construction —
+    no RNG draws.  The root routes to the producer.  Returns the parent
+    map (root maps to ``None``).
+    """
+    parent: Dict[str, Optional[str]] = {root: None}
+    frontier = [root]
+    while frontier:
+        nxt: List[str] = []
+        for node in frontier:
+            for neighbor in adjacency[node]:
+                if neighbor not in parent:
+                    parent[neighbor] = node
+                    nxt.append(neighbor)
+        frontier = nxt
+    unreached = [name for name in adjacency if name not in parent]
+    if unreached:
+        raise TopologyError(
+            f"graph is disconnected: {unreached!r} cannot reach {root!r}"
+        )
+    for node, up in parent.items():
+        net.add_route(node, CONTENT_PREFIX, up if up is not None else producer_name)
+    return parent
+
+
+def _path_to_root(parent: Dict[str, Optional[str]], start: str) -> List[str]:
+    """Routers strictly between ``start`` and the producer, in hop order
+    (the BFS chain from ``start``'s parent up to and including the root)."""
+    path: List[str] = []
+    node = parent[start]
+    while node is not None:
+        path.append(node)
+        node = parent[node]
+    return path
+
+
+def fat_tree(
+    seed: int = 0,
+    scheme: Optional[CacheScheme] = None,
+    cache_capacity: Optional[int] = None,
+    k: int = 4,
+    hosts_per_edge: int = 2,
+    caching: CachingSpec = None,
+    policy: str = "lru",
+) -> AttackTopology:
+    """A k-ary fat tree: (k/2)² cores, k pods of k/2 aggregation and k/2
+    edge routers, full bipartite wiring inside each pod.
+
+    ``hosts_per_edge`` consumers hang off every edge router; the first
+    two on ``edge0-0`` are U and Adv (shared first-hop probe point, as
+    in Figure 1).  The producer sits behind ``core0``.  Routes follow
+    the BFS tree rooted at ``core0``, so forwarding is loop-free while
+    the physical wiring keeps the fat tree's full degree (what degree-
+    driven strategies like CL4M key on).
+    """
+    if k < 2 or k % 2:
+        raise TopologyError(f"fat tree arity must be even and >= 2, got {k}")
+    if hosts_per_edge < 2:
+        raise TopologyError(
+            f"need at least U and Adv per edge router, got {hosts_per_edge}"
+        )
+    net = _network(seed)
+    half = k // 2
+    probe = "edge0-0"
+    adjacency: Dict[str, List[str]] = {}
+
+    def router(name: str) -> str:
+        # The privacy scheme guards the probe point only (it is per-
+        # router state and must not be shared between forwarders).
+        net.add_router(
+            name,
+            capacity=cache_capacity,
+            scheme=scheme if name == probe else None,
+            policy=policy,
+            caching=caching,
+        )
+        adjacency[name] = []
+        return name
+
+    def wire(a: str, b: str, delay) -> None:
+        net.connect(a, b, delay)
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    cores = [router(f"core{i}") for i in range(half * half)]
+    for p in range(k):
+        aggs = [router(f"agg{p}-{a}") for a in range(half)]
+        edges = [router(f"edge{p}-{e}") for e in range(half)]
+        for edge_name in edges:
+            for agg_name in aggs:
+                wire(edge_name, agg_name, FixedDelay(1.0))
+        for a, agg_name in enumerate(aggs):
+            for c in range(half):
+                wire(agg_name, cores[a * half + c], FixedDelay(2.0))
+
+    host_delay = lambda: GaussianJitterDelay(base=0.5, jitter_std=0.05, floor=0.3)  # noqa: E731
+    user = adversary = None
+    for p in range(k):
+        for e in range(half):
+            for h in range(hosts_per_edge):
+                if p == 0 and e == 0 and h == 0:
+                    host = "U"
+                    user = net.add_consumer(host)
+                elif p == 0 and e == 0 and h == 1:
+                    host = "Adv"
+                    adversary = net.add_consumer(host)
+                else:
+                    host = f"h{p}-{e}-{h}"
+                    net.add_consumer(host)
+                net.connect(host, f"edge{p}-{e}", host_delay())
+
+    producer = net.add_producer("P", CONTENT_PREFIX)
+    net.connect("core0", "P", LogNormalDelay(base=1.0, tail_scale=0.5, sigma=0.8))
+    parent = _install_bfs_routes(net, adjacency, "core0", "P")
+    return AttackTopology(
+        network=net,
+        user=user,
+        adversary=adversary,
+        router=net[probe],
+        producer=producer,
+        content_prefix=Name.parse(CONTENT_PREFIX),
+        description=f"fat tree k={k}: U/Adv under edge0-0, producer behind core0",
+        producer_path=[net[name] for name in _path_to_root(parent, probe)],
+    )
+
+
+def rocketfuel_isp(
+    seed: int = 0,
+    scheme: Optional[CacheScheme] = None,
+    cache_capacity: Optional[int] = None,
+    backbones: int = 6,
+    gateways_per_backbone: int = 2,
+    leaves_per_gateway: int = 2,
+    extra_chords: int = 2,
+    caching: CachingSpec = None,
+    policy: str = "lru",
+) -> AttackTopology:
+    """A Rocketfuel-like ISP map: backbone ring plus seeded chords, with
+    gateway and leaf (access) tiers hanging off it.
+
+    Chord endpoints are drawn from the registry stream
+    ``topo:rocketfuel``, so the graph is a pure function of ``seed`` and
+    the shape parameters.  U/Adv share the first leaf router ``l0-0-0``;
+    the producer sits behind backbone node ``b0``.
+    """
+    if backbones < 3:
+        raise TopologyError(f"need >= 3 backbone nodes, got {backbones}")
+    net = _network(seed)
+    probe = "l0-0-0"
+    adjacency: Dict[str, List[str]] = {}
+
+    def router(name: str) -> str:
+        net.add_router(
+            name,
+            capacity=cache_capacity,
+            scheme=scheme if name == probe else None,
+            policy=policy,
+            caching=caching,
+        )
+        adjacency[name] = []
+        return name
+
+    def wire(a: str, b: str, delay) -> None:
+        net.connect(a, b, delay)
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    core = [router(f"b{i}") for i in range(backbones)]
+    backbone_link = lambda: LogNormalDelay(base=2.0, tail_scale=0.4, sigma=0.7)  # noqa: E731
+    for i in range(backbones):
+        wire(core[i], core[(i + 1) % backbones], backbone_link())
+    # Seeded chords across the ring (reject self, neighbors, duplicates).
+    rng = net.rng.stream("topo:rocketfuel")
+    added = 0
+    attempts = 0
+    while added < extra_chords and attempts < 64 * (extra_chords + 1):
+        attempts += 1
+        i, j = (int(v) for v in rng.integers(0, backbones, size=2))
+        a, b = core[i], core[j]
+        if a == b or b in adjacency[a]:
+            continue
+        wire(a, b, backbone_link())
+        added += 1
+
+    access_link = lambda: LogNormalDelay(base=1.2, tail_scale=0.3, sigma=0.6)  # noqa: E731
+    for i in range(backbones):
+        for g in range(gateways_per_backbone):
+            gateway = router(f"g{i}-{g}")
+            wire(gateway, core[i], access_link())
+            for leaf in range(leaves_per_gateway):
+                leaf_name = router(f"l{i}-{g}-{leaf}")
+                wire(leaf_name, gateway, access_link())
+
+    lan = lambda: GaussianJitterDelay(base=1.8, jitter_std=0.12, floor=1.5)  # noqa: E731
+    user = net.add_consumer("U")
+    adversary = net.add_consumer("Adv")
+    net.connect("U", probe, lan())
+    net.connect("Adv", probe, lan())
+    producer = net.add_producer("P", CONTENT_PREFIX)
+    net.connect("b0", "P", GaussianJitterDelay(base=1.0, jitter_std=0.1, floor=0.8))
+    parent = _install_bfs_routes(net, adjacency, "b0", "P")
+    return AttackTopology(
+        network=net,
+        user=user,
+        adversary=adversary,
+        router=net[probe],
+        producer=producer,
+        content_prefix=Name.parse(CONTENT_PREFIX),
+        description=(
+            f"Rocketfuel-like ISP: {backbones}-node backbone ring + "
+            f"{added} chords, U/Adv on leaf {probe}, producer behind b0"
+        ),
+        producer_path=[net[name] for name in _path_to_root(parent, probe)],
+    )
+
+
+#: GEANT-style European backbone adjacency (12 cities, research-network
+#: shaped; a fixed map, not a measured snapshot).
+_GEANT_EDGES = (
+    ("london", "dublin"),
+    ("london", "paris"),
+    ("london", "amsterdam"),
+    ("paris", "madrid"),
+    ("paris", "geneva"),
+    ("paris", "frankfurt"),
+    ("amsterdam", "frankfurt"),
+    ("amsterdam", "copenhagen"),
+    ("frankfurt", "geneva"),
+    ("frankfurt", "vienna"),
+    ("frankfurt", "copenhagen"),
+    ("geneva", "milan"),
+    ("madrid", "milan"),
+    ("milan", "vienna"),
+    ("vienna", "budapest"),
+    ("copenhagen", "stockholm"),
+)
+
+
+def geant_backbone(
+    seed: int = 0,
+    scheme: Optional[CacheScheme] = None,
+    cache_capacity: Optional[int] = None,
+    caching: CachingSpec = None,
+    policy: str = "lru",
+) -> AttackTopology:
+    """A GEANT-style European research backbone (fixed 12-city map).
+
+    U and Adv share the Madrid PoP (the probe point); the producer sits
+    behind Frankfurt, giving a 3-hop probe-to-producer path through the
+    mesh.  ``seed`` only feeds the per-link jitter streams — the graph
+    itself is fixed.
+    """
+    net = _network(seed)
+    adjacency: Dict[str, List[str]] = {}
+    for a, b in _GEANT_EDGES:
+        for city in (a, b):
+            if city not in adjacency:
+                net.add_router(
+                    city,
+                    capacity=cache_capacity,
+                    scheme=scheme if city == "madrid" else None,
+                    policy=policy,
+                    caching=caching,
+                )
+                adjacency[city] = []
+        net.connect(a, b, LogNormalDelay(base=3.0, tail_scale=0.5, sigma=0.7))
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    lan = lambda: GaussianJitterDelay(base=1.8, jitter_std=0.12, floor=1.5)  # noqa: E731
+    user = net.add_consumer("U")
+    adversary = net.add_consumer("Adv")
+    net.connect("U", "madrid", lan())
+    net.connect("Adv", "madrid", lan())
+    producer = net.add_producer("P", CONTENT_PREFIX)
+    net.connect(
+        "frankfurt", "P", GaussianJitterDelay(base=1.0, jitter_std=0.1, floor=0.8)
+    )
+    parent = _install_bfs_routes(net, adjacency, "frankfurt", "P")
+    return AttackTopology(
+        network=net,
+        user=user,
+        adversary=adversary,
+        router=net["madrid"],
+        producer=producer,
+        content_prefix=Name.parse(CONTENT_PREFIX),
+        description="GEANT-style backbone: U/Adv at Madrid, producer behind Frankfurt",
+        producer_path=[net[name] for name in _path_to_root(parent, "madrid")],
+    )
+
+
 #: Builder registry keyed by the Figure-3 subfigure each reproduces.
 TOPOLOGIES = {
     "fig3a_lan": local_lan,
     "fig3b_wan": wan,
     "fig3c_wan_producer": wan_producer,
     "fig3d_local_host": local_host,
+}
+
+#: Scale-topology registry (multi-hop graphs for the strategy sweep).
+SCALE_TOPOLOGIES = {
+    "fat_tree": fat_tree,
+    "rocketfuel": rocketfuel_isp,
+    "geant": geant_backbone,
 }

@@ -38,6 +38,10 @@ TLV_APP_EXACT_MATCH_ONLY = 0x85
 # here it is a compact application-range top-level packet).
 TLV_APP_NACK = 0x86
 TLV_APP_NACK_REASON = 0x87
+# Hops since the serving node (producer or cache hit); the hop-count
+# field the LCD/ProbCache caching strategies read.  Omitted when 0 so
+# strategy-less deployments emit byte-identical packets.
+TLV_APP_ORIGIN_HOPS = 0x88
 
 
 # ----------------------------------------------------------------------
@@ -212,6 +216,8 @@ def encode_data(data: Data) -> bytes:
         body += _tlv(TLV_FRESHNESS_PERIOD, _nonneg_int_bytes(int(data.freshness)))
     if data.exact_match_only:
         body += _tlv(TLV_APP_EXACT_MATCH_ONLY, b"\x01")
+    if data.origin_hops:
+        body += _tlv(TLV_APP_ORIGIN_HOPS, _nonneg_int_bytes(data.origin_hops))
     return _tlv(TLV_DATA, body)
 
 
@@ -222,6 +228,7 @@ def _decode_data_body(body: bytes) -> Data:
     private = False
     freshness: Optional[float] = None
     exact_match_only = False
+    origin_hops = 0
     for type_code, value in iter_tlvs(body):
         if type_code == TLV_NAME:
             name = decode_name(value)
@@ -235,11 +242,14 @@ def _decode_data_body(body: bytes) -> Data:
             freshness = float(_decode_uint(value, "freshness"))
         elif type_code == TLV_APP_EXACT_MATCH_ONLY:
             exact_match_only = bool(value and value[0])
+        elif type_code == TLV_APP_ORIGIN_HOPS:
+            origin_hops = _decode_uint(value, "origin hops")
     if name is None:
         raise PacketError("Data missing Name")
     return Data(
         name=name, producer=producer, private=private, size=size,
         freshness=freshness, exact_match_only=exact_match_only,
+        origin_hops=origin_hops,
     )
 
 
@@ -392,6 +402,8 @@ def fast_wire_size(packet: Union[Interest, Data, Nack]) -> int:
             body += _tlv_len(TLV_FRESHNESS_PERIOD, _int_len(int(packet.freshness)))
         if packet.exact_match_only:
             body += _tlv_len(TLV_APP_EXACT_MATCH_ONLY, 1)
+        if packet.origin_hops:
+            body += _tlv_len(TLV_APP_ORIGIN_HOPS, _int_len(packet.origin_hops))
         return _tlv_len(TLV_DATA, body)
     if isinstance(packet, Nack):
         body = _name_size(packet.name)

@@ -51,6 +51,14 @@ from repro.ndn.replacement import (
     LruPolicy,
     RandomPolicy,
 )
+from repro.ndn.strategy import (
+    BernoulliStrategy,
+    Cl4mStrategy,
+    EdgeStrategy,
+    LcdStrategy,
+    LceStrategy,
+    ProbCacheStrategy,
+)
 from repro.sim.batch.script import ConsumerScript, FetchStep, SleepStep
 
 
@@ -81,6 +89,7 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "pit_satisfied",
     "cs_insert",
     "data_out",
+    "cache_declined",
 )
 
 #: Node kinds for the edge destination table.
@@ -101,6 +110,15 @@ SCHEME_DELAY_CONSTANT = 2  # ConstantDelay: fixed gamma
 #: Producer serve modes, per (producer, name).
 SERVE_SILENT = 0
 SERVE_DATA = 1
+
+#: Caching-strategy kinds (int-keyed admission kernels; see
+#: :mod:`repro.ndn.strategy` for the reference semantics each mirrors).
+S_LCE = 0
+S_LCD = 1
+S_PROB = 2
+S_EDGE = 3
+S_CL4M = 4
+S_BERN = 5
 
 
 @dataclass
@@ -128,6 +146,13 @@ class CompiledRouter:
     processing_delay: float
     #: Per name id: candidate send-edge ids in FIB cost order (or ()).
     next_hops: List[Tuple[int, ...]]
+    #: Cache-admission strategy: int kind, scalar parameter (ProbCache
+    #: weight / CL4M min degree / Bernoulli p), the strategy's own RNG
+    #: stream (randomized kinds only), and the router's face degree.
+    strategy_kind: int = S_LCE
+    strategy_param: float = 0.0
+    strategy_rng: object = None
+    degree: int = 0
 
 
 @dataclass
@@ -170,6 +195,9 @@ class CompiledTopology:
     #: uses): position in :attr:`consumers` (script order), or -1 for a
     #: consumer entity with no script (it can only sink stray packets).
     consumer_script_of_entity: List[int]
+    #: Whether forwarders maintain ``Data.origin_hops`` (uniform across
+    #: the network; mixed settings fail compilation).
+    count_origin_hops: bool = False
 
 
 def _check_engine_fresh(net: Network) -> None:
@@ -327,6 +355,31 @@ def _compile_router(
             f"{type(policy).__name__}"
         )
 
+    # Exact-type dispatch: a strategy *subclass* may override admit()
+    # arbitrarily, so it must hit the reference fallback, not silently
+    # run the base class's kernel.
+    strategy = router.caching
+    strategy_kind, strategy_param, strategy_rng = S_LCE, 0.0, None
+    if strategy is None or type(strategy) is LceStrategy:
+        pass
+    elif type(strategy) is LcdStrategy:
+        strategy_kind = S_LCD
+    elif type(strategy) is ProbCacheStrategy:
+        strategy_kind, strategy_param = S_PROB, strategy.weight
+        strategy_rng = strategy._rng
+    elif type(strategy) is EdgeStrategy:
+        strategy_kind = S_EDGE
+    elif type(strategy) is Cl4mStrategy:
+        strategy_kind, strategy_param = S_CL4M, float(strategy.min_degree)
+    elif type(strategy) is BernoulliStrategy:
+        strategy_kind, strategy_param = S_BERN, strategy.p
+        strategy_rng = strategy._rng
+    else:
+        raise BatchCompileError(
+            f"router {name}: unsupported caching strategy "
+            f"{type(strategy).__name__}"
+        )
+
     scheme = router.scheme
     key = id(scheme)
     if key in kernel_cache:
@@ -373,6 +426,10 @@ def _compile_router(
         delay_gamma=delay_gamma,
         processing_delay=router.processing_delay,
         next_hops=next_hops,
+        strategy_kind=strategy_kind,
+        strategy_param=strategy_param,
+        strategy_rng=strategy_rng,
+        degree=len(router.faces),
     )
 
 
@@ -547,6 +604,13 @@ def compile_topology(
     _require(bool(scripts), "no consumer scripts given")
     _check_engine_fresh(net)
     routers, consumers, producers = _collect_entities(net)
+    hop_flags = {router.count_origin_hops for router in routers}
+    _require(
+        len(hop_flags) <= 1,
+        "count_origin_hops differs across routers (the kernel tracks "
+        "origin hops network-wide or not at all)",
+    )
+    count_origin_hops = bool(hop_flags and hop_flags.pop())
     names, name_ids = _intern_vocabulary(scripts)
 
     # Directed edges from links, in insertion order.
@@ -613,4 +677,5 @@ def compile_topology(
         consumers=compiled_consumers,
         producers=compiled_producers,
         consumer_script_of_entity=consumer_script_of_entity,
+        count_origin_hops=count_origin_hops,
     )

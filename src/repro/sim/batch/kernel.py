@@ -42,6 +42,12 @@ from repro.sim.batch.compile import (
     DELAY_GAUSSIAN,
     DEST_CONSUMER,
     DEST_ROUTER,
+    S_BERN,
+    S_CL4M,
+    S_EDGE,
+    S_LCD,
+    S_LCE,
+    S_PROB,
     SCHEME_DELAY_CONSTANT,
     SCHEME_DELAY_CONTENT,
     SERVE_DATA,
@@ -70,14 +76,15 @@ from repro.workload.fast_replay import _FastLfu, _FastRandom
     C_PIT_SATISFIED,
     C_CS_INSERT,
     C_DATA_OUT,
-) = range(16)
+    C_DECLINED,
+) = range(17)
 
 # Event kinds.  Entries are tuples (time, seq, kind, ...); comparison only
 # ever reaches (time, seq) because seq is unique.
 K_DI = 0  # deliver interest: (t, s, K_DI, edge, nid, priv, lifetime)
-K_DD = 1  # deliver data:     (t, s, K_DD, edge, nid)
+K_DD = 1  # deliver data:     (t, s, K_DD, edge, nid, oh)
 K_SI = 2  # fire a scheduled upstream interest send (same payload as K_DI)
-K_SD = 3  # fire a scheduled data send: (t, s, K_SD, edge, nid)
+K_SD = 3  # fire a scheduled data send: (t, s, K_SD, edge, nid, oh)
 K_PIT = 4  # PIT expiry timer: (t, s, K_PIT, rid, nid)     [cancellable]
 K_TO = 5  # consumer fetch timeout: (t, s, K_TO, ci)       [cancellable]
 K_SLEEP = 6  # resume a sleeping consumer script: (t, s, K_SLEEP, ci)
@@ -155,7 +162,7 @@ def run_compiled(
     r_cached = [bytearray(n_names) for _ in range(n_routers)]
     r_priv = [bytearray(n_names) for _ in range(n_routers)]
     r_fd = [[0.0] * n_names for _ in range(n_routers)]
-    r_ctr = [[0] * 16 for _ in range(n_routers)]
+    r_ctr = [[0] * 17 for _ in range(n_routers)]
     r_pit: List[Dict[int, list]] = [{} for _ in range(n_routers)]
     r_size = [0] * n_routers
     r_evict = [0] * n_routers
@@ -172,6 +179,11 @@ def run_compiled(
     k_ins = [cr.kernel.on_insert for cr in ct.routers]
     k_dec = [cr.kernel.decide_private for cr in ct.routers]
     k_evi = [cr.kernel.on_evict for cr in ct.routers]
+    s_kind = [cr.strategy_kind for cr in ct.routers]
+    s_param = [cr.strategy_param for cr in ct.routers]
+    s_rng = [cr.strategy_rng for cr in ct.routers]
+    r_deg = [cr.degree for cr in ct.routers]
+    track = ct.count_origin_hops
 
     # ---- producers -----------------------------------------------------
     p_serve = [cp.serve for cp in ct.producers]
@@ -221,11 +233,11 @@ def run_compiled(
         push((t + link_delay(li), seq, K_DI, edge, nid, priv, lifetime))
         seq += 1
 
-    def send_data(edge: int, t: float, nid: int) -> None:
+    def send_data(edge: int, t: float, nid: int, oh: int) -> None:
         nonlocal seq
         li = edge >> 1
         l_pkts[li] += 1
-        push((t + link_delay(li), seq, K_DD, edge, nid))
+        push((t + link_delay(li), seq, K_DD, edge, nid, oh))
         seq += 1
 
     def advance(ci: int, t: float) -> None:
@@ -277,10 +289,11 @@ def run_compiled(
                 ctr[C_CS_HIT] += 1
                 ctr[C_DATA_OUT] += 1
                 delay = r_proc[rid]
+                # Serving from the CS emits the object at origin (oh 0).
                 if delay <= 0.0:
-                    send_data(arr, t, nid)
+                    send_data(arr, t, nid, 0)
                 else:
-                    push((t + delay, seq, K_SD, arr, nid))
+                    push((t + delay, seq, K_SD, arr, nid, 0))
                     seq += 1
                 return
             if code == 1:  # DELAYED_HIT
@@ -297,9 +310,9 @@ def run_compiled(
                 ctr[C_DATA_OUT] += 1
                 delay = r_proc[rid] + extra
                 if delay <= 0.0:
-                    send_data(arr, t, nid)
+                    send_data(arr, t, nid, 0)
                 else:
-                    push((t + delay, seq, K_SD, arr, nid))
+                    push((t + delay, seq, K_SD, arr, nid, 0))
                     seq += 1
                 return
             ctr[C_CS_FORCED_MISS] += 1
@@ -353,7 +366,7 @@ def run_compiled(
         push((t + r_proc[rid], seq, K_SI, upstream, nid, priv, lifetime))
         seq += 1
 
-    def router_data(rid: int, nid: int, t: float) -> None:
+    def router_data(rid: int, nid: int, oh: int, t: float) -> None:
         nonlocal seq
         ctr = r_ctr[rid]
         ctr[C_DATA_IN] += 1
@@ -369,30 +382,56 @@ def run_compiled(
         if cached[nid]:
             pol_access[rid](nid)  # refresh in place: recency only
         else:
-            private = name_priv[nid] or entry[2]
-            cap = r_cap[rid]
-            if cap is not None:
-                while r_size[rid] >= cap:
-                    victim = pol_pop[rid]()
-                    cached[victim] = 0
-                    r_size[rid] -= 1
-                    r_evict[rid] += 1  # freshness is unused: never stale
-                    k_evi[rid](victim)
-            cached[nid] = 1
-            r_size[rid] += 1
-            r_priv[rid][nid] = 1 if private else 0
-            r_fd[rid][nid] = fetch_delay
-            pol_insert[rid](nid)
-            k_ins[rid](nid, private)
-            ctr[C_CS_INSERT] += 1
+            # Strategy admission precedes the eviction loop, so a
+            # randomized strategy's draw lands *before* any random-
+            # replacement victim draws — same stream order as the
+            # reference _maybe_cache.
+            kind = s_kind[rid]
+            if kind == S_LCE:
+                admit = True
+            elif kind == S_LCD:
+                admit = oh == 0
+            elif kind == S_PROB:
+                p = (oh + 1) / s_param[rid]
+                admit = s_rng[rid].random() < (p if p < 1.0 else 1.0)
+            elif kind == S_EDGE:
+                admit = False
+                for e in entry[3]:
+                    if dest_kind[e] != DEST_ROUTER:
+                        admit = True
+                        break
+            elif kind == S_CL4M:
+                admit = r_deg[rid] >= s_param[rid]
+            else:  # S_BERN
+                admit = s_rng[rid].random() < s_param[rid]
+            if not admit:
+                ctr[C_DECLINED] += 1
+            else:
+                private = name_priv[nid] or entry[2]
+                cap = r_cap[rid]
+                if cap is not None:
+                    while r_size[rid] >= cap:
+                        victim = pol_pop[rid]()
+                        cached[victim] = 0
+                        r_size[rid] -= 1
+                        r_evict[rid] += 1  # freshness is unused: never stale
+                        k_evi[rid](victim)
+                cached[nid] = 1
+                r_size[rid] += 1
+                r_priv[rid][nid] = 1 if private else 0
+                r_fd[rid][nid] = fetch_delay
+                pol_insert[rid](nid)
+                k_ins[rid](nid, private)
+                ctr[C_CS_INSERT] += 1
         # Fan out to every collapsed downstream face, in record order.
+        oh_out = oh + 1 if track else oh
         delay = r_proc[rid]
         for downstream in entry[3]:
             ctr[C_DATA_OUT] += 1
             if delay <= 0.0:
-                send_data(downstream, t, nid)
+                send_data(downstream, t, nid, oh_out)
             else:
-                push((t + delay, seq, K_SD, downstream, nid))
+                push((t + delay, seq, K_SD, downstream, nid, oh_out))
                 seq += 1
 
     # ---- main loop -----------------------------------------------------
@@ -426,16 +465,16 @@ def run_compiled(
                 if p_serve[pid][nid] == SERVE_DATA:
                     delay = p_proc[pid]
                     if delay > 0.0:
-                        push((t + delay, seq, K_SD, edge ^ 1, nid))
+                        push((t + delay, seq, K_SD, edge ^ 1, nid, 0))
                         seq += 1
                     else:
-                        send_data(edge ^ 1, t, nid)
+                        send_data(edge ^ 1, t, nid, 0)
         elif kind == K_DD:
             edge = entry[3]
             nid = entry[4]
             dk = dest_kind[edge]
             if dk == DEST_ROUTER:
-                router_data(dest_idx[edge], nid, t)
+                router_data(dest_idx[edge], nid, entry[5], t)
             elif dk == DEST_CONSUMER:
                 ci = script_of_entity[dest_idx[edge]]
                 if ci >= 0 and c_out[ci] == nid:
@@ -446,7 +485,7 @@ def run_compiled(
                     advance(ci, t)
                 # else: unsolicited at the consumer (monitor-only)
         elif kind == K_SD:
-            send_data(entry[3], t, entry[4])
+            send_data(entry[3], t, entry[4], entry[5])
         elif kind == K_PIT:
             rid = entry[3]
             nid = entry[4]
@@ -475,7 +514,7 @@ def run_compiled(
     for rid, cr in enumerate(ct.routers):
         ctr = r_ctr[rid]
         router_counters[cr.name] = {
-            counter_names[i]: ctr[i] for i in range(16) if ctr[i]
+            counter_names[i]: ctr[i] for i in range(17) if ctr[i]
         }
         cap = cr.capacity
         router_stats[cr.name] = {

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.ndn.link import FixedDelay, GaussianJitterDelay, LogNormalDelay
 from repro.ndn.network import Network
-from repro.ndn.topology import local_lan
+from repro.ndn.topology import fat_tree, local_lan
 from repro.perf.parallel import build_scheme
 from repro.sim.batch.script import (
     ConsumerScript,
@@ -193,9 +193,21 @@ class TopologyCase:
     """One (topology, scheme, policy, workload) configuration to
     cross-check between the reference engine and the batch kernel."""
 
-    topology: str  # "star" | "tree" | "fig3a_lan"
+    topology: str  # "star" | "tree" | "fig3a_lan" | "fat_tree"
     scheme: str = "no-privacy"
     policy: str = "lru"
+    #: Cache-admission strategy kind (:mod:`repro.ndn.strategy`) on every
+    #: router; "lce" is the seed's cache-everywhere behavior.
+    caching: str = "lce"
+    #: Forwarding strategy ("best-route" | "multicast"); the batch kernel
+    #: only supports best-route, so a multicast case must set
+    #: :attr:`expect_fallback`.
+    forwarding: str = "best-route"
+    #: True for configurations the batch compiler must *refuse*: the
+    #: batch leg then runs through ``run_scripts(kernel="auto")`` and the
+    #: case asserts the transparent reference fallback (engine recorded
+    #: as "reference", observables still identical).
+    expect_fallback: bool = False
     requests_per_consumer: int = 30
     #: Consumer wait budget; set below the topology RTT to exercise the
     #: timeout / PIT-expiry / retransmission paths.
@@ -208,16 +220,20 @@ class TopologyCase:
     @property
     def label(self) -> str:
         """Human-readable configuration tag."""
-        return (
-            f"{self.topology}/{self.scheme}/{self.policy}"
+        tag = (
+            f"{self.topology}/{self.scheme}/{self.policy}/{self.caching}"
             f"/to={self.timeout}/seed={self.seed}"
         )
+        if self.expect_fallback:
+            tag += "/fallback"
+        return tag
 
 
 def default_topology_cases(seed: int = 0) -> List[TopologyCase]:
-    """The CI grid: sim-core shapes plus the fig3 LAN panel, covering
-    NoPrivacy and the privacy schemes, all four replacement policies, and
-    a small-timeout retransmission case."""
+    """The CI grid: sim-core shapes plus the fig3 LAN panel and a fat
+    tree, covering NoPrivacy and the privacy schemes, all four
+    replacement policies, every caching strategy, a small-timeout
+    retransmission case, and one asserted compiler fallback."""
     return [
         TopologyCase("star", "no-privacy", "lru", seed=seed),
         TopologyCase("star", "uniform", "random", seed=seed),
@@ -228,6 +244,31 @@ def default_topology_cases(seed: int = 0) -> List[TopologyCase]:
         TopologyCase("fig3a_lan", "no-privacy", "lru", seed=seed),
         TopologyCase("fig3a_lan", "uniform", "lru", seed=seed),
         TopologyCase("fig3a_lan", "always-delay", "lru", seed=seed),
+        # Strategy × scheme × replacement: every registered caching
+        # strategy, crossed with randomized replacement and the privacy
+        # schemes so strategy and policy draws interleave on one stream
+        # ordering in both engines.
+        TopologyCase("tree", "no-privacy", "lru", caching="lcd", seed=seed),
+        TopologyCase("tree", "uniform", "random", caching="probcache", seed=seed),
+        TopologyCase("tree", "exponential", "lfu", caching="bernoulli", seed=seed),
+        TopologyCase("star", "no-privacy", "fifo", caching="edge", seed=seed),
+        TopologyCase("tree", "always-delay", "lru", caching="cl4m", seed=seed),
+        TopologyCase("fig3a_lan", "uniform", "lru", caching="bernoulli", seed=seed),
+        TopologyCase("fat_tree", "uniform", "lru", caching="lcd", seed=seed),
+        TopologyCase("fat_tree", "no-privacy", "random", caching="probcache", seed=seed),
+        TopologyCase("fat_tree", "exponential", "lru", caching="cl4m", seed=seed),
+        # Multicast forwarding is outside the kernel's subset: the case
+        # must *fall back* transparently, not diverge (the tree has one
+        # upstream per prefix, so multicast forwards identically).
+        TopologyCase(
+            "tree",
+            "no-privacy",
+            "lru",
+            caching="lcd",
+            forwarding="multicast",
+            expect_fallback=True,
+            seed=seed,
+        ),
     ]
 
 
@@ -278,6 +319,8 @@ def _build_topology_case(
             capacity=case.cache_capacity,
             scheme=scheme(),
             policy=case.policy,
+            strategy=case.forwarding,
+            caching=case.caching,
         )
         net.add_producer("P", _TOPO_PREFIX)
         net.connect(
@@ -305,6 +348,8 @@ def _build_topology_case(
             scheme=scheme(),
             policy=case.policy,
             processing_delay=0.2,
+            strategy=case.forwarding,
+            caching=case.caching,
         )
         net.connect("R0", "P", FixedDelay(1.0))
         net.add_route("R0", _TOPO_PREFIX, "P")
@@ -316,6 +361,8 @@ def _build_topology_case(
                 capacity=case.cache_capacity,
                 scheme=scheme(),
                 policy=case.policy,
+                strategy=case.forwarding,
+                caching=case.caching,
             )
             net.connect(leaf, "R0", FixedDelay(0.5))
             net.add_route(leaf, _TOPO_PREFIX, "R0")
@@ -331,13 +378,25 @@ def _build_topology_case(
             seed=case.seed,
             scheme=scheme(),
             cache_capacity=case.cache_capacity,
+            caching=case.caching,
         )
         names = ["U", "Adv"]
         return topo.network, _topology_scripts(names, case, universe=8)
 
+    if case.topology == "fat_tree":
+        topo = fat_tree(
+            seed=case.seed,
+            scheme=scheme(),
+            cache_capacity=case.cache_capacity,
+            caching=case.caching,
+            policy=case.policy,
+        )
+        names = ["U", "Adv"]
+        return topo.network, _topology_scripts(names, case, universe=16)
+
     raise ValueError(
         f"unknown topology {case.topology!r}; "
-        "choose from 'star', 'tree', 'fig3a_lan'"
+        "choose from 'star', 'tree', 'fig3a_lan', 'fat_tree'"
     )
 
 
@@ -394,7 +453,12 @@ def validate_topology_differential(
     The batch leg goes through :func:`repro.sim.batch.kernel.run_scripts_batch`
     directly — a topology that cannot compile is a case *failure* here,
     not a silent fallback (that transparency belongs to ``run_scripts``).
+    Cases with :attr:`TopologyCase.expect_fallback` invert that: their
+    batch leg runs ``run_scripts(kernel="auto")`` and the case fails
+    unless the compiler refused (engine recorded as ``"reference"``) while
+    the observables still match the oracle leg.
     """
+    from repro.sim.batch import run_scripts
     from repro.sim.batch.kernel import run_scripts_batch
 
     if cases is None:
@@ -404,13 +468,23 @@ def validate_topology_differential(
         net, scripts = _build_topology_case(case)
         oracle = run_scripts_reference(net, scripts)
         net, scripts = _build_topology_case(case)
-        batch = run_scripts_batch(net, scripts)
+        if case.expect_fallback:
+            batch = run_scripts(net, scripts, kernel="auto")
+            mismatches = diff_observables(oracle, batch)
+            if batch.kernel != "reference":
+                mismatches.append(
+                    f"expected a transparent compiler fallback but the "
+                    f"case ran on the {batch.kernel!r} engine"
+                )
+        else:
+            batch = run_scripts_batch(net, scripts)
+            mismatches = diff_observables(oracle, batch)
         results.append(
             TopologyCaseResult(
                 case=case,
                 oracle=oracle,
                 batch=batch,
-                mismatches=diff_observables(oracle, batch),
+                mismatches=mismatches,
             )
         )
     return TopologyDifferentialReport(results=results)

@@ -161,7 +161,7 @@ class InvariantChecker:
             )
 
         balance = forwarder.cs.removed + len(forwarder.cs)
-        if forwarder.cs.insertions != balance:
+        if not forwarder.cs.ledger_balanced:
             found.append(
                 Violation(
                     router=name,

@@ -1,0 +1,137 @@
+"""Strategy × scheme × policy differential grid + compiler fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ndn.link import FixedDelay
+from repro.ndn.network import Network
+from repro.ndn.strategy import LcdStrategy
+from repro.sim.batch import (
+    BatchCompileError,
+    ConsumerScript,
+    FetchStep,
+    SleepStep,
+    diff_observables,
+    run_scripts,
+    run_scripts_reference,
+)
+from repro.sim.batch.compile import compile_topology
+from repro.validation.differential import (
+    TopologyCase,
+    default_topology_cases,
+    validate_topology_differential,
+)
+
+
+def strategy_cases():
+    return [c for c in default_topology_cases() if c.caching != "lce"]
+
+
+def test_grid_includes_strategy_axis():
+    cases = strategy_cases()
+    # Every non-LCE strategy appears, on more than one topology, and at
+    # least one strategy case rides a non-default replacement policy.
+    assert {c.caching for c in cases} == {
+        "lcd", "probcache", "edge", "cl4m", "bernoulli",
+    }
+    assert len({c.topology for c in cases}) >= 3
+    assert {c.policy for c in cases} != {"lru"}
+
+
+def test_strategy_cases_bit_identical():
+    report = validate_topology_differential(cases=strategy_cases())
+    assert report.ok, report.summary()
+
+
+def test_fallback_case_runs_reference_and_matches():
+    fallback = [c for c in default_topology_cases() if c.expect_fallback]
+    assert fallback, "grid must include a transparent-fallback case"
+    report = validate_topology_differential(cases=fallback)
+    assert report.ok, report.summary()
+    for result in report.results:
+        assert result.batch.kernel == "reference"
+
+
+def two_hop_network(caching=None, mixed=False):
+    """C - R1 - R2 - p, with a strategy spec per router."""
+    net = Network()
+    net.add_consumer("C0")
+    net.add_router("R1", capacity=4, caching=caching)
+    net.add_router("R2", capacity=4, caching=caching)
+    net.add_producer("p", "/content")
+    net.connect("C0", "R1", FixedDelay(1.0))
+    net.connect("R1", "R2", FixedDelay(1.0))
+    net.connect("R2", "p", FixedDelay(1.0))
+    net.add_route_chain("/content", "R1", "R2", "p")
+    if mixed:
+        # Simulate a network assembled from parts: one router counts
+        # origin hops, the other does not.
+        net["R1"].count_origin_hops = True
+        net["R2"].count_origin_hops = False
+    return net
+
+
+SCRIPTS = [
+    ConsumerScript(
+        consumer="C0",
+        steps=(
+            FetchStep("/content/a", timeout=4000.0),
+            SleepStep(5.0),
+            FetchStep("/content/a", timeout=4000.0),
+            FetchStep("/content/b", timeout=4000.0),
+        ),
+    )
+]
+
+
+class UnloweredStrategy(LcdStrategy):
+    """A user-defined subclass the compiler must refuse (exact-type
+    lowering), triggering the documented reference fallback."""
+
+    kind = "lcd-custom"
+
+
+def test_custom_strategy_subclass_refused_by_compiler():
+    net = two_hop_network(caching=UnloweredStrategy())
+    with pytest.raises(BatchCompileError, match="unsupported caching strategy"):
+        compile_topology(net, SCRIPTS)
+
+
+def test_custom_strategy_subclass_falls_back_transparently():
+    net = two_hop_network(caching=UnloweredStrategy())
+    batch = run_scripts(net, SCRIPTS, kernel="auto")
+    assert batch.kernel == "reference"
+    oracle = run_scripts_reference(
+        two_hop_network(caching=UnloweredStrategy()), SCRIPTS
+    )
+    assert diff_observables(oracle, batch) == []
+
+
+def test_custom_strategy_subclass_strict_kernel_raises():
+    net = two_hop_network(caching=UnloweredStrategy())
+    with pytest.raises(BatchCompileError):
+        run_scripts(net, SCRIPTS, kernel="batch")
+
+
+def test_mixed_hop_counting_refused():
+    net = two_hop_network(caching="lce", mixed=True)
+    with pytest.raises(BatchCompileError, match="count_origin_hops"):
+        compile_topology(net, SCRIPTS)
+
+
+@pytest.mark.parametrize("caching", ["lcd", "probcache", "bernoulli"])
+def test_builtin_strategies_compile_and_match(caching):
+    oracle = run_scripts_reference(two_hop_network(caching=caching), SCRIPTS)
+    batch = run_scripts(two_hop_network(caching=caching), SCRIPTS, kernel="batch")
+    assert batch.kernel == "batch"
+    assert diff_observables(oracle, batch) == []
+
+
+def test_declined_admissions_visible_in_observables():
+    batch = run_scripts(two_hop_network(caching="lcd"), SCRIPTS, kernel="batch")
+    declined = sum(
+        counters.get("cache_declined", 0)
+        for counters in batch.router_counters.values()
+    )
+    assert declined > 0

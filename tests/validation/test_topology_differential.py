@@ -29,7 +29,9 @@ def test_default_grid_is_bit_identical():
     # privacy schemes next to no-privacy, every replacement policy, and
     # a sub-RTT timeout case.
     cases = [r.case for r in report.results]
-    assert {c.topology for c in cases} == {"star", "tree", "fig3a_lan"}
+    assert {c.topology for c in cases} == {
+        "star", "tree", "fig3a_lan", "fat_tree",
+    }
     assert {c.scheme for c in cases} >= {
         "no-privacy",
         "uniform",
@@ -37,10 +39,17 @@ def test_default_grid_is_bit_identical():
         "always-delay",
     }
     assert {c.policy for c in cases} == {"lru", "fifo", "lfu", "random"}
+    # The grid exercises every caching strategy kind, plus one case that
+    # must transparently fall back to the reference engine.
+    assert {c.caching for c in cases} == {
+        "lce", "lcd", "probcache", "edge", "cl4m", "bernoulli",
+    }
+    assert any(c.expect_fallback for c in cases)
     assert any(c.timeout < 10.0 for c in cases)
     for result in report.results:
         assert result.oracle.kernel == "reference"
-        assert result.batch.kernel == "batch"
+        expected = "reference" if result.case.expect_fallback else "batch"
+        assert result.batch.kernel == expected
         assert result.oracle.total_delivered > 0
 
 
