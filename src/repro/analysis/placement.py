@@ -276,13 +276,15 @@ def run_placement_sweep(
                     base_seed=1000 + seed,
                 )
                 if reporter is not None:
+                    # reporter.time treats keyword arguments as record
+                    # meta, not call arguments — close over them so the
+                    # benched sweep runs the same configuration as the
+                    # unbenched one.
                     point, record = reporter.time(
                         label,
-                        run_placement_point,
-                        topology,
-                        scheme,
-                        strategy,
-                        **kwargs,
+                        lambda t=topology, sch=scheme, st=strategy: (
+                            run_placement_point(t, sch, st, **kwargs)
+                        ),
                     )
                     record.meta.update(
                         probe_accuracy=point.probe_accuracy,

@@ -12,6 +12,7 @@ Usage (installed as ``repro-experiments``, or ``python -m repro.cli``):
     repro-experiments trace --requests 50000 --out trace.tsv
     repro-experiments validate --requests 2000
     repro-experiments strategy --topologies fig3a_lan fat_tree
+    repro-experiments defend --attacks pollution flood adaptive
 
 Each command prints the same rows/series the corresponding paper figure
 plots; ``trace`` writes a synthetic IRCache-style trace in the TSV format
@@ -121,6 +122,9 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--skip-topology-differential", action="store_true",
                           help="skip the reference-engine-vs-batch-kernel "
                                "topology cross-check")
+    validate.add_argument("--skip-defense", action="store_true",
+                          help="skip the defense-off/monitor bit-identity "
+                               "transparency check")
 
     strategy = sub.add_parser(
         "strategy",
@@ -148,6 +152,23 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="frontier JSON artifact path")
     strategy.add_argument("--no-bench", action="store_true",
                           help="skip writing the BENCH_strategy.json record")
+
+    defend = sub.add_parser(
+        "defend",
+        help="closed defense loop: detection frontier sweep "
+             "(defense preset x attack)",
+    )
+    defend.add_argument("--defenses", nargs="+", default=None,
+                        help="defense presets (default: off, static, "
+                             "monitor, adaptive)")
+    defend.add_argument("--attacks", nargs="+", default=None,
+                        help="attacks to drive (default: pollution, flood, "
+                             "adaptive)")
+    defend.add_argument("--seed", type=int, default=0)
+    defend.add_argument("--out", default="defense_frontier.json",
+                        help="frontier JSON artifact path")
+    defend.add_argument("--no-bench", action="store_true",
+                        help="skip writing the BENCH_detection.json record")
 
     profile = sub.add_parser(
         "profile",
@@ -225,6 +246,10 @@ def _build_parser() -> argparse.ArgumentParser:
     daemon_cmd.add_argument("--name", default="ndn-daemon")
     daemon_cmd.add_argument("--scheme", default="no-privacy",
                             help="privacy scheme (swap live via mgmt channel)")
+    daemon_cmd.add_argument("--defense", default=None,
+                            choices=["off", "static", "monitor", "adaptive"],
+                            help="online defense preset (swap live via the "
+                                 "mgmt 'defense' command)")
     daemon_cmd.add_argument("--seed", type=int, default=0)
     daemon_cmd.add_argument("--listen", action="append", default=[],
                             metavar="HOST:PORT",
@@ -336,6 +361,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "strategy":
         return _run_strategy(args)
 
+    if args.command == "defend":
+        return _run_defend(args)
+
     if args.command == "deploy":
         return _run_deploy(args)
 
@@ -414,6 +442,20 @@ def _run_validate(args) -> int:
             for case in topo_report.failures:
                 print(f"  - {case.case.label}: " + "; ".join(case.mismatches))
 
+    if not args.skip_defense:
+        from repro.defense import defense_transparency_mismatches
+
+        mismatches = defense_transparency_mismatches(seed=args.seed)
+        print(
+            f"defense transparency: "
+            f"{'ok' if not mismatches else 'MISMATCH'} "
+            f"(off vs monitor, benign + attacked)"
+        )
+        if mismatches:
+            failed = True
+            for mismatch in mismatches[:20]:
+                print(f"  - {mismatch}")
+
     print("validation", "FAILED" if failed else "passed")
     return 1 if failed else 0
 
@@ -469,6 +511,58 @@ def _run_strategy(args) -> int:
         encoding="utf-8",
     )
     print(f"wrote frontier artifact to {out}")
+    if reporter is not None:
+        bench_path = reporter.write()
+        print(f"wrote bench record to {bench_path}")
+    return 0
+
+
+def _run_defend(args) -> int:
+    """Detection-frontier sweep; writes artifact + bench record."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.defense import SWEEP_ATTACKS, run_defense_sweep
+    from repro.defense import DEFENSE_PRESETS
+    from repro.perf.timing import BenchReporter
+
+    defenses = args.defenses if args.defenses else list(DEFENSE_PRESETS)
+    attacks = args.attacks if args.attacks else list(SWEEP_ATTACKS)
+    reporter = None
+    if not args.no_bench:
+        reporter = BenchReporter(
+            "detection",
+            scale={
+                "defenses": list(defenses),
+                "attacks": list(attacks),
+                "seed": args.seed,
+            },
+        )
+    frontier = run_defense_sweep(
+        defenses=defenses,
+        attacks=attacks,
+        seed=args.seed,
+        reporter=reporter,
+    )
+    print(frontier.render())
+    for attack in attacks:
+        best = frontier.best_defense(attack)
+        latency = (
+            f"{best.detection_latency:.1f}ms"
+            if best.detection_latency is not None
+            else "n/a"
+        )
+        print(
+            f"\nbest vs {attack}: {best.defense} "
+            f"(attack success {best.attack_success:.3f}, "
+            f"detection latency {latency})"
+        )
+    out = Path(args.out)
+    out.write_text(
+        json.dumps(frontier.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\nwrote frontier artifact to {out}")
     if reporter is not None:
         bench_path = reporter.write()
         print(f"wrote bench record to {bench_path}")
@@ -570,7 +664,12 @@ def _run_deploy_daemon(args) -> int:
 
     async def serve() -> int:
         daemon = ForwarderDaemon(
-            DaemonConfig(name=args.name, seed=args.seed, scheme=args.scheme)
+            DaemonConfig(
+                name=args.name,
+                seed=args.seed,
+                scheme=args.scheme,
+                defense=args.defense,
+            )
         )
         supervisor = Supervisor(
             daemon,

@@ -1,0 +1,104 @@
+"""Typed alarms: the event contract between detectors and mitigation.
+
+Detectors (:mod:`repro.defense.detectors`) never mutate forwarder state;
+they emit :class:`Alarm` records, and the mitigation controller
+(:mod:`repro.defense.controller`) decides what — if anything — to do
+about each one.  Keeping the boundary a frozen value type makes the
+defense loop auditable: every decision the closed loop took is
+reconstructible from the :class:`AlarmLog` plus the controller's
+mitigation ledger, which is what the detection-latency experiments and
+the false-positive suite read.
+
+Alarms are keyed on ``face_label`` (the stable wiring name), never on
+``Face.face_id`` — face ids are process-global allocation order and
+change when unrelated topologies are built first in the same process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: The attack classes the detector suite covers (see ISSUE/ROADMAP item 5):
+#: ``pollution`` — cache pollution (wide unpopular catalog churn),
+#: ``flood`` — interest flooding (dangling PIT state),
+#: ``probe`` — cache probing (the paper's timing adversary signature).
+ALARM_KINDS = ("pollution", "flood", "probe")
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One detector firing: an attack class attributed to one face.
+
+    Attributes:
+        kind: one of :data:`ALARM_KINDS`.
+        router: name of the forwarder the detector observed.
+        face_label: stable label of the suspect arrival face.
+        time: simulated time (ms) the alarm was raised.
+        severity: detector-specific score in ``[0, 1]`` (e.g. the
+            first-seen EWMA for pollution) — higher is more confident.
+        detail: human-readable evidence summary for logs and reports.
+    """
+
+    kind: str
+    router: str
+    face_label: str
+    time: float
+    severity: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time:.1f}ms] {self.kind}@{self.router} "
+            f"face={self.face_label} sev={self.severity:.3f} {self.detail}"
+        )
+
+
+class AlarmLog:
+    """A bounded, append-only record of raised alarms.
+
+    The bound keeps a misbehaving detector from accumulating unbounded
+    state on long soaks; ``total`` still counts every alarm ever raised
+    so rates stay measurable after truncation.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.total = 0
+        self._alarms: List[Alarm] = []
+
+    def record(self, alarm: Alarm) -> None:
+        """Append one alarm (oldest entries drop past ``capacity``)."""
+        self.total += 1
+        self._alarms.append(alarm)
+        if len(self._alarms) > self.capacity:
+            del self._alarms[0]
+
+    @property
+    def alarms(self) -> List[Alarm]:
+        """Retained alarms in raise order (copy)."""
+        return list(self._alarms)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Alarms raised so far, optionally restricted to one kind."""
+        if kind is None:
+            return self.total
+        return sum(1 for a in self._alarms if a.kind == kind)
+
+    def first(self, kind: Optional[str] = None) -> Optional[Alarm]:
+        """The earliest retained alarm (of ``kind``, when given)."""
+        for alarm in self._alarms:
+            if kind is None or alarm.kind == kind:
+                return alarm
+        return None
+
+    def __len__(self) -> int:
+        return len(self._alarms)
+
+    def __iter__(self):
+        return iter(self._alarms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AlarmLog(total={self.total}, retained={len(self._alarms)})"

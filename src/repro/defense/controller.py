@@ -1,0 +1,227 @@
+"""Adaptive mitigation: graceful degradation driven by alarms.
+
+The :class:`MitigationController` closes the defense loop: it consumes
+:class:`~repro.defense.alarms.Alarm` records and applies *reversible*
+per-face countermeasures on its forwarder —
+
+* **throttle** — an escalated token bucket on the suspect face, far
+  tighter than any configured static admission (rejections answer with a
+  congestion Nack through the forwarder's ``defense_throttled`` path);
+* **quarantine** — CS entries the pollution detector attributes to the
+  suspect face are purged (``cache_quarantined``), and while the face
+  stays suspect, content fanning out *only* to suspect faces is vetoed
+  from admission;
+* **shed** — PIT entries held open solely by the suspect face are
+  dropped (``pit_shed``), reclaiming table space from a flood without
+  waiting out interest lifetimes.
+
+Every action appends a :class:`Mitigation` audit record — the
+false-positive suite asserts this ledger stays EMPTY on benign traffic.
+
+De-escalation is hysteretic: a face is released only after ``hold`` ms
+with no new alarm against it, so a periodic attacker cannot oscillate
+the defense.  Release restores the static configuration exactly (the
+escalated bucket is discarded, not merged).
+
+Determinism: all decisions are pure functions of (alarm stream, the
+forwarder's simulated clock); suspect/throttle maps iterate in insertion
+order and PIT sheds walk :meth:`~repro.ndn.pit.Pit.names` (sorted), so a
+run is bit-reproducible across processes and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
+
+from repro.defense.alarms import Alarm
+from repro.ndn.admission import TokenBucket
+
+if TYPE_CHECKING:  # typing only — keep import edges thin
+    from repro.ndn.forwarder import Forwarder
+    from repro.ndn.link import Face
+    from repro.ndn.name import Name
+
+
+@dataclass(frozen=True)
+class MitigationPolicy:
+    """Knobs for the graceful-degradation ladder.
+
+    Attributes:
+        throttle_rate: interests/s a suspect face is held to.
+        throttle_burst: escalated bucket depth (back-to-back budget).
+        hold: hysteresis in ms — a face is released this long after the
+            *last* alarm against it, never sooner.
+        quarantine: purge + veto CS admissions for suspect faces.
+        shed: drop PIT entries held only by suspect faces on flood alarms.
+        max_shed: upper bound on entries shed per alarm (keeps one alarm
+            from emptying a shared PIT).
+    """
+
+    throttle_rate: float = 50.0
+    throttle_burst: float = 8.0
+    hold: float = 4000.0
+    quarantine: bool = True
+    shed: bool = True
+    max_shed: int = 64
+
+    def __post_init__(self) -> None:
+        if self.throttle_rate <= 0:
+            raise ValueError(f"throttle_rate must be > 0, got {self.throttle_rate}")
+        if self.throttle_burst <= 0:
+            raise ValueError(f"throttle_burst must be > 0, got {self.throttle_burst}")
+        if self.hold <= 0:
+            raise ValueError(f"hold must be > 0, got {self.hold}")
+        if self.max_shed < 0:
+            raise ValueError(f"max_shed must be >= 0, got {self.max_shed}")
+
+
+@dataclass(frozen=True)
+class Mitigation:
+    """One audit-ledger entry: an action taken against a face."""
+
+    time: float
+    action: str  # "throttle" | "quarantine" | "shed" | "release"
+    face_label: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time:.1f}ms] {self.action} face={self.face_label} {self.detail}"
+
+
+class MitigationController:
+    """Maps alarms to per-face mitigations on one forwarder."""
+
+    def __init__(
+        self, forwarder: "Forwarder", policy: MitigationPolicy = MitigationPolicy()
+    ) -> None:
+        self.forwarder = forwarder
+        self.policy = policy
+        #: face label -> escalated token bucket (insertion order).
+        self._throttles: Dict[str, TokenBucket] = {}
+        #: face label -> time of the last alarm against it.
+        self._suspects: Dict[str, float] = {}
+        #: Append-only audit ledger of every action taken.
+        self.mitigations: List[Mitigation] = []
+
+    # ------------------------------------------------------------------
+    # Escalation
+    # ------------------------------------------------------------------
+    def on_alarm(
+        self, alarm: Alarm, now: float, purge_names: Iterable["Name"] = ()
+    ) -> None:
+        """Escalate against the alarmed face (idempotent while suspect)."""
+        label = alarm.face_label
+        fresh = label not in self._suspects
+        self._suspects[label] = now
+        if fresh:
+            self._throttles[label] = TokenBucket(
+                rate_per_ms=self.policy.throttle_rate / 1000.0,
+                depth=self.policy.throttle_burst,
+                now=now,
+            )
+            self._record(
+                now,
+                "throttle",
+                label,
+                f"{alarm.kind} alarm (sev {alarm.severity:.2f}): admission "
+                f"capped at {self.policy.throttle_rate:g}/s",
+            )
+        if alarm.kind == "pollution" and self.policy.quarantine:
+            self._quarantine(label, now, purge_names)
+        if alarm.kind == "flood" and self.policy.shed:
+            self._shed(label, now)
+
+    def _quarantine(
+        self, label: str, now: float, purge_names: Iterable["Name"]
+    ) -> None:
+        purged = 0
+        for name in purge_names:
+            if self.forwarder.cs.purge(name) is not None:
+                self.forwarder.monitor.count("cache_quarantined")
+                purged += 1
+        if purged:
+            self._record(
+                now, "quarantine", label, f"purged {purged} suspect CS entries"
+            )
+
+    def _shed(self, label: str, now: float) -> None:
+        shed = 0
+        pit = self.forwarder.pit
+        for name in pit.names:  # sorted — deterministic shed order
+            if shed >= self.policy.max_shed:
+                break
+            entry = pit.lookup(name)
+            if entry is None:
+                continue
+            # Only entries held open *solely* by the suspect face: honest
+            # consumers collapsed onto the same name keep their entry.
+            if all(face.label == label for face in entry.faces):
+                if self.forwarder.shed_pit_entry(name):
+                    shed += 1
+        if shed:
+            self._record(now, "shed", label, f"dropped {shed} dangling PIT entries")
+
+    # ------------------------------------------------------------------
+    # Enforcement (called from forwarder hooks via the agent)
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True while any face is under mitigation."""
+        return bool(self._suspects)
+
+    def suspect_labels(self) -> List[str]:
+        """Labels currently under mitigation (escalation order)."""
+        return list(self._suspects)
+
+    def allow_interest(self, face: "Face", now: float) -> bool:
+        """Admission verdict for one interest on ``face``."""
+        bucket = self._throttles.get(face.label)
+        if bucket is None:
+            return True
+        return bucket.allow(now)
+
+    def veto_cache(self, name: "Name", downstreams: Sequence["Face"]) -> bool:
+        """True when content would serve *only* faces under mitigation."""
+        if not self._suspects or not downstreams:
+            return False
+        return all(face.label in self._suspects for face in downstreams)
+
+    # ------------------------------------------------------------------
+    # De-escalation
+    # ------------------------------------------------------------------
+    def deescalate(self, now: float) -> List[str]:
+        """Release every face quiet for ``policy.hold`` ms; returns them."""
+        released = [
+            label
+            for label, last in self._suspects.items()
+            if now - last >= self.policy.hold
+        ]
+        for label in released:
+            del self._suspects[label]
+            self._throttles.pop(label, None)
+            self._record(
+                now, "release", label,
+                f"no alarms for {self.policy.hold:g}ms; static admission restored",
+            )
+        return released
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _record(self, now: float, action: str, label: str, detail: str) -> None:
+        self.mitigations.append(
+            Mitigation(time=now, action=action, face_label=label, detail=detail)
+        )
+
+    def reset(self) -> None:
+        """Forget all mitigations and the audit ledger (between trials)."""
+        self._throttles.clear()
+        self._suspects.clear()
+        self.mitigations.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MitigationController({self.forwarder.name}, "
+            f"suspects={list(self._suspects)}, actions={len(self.mitigations)})"
+        )

@@ -1,0 +1,403 @@
+"""Streaming attack detectors: O(1) state updates per observed packet.
+
+Each detector watches the interest pipeline of ONE forwarder through the
+hooks in :class:`~repro.ndn.forwarder.Forwarder` and keeps small per-face
+state keyed by ``face.label``.  A detector's ``observe_*`` method returns
+``None`` on the hot path; when its evidence crosses the configured
+threshold it returns a ``(severity, detail)`` pair and the agent wraps it
+into an :class:`~repro.defense.alarms.Alarm`.  Per-face alarm cooldowns
+keep a sustained attack from raising one alarm per packet.
+
+Determinism: detector state is a pure function of the observed packet
+sequence — no RNG, no wall-clock.  Name hashing uses ``zlib.crc32`` over
+the canonical URI (never python's ``hash``, which is randomized across
+processes), so sketch contents are bit-identical across runs and worker
+counts.
+
+The three detectors map to the attack classes of ROADMAP item 5:
+
+* :class:`PollutionDetector` — ELDA-style per-face novelty sketch: a
+  two-generation CRC bitmap remembers (approximately) the names a face
+  requested recently; an EWMA of the *first-seen* indicator measures how
+  much of the face's traffic is never-repeated catalog churn.  Zipf-ish
+  benign traffic re-requests its hot set and keeps the EWMA low; a
+  pollution attacker drawing uniformly from a wide catalog drives it up.
+* :class:`FloodDetector` — attributes unsatisfied-PIT expiries back to
+  the faces that opened them; a face whose forwarded interests
+  overwhelmingly expire unanswered is flooding unsatisfiable names.
+* :class:`ProbeDetector` — matches the cache-probe signature of
+  :class:`~repro.attacks.timing.CacheProbeAttack`: a same-name priming
+  streak (the reference measurements) followed by a run of distinct
+  one-shot probes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.ndn.name import Name
+
+#: A detector firing: (severity in [0,1], human-readable evidence).
+Fired = Optional[Tuple[float, str]]
+
+
+def _name_crc(name: Name) -> int:
+    """Stable 32-bit hash of a name (URI CRC; never python ``hash``)."""
+    return zlib.crc32(str(name).encode("utf-8"))
+
+
+class Detector:
+    """Base class: default no-op observers so detectors implement only
+    the hooks they need."""
+
+    #: Alarm kind this detector raises (one of ``ALARM_KINDS``).
+    kind = "unknown"
+
+    def observe_interest(
+        self, name: Name, face_label: str, now: float, hit: bool
+    ) -> Fired:
+        """One admitted interest (after the CS verdict); ``hit`` is True
+        when it was served from the cache (possibly disguised)."""
+        return None
+
+    def observe_pit_expired(
+        self, name: Name, face_labels: List[str], now: float
+    ) -> Fired:
+        """One PIT entry expired unsatisfied; ``face_labels`` are the
+        downstream faces that were waiting on it."""
+        return None
+
+    def observe_pit_overflow(
+        self, name: Name, face_label: str, now: float
+    ) -> Fired:
+        """A bounded PIT rejected this face's interest (drop-new)."""
+        return None
+
+    def reset(self) -> None:
+        """Drop all per-face state (between trials)."""
+        raise NotImplementedError
+
+
+class _SketchState:
+    """Per-face novelty sketch + EWMA (see :class:`PollutionDetector`)."""
+
+    __slots__ = (
+        "current", "previous", "fill", "ewma", "samples",
+        "last_alarm", "recent",
+    )
+
+    def __init__(self, recent_depth: int) -> None:
+        self.current = 0  # bitmap of this generation's name CRCs
+        self.previous = 0  # last generation's bitmap
+        self.fill = 0  # distinct bits set in current
+        self.ewma = 0.0  # first-seen indicator EWMA
+        self.samples = 0
+        self.last_alarm = float("-inf")
+        self.recent: Deque[Name] = deque(maxlen=recent_depth)
+
+
+class PollutionDetector(Detector):
+    """Per-face first-seen-ratio sketch for cache-pollution detection.
+
+    Each face owns a two-generation bitmap of ``2**sketch_bits`` buckets.
+    An interest's name CRC selects one bucket; the name is *first-seen*
+    if its bucket is clear in both generations.  When a generation
+    accumulates ``generation`` distinct buckets it rotates (current →
+    previous), so the sketch remembers roughly the last ``2×generation``
+    distinct names with O(1) work and two ints of state per face — the
+    streaming-sketch idea behind ELDA-style pollution detectors.
+
+    The EWMA of the first-seen indicator starts at 0 (a face is innocent
+    until it shows sustained novelty) and must climb through
+    ``threshold`` — which takes ``ln(1-threshold)/ln(1-alpha)``
+    consecutive novel requests from a standing start — giving a bounded,
+    configurable detection budget.  ``min_samples`` stops a face's first
+    few (necessarily novel) requests from alarming during cold start.
+    """
+
+    kind = "pollution"
+
+    def __init__(
+        self,
+        sketch_bits: int = 12,
+        generation: int = 256,
+        alpha: float = 0.04,
+        threshold: float = 0.55,
+        min_samples: int = 96,
+        cooldown: float = 1000.0,
+        recent_depth: int = 64,
+    ) -> None:
+        if not 1 <= sketch_bits <= 24:
+            raise ValueError(f"sketch_bits must be in [1, 24], got {sketch_bits}")
+        if generation < 1:
+            raise ValueError(f"generation must be >= 1, got {generation}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.sketch_bits = sketch_bits
+        self.generation = generation
+        self.alpha = alpha
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self.recent_depth = recent_depth
+        self._mask = (1 << sketch_bits) - 1
+        self._faces: Dict[str, _SketchState] = {}
+
+    def _state(self, face_label: str) -> _SketchState:
+        state = self._faces.get(face_label)
+        if state is None:
+            state = _SketchState(self.recent_depth)
+            self._faces[face_label] = state
+        return state
+
+    def observe_interest(
+        self, name: Name, face_label: str, now: float, hit: bool
+    ) -> Fired:
+        state = self._state(face_label)
+        bit = 1 << (_name_crc(name) & self._mask)
+        first_seen = not ((state.current | state.previous) & bit)
+        if first_seen:
+            state.current |= bit
+            state.fill += 1
+            if state.fill >= self.generation:
+                state.previous = state.current
+                state.current = 0
+                state.fill = 0
+            state.recent.append(name)
+        state.ewma += self.alpha * ((1.0 if first_seen else 0.0) - state.ewma)
+        state.samples += 1
+        if (
+            state.samples >= self.min_samples
+            and state.ewma >= self.threshold
+            and now - state.last_alarm >= self.cooldown
+        ):
+            state.last_alarm = now
+            return (
+                min(1.0, state.ewma),
+                f"first-seen EWMA {state.ewma:.3f} >= {self.threshold} "
+                f"after {state.samples} interests",
+            )
+        return None
+
+    def recent_first_seen(self, face_label: str) -> Tuple[Name, ...]:
+        """The face's most recent first-seen names (quarantine candidates)."""
+        state = self._faces.get(face_label)
+        return tuple(state.recent) if state is not None else ()
+
+    def first_seen_ewma(self, face_label: str) -> float:
+        """Current novelty EWMA for a face (0.0 if never observed)."""
+        state = self._faces.get(face_label)
+        return state.ewma if state is not None else 0.0
+
+    def reset(self) -> None:
+        self._faces.clear()
+
+
+class _FloodState:
+    __slots__ = ("forwarded", "expired", "overflowed", "last_alarm")
+
+    def __init__(self) -> None:
+        self.forwarded = 0  # cache misses this face injected
+        self.expired = 0  # PIT expiries attributed to this face
+        self.overflowed = 0  # bounded-PIT drop-new rejections of this face
+        self.last_alarm = float("-inf")
+
+
+class FloodDetector(Detector):
+    """Unsatisfied-interest attribution for interest-flood detection.
+
+    Every cache miss a face injects is a potential PIT entry.  Two
+    outcomes attribute flood evidence back to the face: a PIT entry
+    *expiring* unsatisfied (unbounded tables — the dangling-state
+    signature), and a bounded PIT *rejecting* the face's interest
+    (drop-new overflow — once the table saturates, flood interests never
+    insert, so they can never expire; the rejection itself is the
+    evidence).  A face whose evidence is both large (``min_expired``)
+    and a large fraction of its misses (``threshold``) is flooding.  The
+    counters reset on each alarm, so repeated alarms require fresh
+    evidence (and stop once mitigation chokes the flood off).
+    """
+
+    kind = "flood"
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        min_expired: int = 20,
+        cooldown: float = 2000.0,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if min_expired < 1:
+            raise ValueError(f"min_expired must be >= 1, got {min_expired}")
+        self.threshold = threshold
+        self.min_expired = min_expired
+        self.cooldown = cooldown
+        self._faces: Dict[str, _FloodState] = {}
+
+    def _state(self, face_label: str) -> _FloodState:
+        state = self._faces.get(face_label)
+        if state is None:
+            state = _FloodState()
+            self._faces[face_label] = state
+        return state
+
+    def observe_interest(
+        self, name: Name, face_label: str, now: float, hit: bool
+    ) -> Fired:
+        if not hit:
+            self._state(face_label).forwarded += 1
+        return None
+
+    def _evaluate(self, label: str, state: _FloodState, now: float) -> Fired:
+        evidence = state.expired + state.overflowed
+        if (
+            evidence >= self.min_expired
+            and state.forwarded > 0
+            and evidence / state.forwarded >= self.threshold
+            and now - state.last_alarm >= self.cooldown
+        ):
+            ratio = evidence / state.forwarded
+            detail = (
+                f"{state.expired} expired + {state.overflowed} overflow-"
+                f"dropped of {state.forwarded} misses (ratio {ratio:.2f})"
+            )
+            state.last_alarm = now
+            state.forwarded = 0
+            state.expired = 0
+            state.overflowed = 0
+            self._worst = label
+            return (min(1.0, ratio), detail)
+        return None
+
+    def observe_pit_expired(
+        self, name: Name, face_labels: List[str], now: float
+    ) -> Fired:
+        fired: Fired = None
+        for label in face_labels:
+            state = self._state(label)
+            state.expired += 1
+            # One expiry names several faces only under collapse; report
+            # the worst offender (first to cross) this event.
+            if fired is None:
+                fired = self._evaluate(label, state, now)
+        return fired
+
+    def observe_pit_overflow(
+        self, name: Name, face_label: str, now: float
+    ) -> Fired:
+        state = self._state(face_label)
+        state.overflowed += 1
+        return self._evaluate(face_label, state, now)
+
+    def last_offender(self) -> Optional[str]:
+        """Face label of the most recent alarm (agent attribution aid)."""
+        return getattr(self, "_worst", None)
+
+    def reset(self) -> None:
+        self._faces.clear()
+        if hasattr(self, "_worst"):
+            del self._worst
+
+
+class _ProbeState:
+    __slots__ = (
+        "last_name", "streak", "armed_at", "armed_streak", "armed_seen",
+    )
+
+    def __init__(self) -> None:
+        self.last_name: Optional[Name] = None
+        self.streak = 0
+        self.armed_at = float("-inf")  # -inf = not armed
+        self.armed_streak = 0
+        self.armed_seen: set = set()  # distinct one-shot names while armed
+
+
+class ProbeDetector(Detector):
+    """Cache-probe signature matcher (the paper's timing adversary).
+
+    :class:`~repro.attacks.timing.CacheProbeAttack` fetches a reference
+    name repeatedly (priming + per-probe baselines: a same-name streak),
+    then probes each target exactly once (a run of distinct names).
+    Benign consumers interleave and re-request; the back-to-back
+    streak-then-distinct shape on a single face is the probe fingerprint.
+
+    A streak of ``streak_min`` arms the detector for ``armed_window`` ms;
+    ``distinct_min`` *one-shot distinct* names while armed raises the
+    alarm.  Any revisit of an already-probed name while armed DISARMS the
+    detector — probes are strictly one-shot, while benign consumers
+    revisit their working set almost immediately, which is what keeps the
+    false-positive rate at zero on Zipf-shaped traffic.
+    """
+
+    kind = "probe"
+
+    def __init__(
+        self,
+        streak_min: int = 5,
+        distinct_min: int = 12,
+        armed_window: float = 60000.0,
+        cooldown: float = 5000.0,
+    ) -> None:
+        if streak_min < 2:
+            raise ValueError(f"streak_min must be >= 2, got {streak_min}")
+        if distinct_min < 1:
+            raise ValueError(f"distinct_min must be >= 1, got {distinct_min}")
+        self.streak_min = streak_min
+        self.distinct_min = distinct_min
+        self.armed_window = armed_window
+        self.cooldown = cooldown
+        self._faces: Dict[str, _ProbeState] = {}
+        self._last_alarm: Dict[str, float] = {}
+
+    def _state(self, face_label: str) -> _ProbeState:
+        state = self._faces.get(face_label)
+        if state is None:
+            state = _ProbeState()
+            self._faces[face_label] = state
+        return state
+
+    def observe_interest(
+        self, name: Name, face_label: str, now: float, hit: bool
+    ) -> Fired:
+        state = self._state(face_label)
+        if name == state.last_name:
+            state.streak += 1
+            return None
+        streak = state.streak
+        state.last_name = name
+        state.streak = 1
+        if streak >= self.streak_min:
+            state.armed_at = now
+            state.armed_streak = streak
+            state.armed_seen = set()
+        if now - state.armed_at > self.armed_window:
+            return None
+        if name in state.armed_seen:
+            # A revisit while armed: consumers re-request their working
+            # set; a probe run never does.  Stand down.
+            state.armed_at = float("-inf")
+            state.armed_seen = set()
+            return None
+        state.armed_seen.add(name)
+        if len(state.armed_seen) >= self.distinct_min:
+            state.armed_at = float("-inf")
+            state.armed_seen = set()
+            last = self._last_alarm.get(face_label, float("-inf"))
+            if now - last < self.cooldown:
+                return None
+            self._last_alarm[face_label] = now
+            return (
+                1.0,
+                f"same-name streak of {state.armed_streak} followed by "
+                f"{self.distinct_min} distinct one-shot probes",
+            )
+        return None
+
+    def reset(self) -> None:
+        self._faces.clear()
+        self._last_alarm.clear()

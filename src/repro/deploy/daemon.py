@@ -95,6 +95,9 @@ class DaemonConfig:
     tx_queue: int = 1024
     #: Engine-ms per wall-ms stretch factor (tests slow scenarios down).
     time_scale: float = 1.0
+    #: Online defense preset (``monitor``/``adaptive``; None or
+    #: ``off``/``static`` run without a defense agent).
+    defense: Optional[str] = None
 
 
 class ForwarderDaemon:
@@ -105,6 +108,7 @@ class ForwarderDaemon:
         self.rng = RngRegistry(self.config.seed)
         self.engine: Optional[RealTimeEngine] = None
         self.forwarder: Optional[Forwarder] = None
+        self.defense_agent = None  # DefenseAgent when a preset is active
         self.faces: Dict[int, AsyncUdpFace] = {}
         self.draining = False
         self.ready = False
@@ -140,6 +144,8 @@ class ForwarderDaemon:
             rate_limit=cfg.rate_limit,
             nack_on_no_route=cfg.nack_on_no_route,
         )
+        if cfg.defense is not None:
+            self.set_defense(cfg.defense)
         self._started = True
         self.ready = True
         return self
@@ -237,6 +243,36 @@ class ForwarderDaemon:
         self.forwarder.scheme = new
         return new
 
+    def set_defense(self, preset: str):
+        """Install (or remove) the online defense agent by preset name.
+
+        ``monitor`` and ``adaptive`` attach a
+        :class:`~repro.defense.agent.DefenseAgent` to the live forwarder;
+        ``off``/``static`` detach any agent, restoring the undefended
+        hot path.  Returns the agent (None when detached).
+        """
+        from repro.defense import DefenseConfig, install_defense, uninstall_defense
+
+        if self.forwarder is None:
+            raise TopologyError("daemon not started")
+        config = DefenseConfig.preset(preset)
+        if config is None:
+            uninstall_defense(self.forwarder)
+            self.defense_agent = None
+        else:
+            self.defense_agent = install_defense(self.forwarder, config)
+        self.config.defense = preset
+        return self.defense_agent
+
+    def defense_status(self) -> Dict[str, object]:
+        """Alarm/mitigation snapshot for the mgmt ``alarms`` command."""
+        if self.defense_agent is None:
+            return {"installed": False, "preset": self.config.defense}
+        status = self.defense_agent.status()
+        status["installed"] = True
+        status["preset"] = self.config.defense
+        return status
+
     def _face(self, face_id: int) -> AsyncUdpFace:
         try:
             return self.faces[face_id]
@@ -272,6 +308,7 @@ class ForwarderDaemon:
             "summary": fwd.stats_summary(),
             "counters": fwd.monitor.counters,
             "drained_interests": self.drained_interests,
+            "defense": self.defense_status(),
             "faces": {fid: face.stats() for fid, face in self.faces.items()},
         }
 

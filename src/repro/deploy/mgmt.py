@@ -15,6 +15,9 @@ Commands::
     add-route <prefix> <face-id>   install a FIB route
     remove-route <prefix> <face-id>
     scheme <name>                  swap privacy scheme (flushes the CS)
+    defense <preset>               swap defense preset (off/static/monitor/
+                                   adaptive) on the live forwarder
+    alarms                         defense alarm/mitigation snapshot (json)
     drain                          stop admitting new interests
     undrain                        resume admission
     quit                           close this connection
@@ -148,6 +151,14 @@ class MgmtServer:
                 raise MgmtError("usage: scheme <name>")
             scheme = daemon.set_scheme(args[0])
             return f"ok scheme {scheme.name}"
+        if command == "defense":
+            if len(args) != 1:
+                raise MgmtError("usage: defense <preset>")
+            agent = daemon.set_defense(args[0])
+            state = "armed" if agent is not None else "detached"
+            return f"ok defense {args[0]} ({state})"
+        if command == "alarms":
+            return "ok " + json.dumps(daemon.defense_status(), sort_keys=True)
         if command == "drain":
             daemon.drain()
             return "ok draining"

@@ -20,7 +20,9 @@ the two reports and returns every disagreement.
 
 :func:`run_soak` is the robustness counterpart: a supervised daemon
 behind a *faulty* chaos proxy survives a malformed-datagram flood, an
-interest flood, a management-channel garbage flood, and a producer
+interest flood, a management-channel garbage flood, a cache-pollution
+flood against its live online defense (which must alarm and throttle
+the attacker while honest traffic keeps flowing), and a producer
 crash/restart — with zero task crashes and the :mod:`repro.validation`
 conservation laws holding on its counters at quiescence.
 """
@@ -421,6 +423,12 @@ class SoakSpec:
     flood_interests: int = 200
     #: Fetches attempted while the producer is down / after restart.
     crash_fetches: int = 5
+    #: Pollution fetches blasted from the attacker face while the daemon's
+    #: online defense is armed (the closed-loop phase).
+    pollution_interests: int = 240
+    #: Defense preset armed live for the pollution phase; ``off`` or
+    #: ``static`` skip the phase entirely.
+    defense: str = "adaptive"
     pit_capacity: int = 64
     loss_rate: float = 0.15
     corrupt_prob: float = 0.1
@@ -517,6 +525,8 @@ async def _run_soak_async(spec: SoakSpec) -> SoakReport:
     )
     fetch_rng = rng.stream("soak:retry-jitter")
     junk_rng = rng.stream("soak:junk")
+    attacker: Optional[AsyncConsumer] = None
+    attacker_proxy: Optional[ChaosUdpProxy] = None
 
     try:
         # Phase 1: background traffic through the faulty proxy.
@@ -582,7 +592,100 @@ async def _run_soak_async(spec: SoakSpec) -> SoakReport:
             "refused_or_lost": spec.flood_interests - served,
         }
 
-        # Phase 5: producer crash, fetches fail, restart, fetches recover.
+        # Phase 5: cache-pollution flood from a dedicated attacker face,
+        # also behind a faulty chaos proxy.  The daemon arms its online
+        # defense live, must detect the flood (pollution alarm), throttle
+        # the attacker's face, and keep serving honest traffic meanwhile.
+        if spec.defense not in ("off", "static"):
+            daemon.set_defense(spec.defense)
+            face_attacker = await daemon.add_udp_face(label="soak:attacker")
+            attacker = AsyncConsumer(engine, name="soak-attacker")
+            await attacker.attach(label="attacker:soak")
+            attacker_proxy = ChaosUdpProxy(
+                rng.stream("chaos:soak-attacker"),
+                config=ChaosConfig(
+                    loss=None,
+                    delay_range=(0.0, 0.002),
+                    duplicate_prob=spec.duplicate_prob,
+                    reorder_prob=spec.reorder_prob,
+                    corrupt_prob=spec.corrupt_prob,
+                ),
+            )
+            attacker_proxy.config.loss = IidLoss(spec.loss_rate)
+            await attacker_proxy.start(
+                peer_a=attacker.face.local_addr,
+                peer_b=face_attacker.local_addr,
+            )
+            attacker.face.set_peer(attacker_proxy.addr_a)
+            face_attacker.set_peer(attacker_proxy.addr_b)
+
+            pollute_policy = RetryPolicy(retries=0, timeout=120.0, backoff=1.0)
+            landed = refused = 0
+            sent = 0
+            while sent < spec.pollution_interests:
+                chunk = min(16, spec.pollution_interests - sent)
+                results = await asyncio.gather(
+                    *(
+                        attacker.fetch_or_none(
+                            f"{spec.prefix}/pollute-{sent + j:05d}",
+                            retry=pollute_policy,
+                        )
+                        for j in range(chunk)
+                    )
+                )
+                landed += sum(1 for r in results if r is not None)
+                refused += sum(1 for r in results if r is None)
+                sent += chunk
+            # Honest traffic must still be served during mitigation.
+            honest_ok = 0
+            for i in range(5):
+                got = await consumer.fetch_or_none(
+                    f"{spec.prefix}/soak-{i % 10}", retry=retry, rng=fetch_rng
+                )
+                honest_ok += got is not None
+            agent = daemon.defense_agent
+            pollution_alarms = agent.log.count("pollution") if agent else 0
+            throttled = int(
+                daemon.forwarder.monitor.counter("defense_throttled")
+            )
+            report.phases["pollution_defense"] = {
+                "sent": sent,
+                "landed": landed,
+                "refused_or_lost": refused,
+                "alarms": agent.log.total if agent else 0,
+                "pollution_alarms": pollution_alarms,
+                "throttled": throttled,
+                "mitigations": len(agent.mitigations) if agent else 0,
+                "quarantined": int(
+                    daemon.forwarder.monitor.counter("cache_quarantined")
+                ),
+                "honest_ok_during_mitigation": honest_ok,
+            }
+            if pollution_alarms == 0:
+                report.failures.append(
+                    "pollution flood never raised a pollution alarm"
+                )
+            if spec.defense == "adaptive" and throttled == 0:
+                report.failures.append(
+                    "defense never throttled the polluting face"
+                )
+            if honest_ok == 0:
+                report.failures.append(
+                    "honest fetches starved during mitigation"
+                )
+            # The mgmt channel must surface the alarm ledger live.
+            reader, writer = await asyncio.open_connection(
+                *supervisor.mgmt_addr
+            )
+            writer.write(b"alarms\n")
+            await writer.drain()
+            alarms_reply = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            if not alarms_reply.startswith(b"ok"):
+                report.failures.append("mgmt alarms command failed")
+
+        # Phase 6: producer crash, fetches fail, restart, fetches recover.
         await producer.close()
         await asyncio.sleep(0.05)
         down = 0
@@ -635,6 +738,10 @@ async def _run_soak_async(spec: SoakSpec) -> SoakReport:
         await supervisor.shutdown()
         report.supervisor_stats = supervisor.stats()
         await consumer.close()
+        if attacker is not None:
+            await attacker.close()
+        if attacker_proxy is not None:
+            await attacker_proxy.close()
         await producer.close()
         await proxy.close()
     return report

@@ -14,6 +14,8 @@ randomized schedules are generated from an explicit RNG
 """
 
 from repro.faults.adversarial import (
+    AdaptiveAttackLog,
+    AdaptivePollutionWindow,
     CachePollutionSchedule,
     CachePollutionWindow,
     InterestFloodSchedule,
@@ -33,6 +35,8 @@ from repro.faults.schedule import (
 )
 
 __all__ = [
+    "AdaptiveAttackLog",
+    "AdaptivePollutionWindow",
     "BurstLossWindow",
     "CachePollutionSchedule",
     "CachePollutionWindow",

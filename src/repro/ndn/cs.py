@@ -190,6 +190,23 @@ class ContentStore:
         for listener in self._evict_listeners:
             listener(entry)
 
+    def purge(self, name: Name) -> Optional["CacheEntry"]:
+        """Administrative removal (defense quarantine): drop ``name`` and
+        fire eviction listeners so schemes release per-entry state.
+
+        Unlike :meth:`_evict`/:meth:`_drop_stale` the removal is tallied
+        neither as a capacity eviction nor a stale drop — the caller
+        accounts for it (e.g. the ``cache_quarantined`` counter).  Ledger
+        D stays balanced through ``removed``.  Returns the entry, or None
+        if the name was not cached.
+        """
+        entry = self.remove(name)
+        if entry is None:
+            return None
+        for listener in self._evict_listeners:
+            listener(entry)
+        return entry
+
     def clear(self) -> None:
         """Empty the cache without firing eviction listeners."""
         for name in list(self._entries):

@@ -35,13 +35,21 @@ Every interest entering the router is classified exactly once, so the
 :mod:`repro.validation` invariant checker can assert the conservation law
 
     interest_in == cs_hit + cs_disguised_hit + rate_limited
-                   + pit_overflow_drop + pit_collapse + scope_drop
-                   + no_route + pit_insert
+                   + defense_throttled + pit_overflow_drop + pit_collapse
+                   + scope_drop + no_route + pit_insert
 
 and the PIT ledger
 
     pit_insert == pit_satisfied + pit_expired + pit_nacked
-                  + pit_preempted + pit_drained + len(pit).
+                  + pit_preempted + pit_drained + pit_shed + len(pit).
+
+The optional online defense agent (:mod:`repro.defense`) observes the
+pipeline through five hooks — ``allow_interest`` (throttle gate, before
+the static rate limiter), ``observe_interest`` (after the CS verdict),
+``observe_pit_expired`` (flood attribution), ``observe_pit_overflow``
+(bounded-PIT rejection attribution), ``veto_cache`` (pollution
+quarantine) — each a single ``is not None`` test when disabled, so a
+defense-off run is bit-identical to a build without the hooks.
 """
 
 from __future__ import annotations
@@ -60,6 +68,7 @@ from repro.ndn.packets import (
     NACK_CONGESTION,
     NACK_NO_ROUTE,
     NACK_PIT_FULL,
+    NACK_REASONS,
     Data,
     Interest,
     Nack,
@@ -69,6 +78,17 @@ from repro.ndn.strategy import CachingStrategy
 from repro.sim.engine import Engine
 from repro.sim.monitor import Monitor
 from repro.sim.profiling import state as _prof
+
+#: Per-reason Nack counter names, precomputed so the Nack hot path pays a
+#: dict lookup, not string formatting.  The flood detector needs the
+#: reasons disaggregated (congestion backpressure vs. pit-full overload
+#: vs. routing holes behave very differently under attack).
+_NACK_IN_COUNTERS = {
+    reason: "nack_in_" + reason.replace("-", "_") for reason in NACK_REASONS
+}
+_NACK_OUT_COUNTERS = {
+    reason: "nack_out_" + reason.replace("-", "_") for reason in NACK_REASONS
+}
 
 
 class Forwarder:
@@ -141,6 +161,10 @@ class Forwarder:
         #: default (the seed data path); the Network flips it on every
         #: router once any installed strategy needs hop counts.
         self.count_origin_hops = False
+        #: Optional online defense agent (:mod:`repro.defense`).  ``None``
+        #: keeps every hook a single attribute test — the default data
+        #: path pays nothing for the defense axis.
+        self.defense = None
         self.faces: List[Face] = []
         #: False while crashed: every arriving packet is dropped.
         self.up = True
@@ -173,6 +197,18 @@ class Forwarder:
             self.monitor.count("down_dropped_interest")
             return
         self.monitor.count("interest_in")
+        defense = self.defense
+        if defense is not None and not defense.allow_interest(
+            interest, face, self.engine.now
+        ):
+            # Mitigation throttle: an escalated per-face budget, distinct
+            # from the static rate limiter so de-escalation restores the
+            # configured admission exactly.
+            self.monitor.count("defense_throttled")
+            self._send_nack_on(
+                face, Nack.for_interest(interest, NACK_CONGESTION)
+            )
+            return
         if self.rate_limiter is not None and not self.rate_limiter.allow(
             face, self.engine.now
         ):
@@ -192,10 +228,18 @@ class Forwarder:
             )
             if decision.kind is DecisionKind.HIT:
                 self.monitor.count("cs_hit")
+                if defense is not None:
+                    defense.observe_interest(
+                        interest.name, face, self.engine.now, hit=True
+                    )
                 self._send_data_on(face, served, self.processing_delay)
                 return
             if decision.kind is DecisionKind.DELAYED_HIT:
                 self.monitor.count("cs_disguised_hit")
+                if defense is not None:
+                    defense.observe_interest(
+                        interest.name, face, self.engine.now, hit=True
+                    )
                 self._send_data_on(
                     face, served, self.processing_delay + decision.delay
                 )
@@ -203,6 +247,10 @@ class Forwarder:
             self.monitor.count("cs_forced_miss")
         else:
             self.monitor.count("cs_miss")
+        if defense is not None:
+            defense.observe_interest(
+                interest.name, face, self.engine.now, hit=False
+            )
         self._forward_interest(interest, face)
 
     def _forward_interest(self, interest: Interest, face: Face) -> None:
@@ -216,6 +264,10 @@ class Forwarder:
         if pit_entry is None:
             # Bounded PIT, drop-new policy: the interest is rejected.
             self.monitor.count("pit_overflow_drop")
+            if self.defense is not None:
+                self.defense.observe_pit_overflow(
+                    interest.name, face, self.engine.now
+                )
             self._send_nack_on(face, Nack.for_interest(interest, NACK_PIT_FULL))
             return
         if not is_new:
@@ -291,8 +343,13 @@ class Forwarder:
                 label=f"{self.name}:pit-expiry",
             )
             return
-        if self.pit.expire(name, self.engine.now) is not None:
+        expired = self.pit.expire(name, self.engine.now)
+        if expired is not None:
             self.monitor.count("pit_expired")
+            if self.defense is not None:
+                self.defense.observe_pit_expired(
+                    name, expired.faces, self.engine.now
+                )
 
     def _on_pit_preempted(self, entry: PitEntry) -> None:
         """A bounded PIT evicted ``entry`` to admit a new interest."""
@@ -352,6 +409,16 @@ class Forwarder:
         is_new = data.name not in self.cs
         if (
             is_new
+            and self.defense is not None
+            and self.defense.veto_cache(data.name, downstreams)
+        ):
+            # Quarantine: content fanning out only to faces under active
+            # pollution mitigation is not admitted.  No insert, no ledger
+            # movement — law D stays balanced, like a strategy decline.
+            self.monitor.count("cache_quarantined")
+            return
+        if (
+            is_new
             and self._admit is not None
             and not self._admit(data.name, data.origin_hops, self, downstreams)
         ):
@@ -384,6 +451,9 @@ class Forwarder:
             self.monitor.count("down_dropped_nack")
             return
         self.monitor.count("nack_in")
+        reason_counter = _NACK_IN_COUNTERS.get(nack.reason)
+        if reason_counter is not None:
+            self.monitor.count(reason_counter)
         entry = self.pit.remove(nack.name)
         if entry is None:
             # The entry was already satisfied, expired, or never existed.
@@ -396,8 +466,31 @@ class Forwarder:
         for downstream in entry.faces:
             self._send_nack_on(downstream, downstream_nack)
 
+    def shed_pit_entry(self, name) -> bool:
+        """Defense-driven load shedding: drop one PIT entry, Nack its faces.
+
+        Used by the :mod:`repro.defense` mitigation controller to reclaim
+        table space held by a detected interest flood without waiting for
+        lifetimes to run out.  Counts ``pit_shed`` (a law-B resolution)
+        and answers every collapsed downstream with a congestion Nack so
+        honest consumers back off instead of timing out.
+        """
+        entry = self.pit.remove(name)
+        if entry is None:
+            return False
+        if entry.timer is not None and entry.timer.pending:
+            entry.timer.cancel()
+        self.monitor.count("pit_shed")
+        nack = Nack(name=entry.name, reason=NACK_CONGESTION)
+        for downstream in entry.faces:
+            self._send_nack_on(downstream, nack)
+        return True
+
     def _send_nack_on(self, face: Face, nack: Nack) -> None:
         self.monitor.count("nack_out")
+        reason_counter = _NACK_OUT_COUNTERS.get(nack.reason)
+        if reason_counter is not None:
+            self.monitor.count(reason_counter)
         if self.processing_delay <= 0:
             face.send_nack(nack)
         else:
@@ -429,6 +522,9 @@ class Forwarder:
             "rate_limited": float(self.monitor.counter("rate_limited")),
             "nack_in": float(self.monitor.counter("nack_in")),
             "nack_out": float(self.monitor.counter("nack_out")),
+            "defense_throttled": float(self.monitor.counter("defense_throttled")),
+            "cache_quarantined": float(self.monitor.counter("cache_quarantined")),
+            "pit_shed": float(self.monitor.counter("pit_shed")),
             "cs_size": float(len(self.cs)),
             "cs_capacity": (
                 float(self.cs.capacity) if self.cs.capacity is not None else float("inf")
@@ -436,6 +532,11 @@ class Forwarder:
             "cs_evictions": float(self.cs.evictions),
             "cs_stale_drops": float(self.cs.stale_drops),
         }
+        # Per-reason Nack disaggregation (satellite of the defense loop:
+        # the flood detector needs pit-full distinguished from congestion).
+        for counters in (_NACK_IN_COUNTERS, _NACK_OUT_COUNTERS):
+            for key in counters.values():
+                summary[key] = float(self.monitor.counter(key))
         for key, value in summary.items():
             self.monitor.set_gauge(key, value)
         return summary

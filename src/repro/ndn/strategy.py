@@ -43,7 +43,9 @@ the documented ``BatchCompileError`` reference fallback).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Type
+import math
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.ndn.name import Name
 
@@ -167,27 +169,160 @@ class EdgeStrategy(CachingStrategy):
         )
 
 
-class Cl4mStrategy(CachingStrategy):
-    """Cache-Less-for-More-style betweenness placement (degree proxy).
+def _node_label(node) -> Optional[str]:
+    """Deterministic graph label for any network entity (None = skip)."""
+    label = getattr(node, "name", None)
+    if label is None:
+        label = getattr(node, "producer_id", None)
+    return str(label) if label is not None else None
 
-    CL4M caches at the node with the highest betweenness centrality on
-    the delivery path.  Computing true betweenness needs the global
-    graph; this implementation uses the standard local proxy — router
-    degree — and admits only at well-connected nodes
-    (``len(faces) >= min_degree``).  The approximation is deterministic
-    and lowers to an int kernel; the trade-off is documented in
-    DESIGN.md.
+
+def _node_faces(node) -> Sequence:
+    """The faces of a router (many) or end host (one, possibly None)."""
+    faces = getattr(node, "faces", None)
+    if faces is not None:
+        return faces
+    face = getattr(node, "face", None)
+    return (face,) if face is not None else ()
+
+
+def discover_graph(forwarder) -> Tuple[Dict[str, List[str]], Dict[str, object]]:
+    """BFS the live object graph from ``forwarder``.
+
+    Returns ``(adjacency, nodes)``: an undirected adjacency map keyed by
+    entity label with neighbors sorted (bit-reproducible traversal
+    order), and the label → entity mapping for kind checks.
+    """
+    label = _node_label(forwarder)
+    if label is None:
+        return {}, {}
+    nodes: Dict[str, object] = {label: forwarder}
+    queue = deque([forwarder])
+    edges: Dict[str, set] = {label: set()}
+    while queue:
+        node = queue.popleft()
+        node_l = _node_label(node)
+        for face in _node_faces(node):
+            peer = getattr(face, "peer", None)
+            if peer is None:
+                continue
+            owner = getattr(peer, "owner", None)
+            owner_l = _node_label(owner) if owner is not None else None
+            if owner_l is None:
+                continue
+            if owner_l not in nodes:
+                nodes[owner_l] = owner
+                edges[owner_l] = set()
+                queue.append(owner)
+            edges[node_l].add(owner_l)
+            edges[owner_l].add(node_l)
+    adjacency = {
+        node_l: sorted(neighbors) for node_l, neighbors in sorted(edges.items())
+    }
+    return adjacency, nodes
+
+
+def brandes_betweenness(adjacency: Dict[str, List[str]]) -> Dict[str, float]:
+    """Exact unweighted betweenness centrality (Brandes' algorithm).
+
+    Deterministic for a given adjacency map: sources are visited in
+    sorted order and neighbor lists are consumed as given, so the float
+    accumulation order — and therefore the result, bit for bit — is a
+    pure function of the graph.  Pair counts are undirected (each
+    unordered pair contributes to both traversal directions; the common
+    factor cancels in any threshold comparison).
+    """
+    centrality = {v: 0.0 for v in adjacency}
+    for source in sorted(adjacency):
+        stack: List[str] = []
+        predecessors: Dict[str, List[str]] = {v: [] for v in adjacency}
+        sigma = dict.fromkeys(adjacency, 0.0)
+        sigma[source] = 1.0
+        dist = dict.fromkeys(adjacency, -1)
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            stack.append(v)
+            for w in adjacency[v]:
+                if dist[w] < 0:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+                if dist[w] == dist[v] + 1:
+                    sigma[w] += sigma[v]
+                    predecessors[w].append(v)
+        delta = dict.fromkeys(adjacency, 0.0)
+        while stack:
+            w = stack.pop()
+            for v in predecessors[w]:
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w])
+            if w != source:
+                centrality[w] += delta[w]
+    return centrality
+
+
+class Cl4mStrategy(CachingStrategy):
+    """Cache-Less-for-More placement by true betweenness centrality.
+
+    CL4M ("Cache Less for More") concentrates copies at the nodes most
+    shortest paths cross.  This implementation computes **exact**
+    betweenness centrality with Brandes' algorithm over the full network
+    graph — routers *and* end hosts, discovered by BFS over the live
+    face/peer object graph — once per strategy instance, at the first
+    admission decision (the topology is complete by then; construction
+    happens while the network is still being wired).  The verdict is a
+    topology constant thereafter:
+
+        admit  ⇔  own centrality ≥ the ``quantile``-quantile of the
+                  betweenness distribution over all *routers*
+
+    so with the default ``quantile=0.75`` only the top quarter
+    (ties included) of routers by centrality take copies.  ``reset()``
+    keeps the cached verdict — betweenness is topology state, not trial
+    state.  The decision is deterministic (sorted traversal order, no
+    RNG) and lowers to a precomputed boolean in the batch kernel.
     """
 
     kind = "cl4m"
 
-    def __init__(self, min_degree: int = 3) -> None:
-        if min_degree < 1:
-            raise StrategyError(f"cl4m min_degree must be >= 1, got {min_degree}")
-        self.min_degree = int(min_degree)
+    def __init__(self, quantile: float = 0.75) -> None:
+        if not 0.0 < quantile <= 1.0:
+            raise StrategyError(
+                f"cl4m quantile must be in (0, 1], got {quantile}"
+            )
+        self.quantile = float(quantile)
+        self._verdict: Optional[bool] = None
+
+    def compute_verdict(self, forwarder) -> bool:
+        """The (cached) topology-constant admission verdict for this node."""
+        if self._verdict is None:
+            self._verdict = self._betweenness_verdict(forwarder)
+        return self._verdict
+
+    def _betweenness_verdict(self, forwarder) -> bool:
+        adjacency, nodes = discover_graph(forwarder)
+        label = _node_label(forwarder)
+        if not adjacency or label not in adjacency:
+            return True  # isolated node: nothing to rank against
+        centrality = brandes_betweenness(adjacency)
+        # Rank against *routers* only (end hosts sit at path endpoints,
+        # score ~0, and would drag the quantile down to "everyone
+        # admits").  Routers are the nodes with a FIB.
+        router_scores = sorted(
+            score
+            for node_label, score in centrality.items()
+            if getattr(nodes[node_label], "fib", None) is not None
+        )
+        if not router_scores:
+            return True
+        # The q-quantile by rank: threshold = scores[ceil(q*n) - 1].
+        index = math.ceil(self.quantile * len(router_scores)) - 1
+        index = min(max(index, 0), len(router_scores) - 1)
+        threshold = router_scores[index]
+        return centrality[label] >= threshold
 
     def admit(self, name, origin_hops, forwarder, downstreams=()) -> bool:
-        return len(forwarder.faces) >= self.min_degree
+        return self.compute_verdict(forwarder)
 
 
 class BernoulliStrategy(CachingStrategy):
@@ -233,7 +368,7 @@ def make_strategy(
     ``rng`` is the per-router stream (``RngRegistry.stream(f"caching:{name}")``)
     and is required for the randomized strategies, ignored by the
     deterministic ones.  Extra ``params`` go to the constructor
-    (``weight``, ``p``, ``min_degree``).
+    (``weight``, ``p``, ``quantile``).
     """
     try:
         cls = STRATEGIES[kind]

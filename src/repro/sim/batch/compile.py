@@ -147,7 +147,8 @@ class CompiledRouter:
     #: Per name id: candidate send-edge ids in FIB cost order (or ()).
     next_hops: List[Tuple[int, ...]]
     #: Cache-admission strategy: int kind, scalar parameter (ProbCache
-    #: weight / CL4M min degree / Bernoulli p), the strategy's own RNG
+    #: weight / CL4M precomputed betweenness verdict / Bernoulli p),
+    #: the strategy's own RNG
     #: stream (randomized kinds only), and the router's face degree.
     strategy_kind: int = S_LCE
     strategy_param: float = 0.0
@@ -321,6 +322,11 @@ def _compile_router(
         f"router {name}: rate limiting is not supported",
     )
     _require(
+        router.defense is None,
+        f"router {name}: online defense agents are not supported "
+        f"(defended runs ride the reference engine)",
+    )
+    _require(
         router.cache_filter is None,
         f"router {name}: cache filters are not supported",
     )
@@ -370,7 +376,13 @@ def _compile_router(
     elif type(strategy) is EdgeStrategy:
         strategy_kind = S_EDGE
     elif type(strategy) is Cl4mStrategy:
-        strategy_kind, strategy_param = S_CL4M, float(strategy.min_degree)
+        # The betweenness verdict is a topology constant: precompute it
+        # here (read-only cache warm, per the compiler contract — Brandes
+        # touches no RNG, schedules nothing, mutates no counter) and
+        # lower the boolean.  The reference engine reuses the same cached
+        # verdict, so both engines decide identically by construction.
+        strategy_kind = S_CL4M
+        strategy_param = 1.0 if strategy.compute_verdict(router) else 0.0
     elif type(strategy) is BernoulliStrategy:
         strategy_kind, strategy_param = S_BERN, strategy.p
         strategy_rng = strategy._rng

@@ -182,7 +182,6 @@ def run_compiled(
     s_kind = [cr.strategy_kind for cr in ct.routers]
     s_param = [cr.strategy_param for cr in ct.routers]
     s_rng = [cr.strategy_rng for cr in ct.routers]
-    r_deg = [cr.degree for cr in ct.routers]
     track = ct.count_origin_hops
 
     # ---- producers -----------------------------------------------------
@@ -401,7 +400,8 @@ def run_compiled(
                         admit = True
                         break
             elif kind == S_CL4M:
-                admit = r_deg[rid] >= s_param[rid]
+                # Betweenness verdict precomputed at compile time.
+                admit = s_param[rid] != 0.0
             else:  # S_BERN
                 admit = s_rng[rid].random() < s_param[rid]
             if not admit:
@@ -528,11 +528,17 @@ def run_compiled(
             "rate_limited": 0.0,
             "nack_in": 0.0,
             "nack_out": 0.0,
+            "defense_throttled": 0.0,
+            "cache_quarantined": 0.0,
+            "pit_shed": 0.0,
             "cs_size": float(r_size[rid]),
             "cs_capacity": float(cap) if cap is not None else float("inf"),
             "cs_evictions": float(r_evict[rid]),
             "cs_stale_drops": 0.0,
         }
+        for reason in ("congestion", "pit_full", "no_route"):
+            router_stats[cr.name]["nack_in_" + reason] = 0.0
+            router_stats[cr.name]["nack_out_" + reason] = 0.0
     return TopologyObservables(
         kernel="batch",
         delivered={cc.name: c_deliv[i] for i, cc in enumerate(ct.consumers)},

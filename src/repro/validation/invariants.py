@@ -6,14 +6,14 @@ makes the following laws checkable at any instant the engine is quiescent
 
 **A — interest conservation** (per router)::
 
-    interest_in == rate_limited + cs_hit + cs_disguised_hit
-                   + pit_overflow_drop + pit_collapse + scope_drop
-                   + no_route + pit_insert
+    interest_in == rate_limited + defense_throttled + cs_hit
+                   + cs_disguised_hit + pit_overflow_drop + pit_collapse
+                   + scope_drop + no_route + pit_insert
 
 **B — PIT ledger** (per router)::
 
     pit_insert == pit_satisfied + pit_expired + pit_nacked
-                  + pit_preempted + pit_drained + len(pit)
+                  + pit_preempted + pit_drained + pit_shed + len(pit)
 
 **C — capacity bounds**: ``len(pit) <= pit.capacity`` (and the peak high
 water mark too), ``len(cs) <= cs.capacity``.
@@ -91,6 +91,7 @@ class InvariantChecker:
         ingress = c("interest_in")
         classified = (
             c("rate_limited")
+            + c("defense_throttled")
             + c("cs_hit")
             + c("cs_disguised_hit")
             + c("pit_overflow_drop")
@@ -115,6 +116,7 @@ class InvariantChecker:
             + c("pit_nacked")
             + c("pit_preempted")
             + c("pit_drained")
+            + c("pit_shed")
             + len(forwarder.pit)
         )
         if inserted != resolved:

@@ -1,0 +1,254 @@
+"""Unit tests for the mitigation controller on a real forwarder.
+
+A three-face router (honest "good", suspect "bad", upstream producer plus
+a black-hole route for dangling PIT state) exercises the full
+graceful-degradation ladder: throttle, quarantine, shed, hysteretic
+release — and the audit ledger every action must append to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defense.alarms import Alarm
+from repro.defense.controller import MitigationController, MitigationPolicy
+from repro.ndn.cs import ContentStore
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.link import Face, FixedDelay, Link
+from repro.ndn.name import Name
+from repro.ndn.packets import Data, Interest
+
+
+class Sink:
+    """End host recording arrivals; never answers (PIT entries dangle)."""
+
+    def __init__(self):
+        self.interests = []
+        self.data = []
+        self.nacks = []
+
+    def receive_interest(self, interest, face):
+        self.interests.append(interest)
+
+    def receive_data(self, data, face):
+        self.data.append(data)
+
+    def receive_nack(self, nack, face):
+        self.nacks.append(nack)
+
+
+class ProducerStub:
+    """Answers any interest instantly with matching content."""
+
+    def receive_interest(self, interest, face):
+        face.send_data(Data(name=interest.name))
+
+    def receive_data(self, data, face):  # pragma: no cover - defensive
+        raise AssertionError("producer received data")
+
+
+def build(engine):
+    """good/bad consumers -> R -> producer (/content) + void (/void)."""
+    router = Forwarder(engine, "R", cs=ContentStore(capacity=16))
+    hosts = {}
+    faces = {}
+    for label, app in (
+        ("good", Sink()),
+        ("bad", Sink()),
+        ("up", ProducerStub()),
+        ("void", Sink()),
+    ):
+        host_face = Face(app, f"{label}-host")
+        router_face = router.create_face(label)
+        Link(
+            engine,
+            host_face,
+            router_face,
+            FixedDelay(1.0),
+            np.random.default_rng(0),
+        )
+        hosts[label] = (app, host_face)
+        faces[label] = router_face
+    router.fib.add_route(Name.parse("/content"), faces["up"])
+    router.fib.add_route(Name.parse("/void"), faces["void"])
+    return router, hosts, faces
+
+
+def alarm(kind="pollution", label="bad", time=100.0):
+    return Alarm(
+        kind=kind, router="R", face_label=label, time=time, severity=0.9
+    )
+
+
+class TestEscalation:
+    def test_alarm_throttles_fresh_suspect(self, engine):
+        router, _, faces = build(engine)
+        ctrl = MitigationController(
+            router, MitigationPolicy(throttle_rate=50.0, throttle_burst=2.0)
+        )
+        assert not ctrl.active
+        ctrl.on_alarm(alarm(), now=100.0)
+        assert ctrl.active
+        assert ctrl.suspect_labels() == ["bad"]
+        assert [m.action for m in ctrl.mitigations] == ["throttle"]
+        # The escalated bucket admits the burst, then rejects.
+        assert ctrl.allow_interest(faces["bad"], now=100.0)
+        assert ctrl.allow_interest(faces["bad"], now=100.0)
+        assert not ctrl.allow_interest(faces["bad"], now=100.0)
+        # 50/s = one token every 20 ms.
+        assert ctrl.allow_interest(faces["bad"], now=121.0)
+
+    def test_honest_face_never_throttled(self, engine):
+        router, _, faces = build(engine)
+        ctrl = MitigationController(router)
+        ctrl.on_alarm(alarm(), now=100.0)
+        for i in range(50):
+            assert ctrl.allow_interest(faces["good"], now=100.0 + i * 0.01)
+
+    def test_realarm_is_idempotent_on_the_ledger(self, engine):
+        router, _, _ = build(engine)
+        ctrl = MitigationController(
+            router, MitigationPolicy(quarantine=False, shed=False)
+        )
+        ctrl.on_alarm(alarm(time=100.0), now=100.0)
+        ctrl.on_alarm(alarm(time=200.0), now=200.0)
+        assert [m.action for m in ctrl.mitigations] == ["throttle"]
+
+
+class TestQuarantine:
+    def _prime_cs(self, engine, router, hosts, names):
+        _, bad_face = hosts["bad"]
+        for name in names:
+            bad_face.send_interest(Interest(name=Name.parse(name)))
+        engine.run(until=50.0)
+        for name in names:
+            assert Name.parse(name) in router.cs
+
+    def test_pollution_alarm_purges_suspect_entries(self, engine):
+        router, hosts, _ = build(engine)
+        ctrl = MitigationController(router)
+        names = [f"/content/junk-{i}" for i in range(4)]
+        self._prime_cs(engine, router, hosts, names)
+        ctrl.on_alarm(
+            alarm(kind="pollution"),
+            now=60.0,
+            purge_names=[Name.parse(n) for n in names[:3]],
+        )
+        for name in names[:3]:
+            assert router.cs.lookup_exact(Name.parse(name), 60.0) is None
+        assert router.cs.lookup_exact(Name.parse(names[3]), 60.0) is not None
+        assert router.monitor.counter("cache_quarantined") == 3
+        assert [m.action for m in ctrl.mitigations] == ["throttle", "quarantine"]
+
+    def test_quarantine_disabled_by_policy(self, engine):
+        router, hosts, _ = build(engine)
+        ctrl = MitigationController(router, MitigationPolicy(quarantine=False))
+        names = ["/content/junk-0"]
+        self._prime_cs(engine, router, hosts, names)
+        ctrl.on_alarm(
+            alarm(kind="pollution"),
+            now=60.0,
+            purge_names=[Name.parse(names[0])],
+        )
+        assert router.cs.lookup_exact(Name.parse(names[0]), 60.0) is not None
+        assert router.monitor.counter("cache_quarantined") == 0
+
+    def test_veto_cache_only_when_all_downstreams_suspect(self, engine):
+        router, _, faces = build(engine)
+        ctrl = MitigationController(router)
+        name = Name.parse("/content/x")
+        ctrl.on_alarm(alarm(), now=100.0)
+        assert ctrl.veto_cache(name, [faces["bad"]])
+        assert not ctrl.veto_cache(name, [faces["bad"], faces["good"]])
+        assert not ctrl.veto_cache(name, [faces["good"]])
+        assert not ctrl.veto_cache(name, [])
+
+
+class TestShed:
+    def _dangle(self, engine, hosts, sender, names):
+        _, host_face = hosts[sender]
+        for name in names:
+            host_face.send_interest(
+                Interest(name=Name.parse(name), lifetime=4000.0)
+            )
+        engine.run(until=engine.now + 10.0)
+
+    def test_flood_alarm_sheds_only_sole_face_entries(self, engine):
+        router, hosts, _ = build(engine)
+        ctrl = MitigationController(router)
+        self._dangle(engine, hosts, "bad", ["/void/a", "/void/b"])
+        self._dangle(engine, hosts, "good", ["/void/a", "/void/c"])
+        assert len(router.pit) == 3
+        ctrl.on_alarm(alarm(kind="flood"), now=20.0)
+        # /void/b was held open solely by the suspect; /void/a collapsed
+        # with an honest consumer and /void/c is honest-only: both stay.
+        assert router.pit.lookup(Name.parse("/void/b")) is None
+        assert router.pit.lookup(Name.parse("/void/a")) is not None
+        assert router.pit.lookup(Name.parse("/void/c")) is not None
+        assert router.monitor.counter("pit_shed") == 1
+        assert "shed" in [m.action for m in ctrl.mitigations]
+        # The suspect's dangling fetch was answered with a Nack, not
+        # silence — graceful degradation, not a black hole.
+        engine.run(until=30.0)
+        bad_app, _ = hosts["bad"]
+        assert len(bad_app.nacks) == 1
+
+    def test_max_shed_bounds_one_alarm(self, engine):
+        router, hosts, _ = build(engine)
+        ctrl = MitigationController(router, MitigationPolicy(max_shed=2))
+        self._dangle(
+            engine, hosts, "bad", [f"/void/f-{i}" for i in range(5)]
+        )
+        ctrl.on_alarm(alarm(kind="flood"), now=20.0)
+        assert router.monitor.counter("pit_shed") == 2
+        assert len(router.pit) == 3
+
+
+class TestDeescalation:
+    def test_release_after_quiet_hold(self, engine):
+        router, _, faces = build(engine)
+        ctrl = MitigationController(
+            router,
+            MitigationPolicy(hold=4000.0, throttle_burst=1.0),
+        )
+        ctrl.on_alarm(alarm(time=100.0), now=100.0)
+        assert ctrl.deescalate(now=3000.0) == []
+        assert ctrl.active
+        assert ctrl.deescalate(now=4100.0) == ["bad"]
+        assert not ctrl.active
+        assert [m.action for m in ctrl.mitigations] == ["throttle", "release"]
+        # Static admission restored exactly: no residual bucket.
+        for i in range(20):
+            assert ctrl.allow_interest(faces["bad"], now=4100.0 + i * 0.01)
+
+    def test_fresh_alarm_refreshes_the_hold(self, engine):
+        router, _, _ = build(engine)
+        ctrl = MitigationController(router, MitigationPolicy(hold=4000.0))
+        ctrl.on_alarm(alarm(time=100.0), now=100.0)
+        ctrl.on_alarm(alarm(time=2000.0), now=2000.0)
+        assert ctrl.deescalate(now=4100.0) == []  # quiet only since 2000
+        assert ctrl.deescalate(now=6000.0) == ["bad"]
+
+    def test_reset_clears_ledger_and_suspects(self, engine):
+        router, _, _ = build(engine)
+        ctrl = MitigationController(router)
+        ctrl.on_alarm(alarm(), now=100.0)
+        ctrl.reset()
+        assert not ctrl.active
+        assert ctrl.mitigations == []
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"throttle_rate": 0.0},
+            {"throttle_burst": 0.0},
+            {"hold": 0.0},
+            {"max_shed": -1},
+        ],
+    )
+    def test_rejects_bad_policy(self, kwargs):
+        with pytest.raises(ValueError):
+            MitigationPolicy(**kwargs)

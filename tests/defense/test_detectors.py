@@ -1,0 +1,230 @@
+"""Unit tests for the streaming detectors (no forwarder involved).
+
+Detectors consume (name, face label, time, hit) observations directly, so
+these tests drive them with synthetic packet sequences and check the
+firing rules: evidence thresholds, cold-start floors, cooldowns, and the
+disarm rules that keep benign traffic alarm-free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.defense.detectors import (
+    FloodDetector,
+    PollutionDetector,
+    ProbeDetector,
+)
+from repro.ndn.name import Name
+
+
+def _n(i: int) -> Name:
+    return Name.parse(f"/content/obj-{i:05d}")
+
+
+class TestPollutionDetector:
+    def test_sustained_novelty_fires_at_min_samples(self):
+        det = PollutionDetector(min_samples=96)
+        fired = None
+        for i in range(200):
+            fired = det.observe_interest(_n(i), "bad", now=float(i), hit=False)
+            if fired is not None:
+                break
+        assert fired is not None
+        severity, detail = fired
+        # An all-novel stream fires exactly when the cold-start floor lifts.
+        assert i == 95  # 96th observation
+        assert severity >= det.threshold
+        assert "first-seen EWMA" in detail
+
+    def test_repeating_hot_set_never_fires(self):
+        det = PollutionDetector(min_samples=96)
+        for i in range(400):
+            fired = det.observe_interest(
+                _n(i % 8), "good", now=float(i), hit=True
+            )
+            assert fired is None
+        assert det.first_seen_ewma("good") < det.threshold
+
+    def test_cooldown_suppresses_back_to_back_alarms(self):
+        det = PollutionDetector(min_samples=96, cooldown=1000.0)
+        alarms = []
+        for i in range(400):
+            now = float(i) * 10.0  # sustained attack spanning 4 s
+            fired = det.observe_interest(_n(i), "bad", now=now, hit=False)
+            if fired is not None:
+                alarms.append(now)
+        assert len(alarms) >= 2
+        for earlier, later in zip(alarms, alarms[1:]):
+            assert later - earlier >= det.cooldown
+
+    def test_faces_tracked_independently(self):
+        det = PollutionDetector(min_samples=96)
+        for i in range(200):
+            det.observe_interest(_n(i), "bad", now=float(i), hit=False)
+            det.observe_interest(_n(i % 4), "good", now=float(i), hit=True)
+        assert det.first_seen_ewma("bad") > det.first_seen_ewma("good")
+
+    def test_recent_first_seen_returns_quarantine_candidates(self):
+        det = PollutionDetector(recent_depth=16)
+        for i in range(40):
+            det.observe_interest(_n(i), "bad", now=float(i), hit=False)
+        recent = det.recent_first_seen("bad")
+        assert len(recent) == 16
+        assert recent[-1] == _n(39)
+        assert det.recent_first_seen("never-seen") == ()
+
+    def test_reset_drops_state(self):
+        det = PollutionDetector()
+        det.observe_interest(_n(0), "f", now=0.0, hit=False)
+        assert det.first_seen_ewma("f") > 0.0
+        det.reset()
+        assert det.first_seen_ewma("f") == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sketch_bits": 0},
+            {"sketch_bits": 25},
+            {"generation": 0},
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"threshold": 0.0},
+        ],
+    )
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            PollutionDetector(**kwargs)
+
+
+class TestFloodDetector:
+    def test_fires_on_expiry_ratio(self):
+        det = FloodDetector(threshold=0.5, min_expired=20)
+        for i in range(30):
+            det.observe_interest(_n(i), "bad", now=float(i), hit=False)
+        fired = None
+        for i in range(20):
+            fired = det.observe_pit_expired(
+                _n(i), ["bad"], now=100.0 + i
+            )
+            if fired is not None:
+                break
+        assert fired is not None
+        severity, detail = fired
+        assert severity >= 0.5
+        assert "expired" in detail
+        assert det.last_offender() == "bad"
+
+    def test_below_evidence_floor_never_fires(self):
+        det = FloodDetector(threshold=0.5, min_expired=20)
+        for i in range(10):
+            det.observe_interest(_n(i), "f", now=float(i), hit=False)
+        for i in range(19):  # one short of the floor
+            assert det.observe_pit_expired(_n(i), ["f"], now=50.0 + i) is None
+
+    def test_low_ratio_never_fires(self):
+        det = FloodDetector(threshold=0.5, min_expired=20)
+        # 1000 forwarded misses, only 25 expiries: ratio far below 0.5.
+        for i in range(1000):
+            det.observe_interest(_n(i), "f", now=float(i), hit=False)
+        for i in range(25):
+            assert det.observe_pit_expired(_n(i), ["f"], now=2000.0 + i) is None
+
+    def test_overflow_rejections_count_as_evidence(self):
+        det = FloodDetector(threshold=0.5, min_expired=20)
+        for i in range(20):
+            det.observe_interest(_n(i), "bad", now=float(i), hit=False)
+        fired = None
+        for i in range(20):
+            fired = det.observe_pit_overflow(_n(1000 + i), "bad", now=30.0 + i)
+            if fired is not None:
+                break
+        assert fired is not None
+        assert "overflow" in fired[1]
+
+    def test_counters_reset_after_alarm(self):
+        det = FloodDetector(threshold=0.5, min_expired=20, cooldown=0.1)
+        for i in range(20):
+            det.observe_interest(_n(i), "bad", now=float(i), hit=False)
+        for i in range(20):
+            det.observe_pit_overflow(_n(i), "bad", now=30.0 + i)
+        # Evidence was consumed by the alarm: the next expiry alone cannot
+        # re-fire without a fresh batch crossing the floor.
+        assert det.observe_pit_expired(_n(99), ["bad"], now=500.0) is None
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"threshold": 0.0}, {"threshold": 1.5}, {"min_expired": 0}]
+    )
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            FloodDetector(**kwargs)
+
+
+class TestProbeDetector:
+    def _prime(self, det, label="probe", count=6, now=0.0):
+        ref = Name.parse("/content/reference")
+        for i in range(count):
+            assert det.observe_interest(ref, label, now + i, hit=True) is None
+        return now + count
+
+    def test_streak_then_distinct_probes_fire(self):
+        det = ProbeDetector(streak_min=5, distinct_min=12)
+        now = self._prime(det)
+        fired = None
+        for i in range(12):
+            fired = det.observe_interest(_n(i), "probe", now + i, hit=False)
+            if fired is not None:
+                break
+        assert fired is not None
+        assert i == 11  # exactly distinct_min one-shot probes
+        assert "streak" in fired[1]
+
+    def test_revisit_while_armed_disarms(self):
+        det = ProbeDetector(streak_min=5, distinct_min=12)
+        now = self._prime(det)
+        for i in range(5):
+            assert det.observe_interest(_n(i), "probe", now + i, hit=False) is None
+        # A benign consumer re-requests its working set: stand down.
+        assert det.observe_interest(_n(0), "probe", now + 6, hit=True) is None
+        for i in range(5, 40):
+            assert (
+                det.observe_interest(_n(i), "probe", now + 10 + i, hit=False)
+                is None
+            )
+
+    def test_distinct_run_without_streak_never_fires(self):
+        det = ProbeDetector(streak_min=5, distinct_min=12)
+        for i in range(60):
+            assert det.observe_interest(_n(i), "f", float(i), hit=False) is None
+
+    def test_armed_window_expires(self):
+        det = ProbeDetector(streak_min=5, distinct_min=12, armed_window=100.0)
+        now = self._prime(det)
+        # The first distinct name opens the armed window...
+        assert det.observe_interest(_n(0), "probe", now, hit=False) is None
+        # ...but the rest of the probe run arrives after it closed.
+        for i in range(1, 12):
+            fired = det.observe_interest(
+                _n(i), "probe", now + 200.0 + i, hit=False
+            )
+            assert fired is None
+
+    def test_cooldown_suppresses_repeat_alarms(self):
+        det = ProbeDetector(streak_min=5, distinct_min=4, cooldown=5000.0)
+        now = self._prime(det)
+        fired = [
+            det.observe_interest(_n(i), "probe", now + i, hit=False)
+            for i in range(4)
+        ]
+        assert fired[-1] is not None
+        now = self._prime(det, now=now + 10.0)
+        again = [
+            det.observe_interest(_n(100 + i), "probe", now + i, hit=False)
+            for i in range(4)
+        ]
+        assert all(f is None for f in again)
+
+    @pytest.mark.parametrize("kwargs", [{"streak_min": 1}, {"distinct_min": 0}])
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            ProbeDetector(**kwargs)

@@ -1,0 +1,132 @@
+"""Live defense on the real-socket daemon: install, swap, observe.
+
+The defense agent must attach to (and detach from) a *running*
+forwarder, surface its state through the mgmt channel, and detect a
+pollution blast arriving over real UDP faces — the deployment half of
+the closed loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.defense.agent import DefenseAgent
+from repro.deploy.daemon import DaemonConfig, ForwarderDaemon
+from repro.deploy.endpoints import AsyncConsumer, AsyncProducer
+from repro.deploy.mgmt import MgmtClient, MgmtError, MgmtServer
+from repro.ndn.errors import TopologyError
+
+from tests.deploy.test_daemon import daemon_rig, teardown
+
+
+class TestSetDefense:
+    def test_config_preset_installs_at_start(self):
+        async def scenario():
+            daemon, consumer, producer = await daemon_rig(defense="adaptive")
+            try:
+                assert isinstance(daemon.defense_agent, DefenseAgent)
+                assert daemon.forwarder.defense is daemon.defense_agent
+                status = daemon.defense_status()
+                assert status["installed"] is True
+                assert status["preset"] == "adaptive"
+                assert status["mitigate"] is True
+            finally:
+                await teardown(daemon, consumer, producer)
+
+        asyncio.run(scenario())
+
+    def test_live_swap_and_detach(self):
+        async def scenario():
+            daemon, consumer, producer = await daemon_rig()
+            try:
+                assert daemon.defense_agent is None
+                agent = daemon.set_defense("monitor")
+                assert daemon.forwarder.defense is agent
+                assert agent.controller is None  # monitor never mitigates
+                # Swapping to the passive presets restores the seed path.
+                for preset in ("off", "static"):
+                    assert daemon.set_defense(preset) is None
+                    assert daemon.forwarder.defense is None
+                    assert daemon.defense_status()["installed"] is False
+                # The data plane still works after a detach.
+                result = await consumer.fetch("/shop/item-0")
+                assert result.data is not None
+            finally:
+                await teardown(daemon, consumer, producer)
+
+        asyncio.run(scenario())
+
+    def test_set_defense_requires_started_daemon(self):
+        daemon = ForwarderDaemon(DaemonConfig(name="cold"))
+        with pytest.raises(TopologyError, match="not started"):
+            daemon.set_defense("adaptive")
+
+    def test_stats_include_defense_snapshot(self):
+        async def scenario():
+            daemon, consumer, producer = await daemon_rig(defense="monitor")
+            try:
+                stats = daemon.stats()
+                assert stats["defense"]["installed"] is True
+                assert stats["defense"]["preset"] == "monitor"
+                assert stats["defense"]["alarms"] == 0
+            finally:
+                await teardown(daemon, consumer, producer)
+
+        asyncio.run(scenario())
+
+
+class TestMgmtDefenseCommands:
+    def test_defense_and_alarms_commands(self):
+        async def scenario():
+            daemon = ForwarderDaemon(DaemonConfig(name="m"))
+            await daemon.start()
+            server = MgmtServer(daemon)
+            host, port = await server.start()
+            client = await MgmtClient(host, port).connect()
+            try:
+                reply = await client.send("defense adaptive")
+                assert "adaptive" in reply and "armed" in reply
+                alarms = await client.send_json("alarms")
+                assert alarms["installed"] is True
+                assert alarms["alarms"] == 0
+                assert alarms["suspects"] == []
+                reply = await client.send("defense off")
+                assert "detached" in reply
+                alarms = await client.send_json("alarms")
+                assert alarms["installed"] is False
+                with pytest.raises(MgmtError):
+                    await client.send("defense rubber-stamp")
+                with pytest.raises(MgmtError, match="usage"):
+                    await client.send("defense")
+            finally:
+                await client.close()
+                await server.stop()
+                await daemon.stop()
+
+        asyncio.run(scenario())
+
+
+class TestLiveDetection:
+    def test_pollution_blast_over_real_sockets_raises_alarm(self):
+        async def scenario():
+            daemon, consumer, producer = await daemon_rig(defense="monitor")
+            try:
+                agent = daemon.defense_agent
+                # 120 never-repeated names from one face: past the
+                # cold-start floor, the novelty EWMA must alarm.
+                for i in range(120):
+                    await consumer.fetch(f"/shop/burst-{i:04d}")
+                assert agent.log.total >= 1
+                assert agent.log.first("pollution") is not None
+                # Monitor preset: detection without any mitigation.
+                assert agent.mitigations == []
+                assert daemon.forwarder.monitor.counter("defense_throttled") == 0
+                status = daemon.defense_status()
+                assert status["alarms"] == agent.log.total
+                assert status["recent_alarms"]
+            finally:
+                await teardown(daemon, consumer, producer)
+
+        asyncio.run(scenario())

@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.faults import (
+    AdaptiveAttackLog,
+    AdaptivePollutionWindow,
     CachePollutionSchedule,
     CachePollutionWindow,
     FaultConfigError,
@@ -184,3 +186,89 @@ class TestComposition:
         flood.add(pollution.window)
         assert net.apply_faults(flood) == 2 + 2
         net.run()
+
+
+class TestAdaptivePollution:
+    """The Thompson-sampling attacker (the defense loop's sparring partner)."""
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: AdaptivePollutionWindow("a", "/data", start=20, end=10),
+            lambda: AdaptivePollutionWindow("a", "/data", 0, 10, arms=()),
+            lambda: AdaptivePollutionWindow("a", "/data", 0, 10, arms=(1.0, 0.0)),
+            lambda: AdaptivePollutionWindow("a", "/data", 0, 10, catalog=0),
+            lambda: AdaptivePollutionWindow("a", "/data", 0, 10, lifetime=0.0),
+            lambda: AdaptivePollutionWindow("a", "/data", 0, 10, timeout=0.0),
+        ],
+    )
+    def test_bad_parameters_rejected_at_construction(self, bad):
+        with pytest.raises(FaultConfigError):
+            bad()
+
+    def test_unknown_attacker_rejected_at_apply(self):
+        net = star()
+        schedule = FaultSchedule(
+            [AdaptivePollutionWindow("ghost", "/data", 10.0, 20.0)]
+        )
+        with pytest.raises(FaultConfigError, match="unknown entity"):
+            schedule.apply(net)
+
+    def test_router_attacker_rejected_at_apply(self):
+        net = star()
+        schedule = FaultSchedule(
+            [AdaptivePollutionWindow("R", "/data", 10.0, 20.0)]
+        )
+        with pytest.raises(FaultConfigError, match="must be\\s+a consumer"):
+            schedule.apply(net)
+
+    def test_attack_runs_and_records_telemetry(self):
+        net = star()
+        window = AdaptivePollutionWindow(
+            "a", "/data", start=10.0, end=500.0, catalog=50, seed=3
+        )
+        assert net.apply_faults(FaultSchedule([window])) == 1
+        net.run()
+        log = window.log
+        assert log.attempts > 0
+        assert 0 <= log.delivered <= log.attempts
+        assert sum(log.pulls) == log.attempts
+        assert len(log.attempt_times) == log.attempts
+        assert all(10.0 <= t < 500.0 for t in log.attempt_times)
+        assert 0 <= window.log.favored_arm() < len(window.arms)
+        # An undefended, always-answering producer: every fetch lands.
+        assert log.success_rate == 1.0
+
+    def test_same_seed_same_attack(self):
+        def run(seed):
+            net = star(seed=seed)
+            window = AdaptivePollutionWindow(
+                "a", "/data", start=10.0, end=400.0, catalog=50, seed=7
+            )
+            net.apply_faults(FaultSchedule([window]))
+            net.run()
+            return window.log
+
+        a, b = run(0), run(0)
+        assert (a.attempts, a.delivered, a.pulls, a.wins) == (
+            b.attempts, b.delivered, b.pulls, b.wins,
+        )
+        assert a.attempt_times == b.attempt_times
+
+    def test_requests_before_counts_strictly_earlier_attempts(self):
+        log = AdaptiveAttackLog(attempt_times=[1.0, 2.0, 3.0, 3.0, 9.0])
+        log.attempts = 5
+        assert log.requests_before(0.5) == 0
+        assert log.requests_before(3.0) == 2
+        assert log.requests_before(100.0) == 5
+
+    def test_fresh_log_is_inert(self):
+        log = AdaptiveAttackLog()
+        assert log.favored_arm() == -1
+        assert log.success_rate == 0.0
+
+    def test_telemetry_excluded_from_window_equality(self):
+        a = AdaptivePollutionWindow("a", "/data", 0.0, 10.0)
+        b = AdaptivePollutionWindow("a", "/data", 0.0, 10.0)
+        a.log.attempts = 42
+        assert a == b  # the log is runtime telemetry, not configuration

@@ -18,6 +18,8 @@ from repro.ndn.strategy import (
     LceStrategy,
     ProbCacheStrategy,
     StrategyError,
+    brandes_betweenness,
+    discover_graph,
     make_strategy,
     strategy_of,
 )
@@ -51,7 +53,7 @@ class TestRegistry:
     def test_make_strategy_forwards_params(self):
         assert make_strategy("probcache", rng=rng(), weight=4.0).weight == 4.0
         assert make_strategy("bernoulli", rng=rng(), p=0.25).p == 0.25
-        assert make_strategy("cl4m", min_degree=7).min_degree == 7
+        assert make_strategy("cl4m", quantile=0.9).quantile == 0.9
 
     def test_randomized_kinds_require_rng(self):
         with pytest.raises(StrategyError, match="RNG"):
@@ -65,7 +67,9 @@ class TestRegistry:
         with pytest.raises(StrategyError):
             BernoulliStrategy(rng(), p=1.5)
         with pytest.raises(StrategyError):
-            Cl4mStrategy(min_degree=0)
+            Cl4mStrategy(quantile=0.0)
+        with pytest.raises(StrategyError):
+            Cl4mStrategy(quantile=1.5)
 
     def test_strategy_of_normalization(self):
         assert strategy_of(None) is None
@@ -153,12 +157,70 @@ class TestEdgeAndCl4m:
         )
         assert not strategy.admit(name, 0, None, [])
 
-    def test_cl4m_admits_by_degree(self):
-        strategy = Cl4mStrategy(min_degree=3)
-        slim = type("F", (), {"faces": [1, 2]})()
-        hub = type("F", (), {"faces": [1, 2, 3, 4]})()
-        assert not strategy.admit(Name.parse("/a"), 0, slim)
-        assert strategy.admit(Name.parse("/a"), 0, hub)
+    def test_cl4m_brandes_betweenness_on_path_graph(self):
+        # Path a-b-c-d-e: undirected pair counts (both directions) are
+        # b: 2*3=6, c: 2*(2*2)=8, d: 6, endpoints 0.
+        adjacency = {
+            "a": ["b"], "b": ["a", "c"], "c": ["b", "d"],
+            "d": ["c", "e"], "e": ["d"],
+        }
+        bc = brandes_betweenness(adjacency)
+        assert bc == {"a": 0.0, "b": 6.0, "c": 8.0, "d": 6.0, "e": 0.0}
+
+    def test_cl4m_brandes_splits_shortest_paths(self):
+        # Diamond a-{b,c}-d: two equal-length a..d paths, half credit each.
+        adjacency = {
+            "a": ["b", "c"], "b": ["a", "d"],
+            "c": ["a", "d"], "d": ["b", "c"],
+        }
+        bc = brandes_betweenness(adjacency)
+        # Every node carries exactly half of one opposing pair's two
+        # equal-length shortest paths (e.g. b: half of a<->d, both
+        # directions), so all four score 1.0 — and none more.
+        assert bc == {
+            "a": pytest.approx(1.0), "b": pytest.approx(1.0),
+            "c": pytest.approx(1.0), "d": pytest.approx(1.0),
+        }
+
+    def test_cl4m_admits_only_top_betweenness_router(self):
+        # Chain c - R1 - R2 - R3 - p: R2 carries the most shortest paths.
+        net, routers = chain_network("cl4m")
+        verdicts = {
+            r: net[r].caching.compute_verdict(net[r]) for r in routers
+        }
+        assert verdicts == {"R1": False, "R2": True, "R3": False}
+
+    def test_cl4m_verdict_is_cached_and_survives_reset(self):
+        net, routers = chain_network("cl4m")
+        strategy = net[routers[1]].caching
+        assert strategy.compute_verdict(net[routers[1]]) is True
+        strategy.reset()
+        assert strategy._verdict is True  # topology state, not trial state
+
+    def test_cl4m_quantile_one_admits_only_the_maximum(self):
+        net, routers = chain_network("cl4m", hops=4)
+        # 4-router chain: middle two routers share the maximum score.
+        verdicts = [
+            Cl4mStrategy(quantile=1.0).compute_verdict(net[r])
+            for r in routers
+        ]
+        assert verdicts == [False, True, True, False]
+
+    def test_cl4m_isolated_node_admits(self):
+        from repro.sim.engine import Engine
+        from repro.ndn.forwarder import Forwarder
+
+        lone = Forwarder(Engine(), "lonely")
+        assert Cl4mStrategy().compute_verdict(lone) is True
+
+    def test_cl4m_caches_only_at_top_router_end_to_end(self):
+        net, routers = chain_network("cl4m")
+        fetch_all(net, ["/data/x"])
+        assert Name.parse("/data/x") in net["R2"].cs
+        assert Name.parse("/data/x") not in net["R1"].cs
+        assert Name.parse("/data/x") not in net["R3"].cs
+        assert net["R1"].monitor.counter("cache_declined") == 1
+        assert net["R2"].monitor.counter("cache_declined") == 0
 
 
 def chain_network(caching, hops=3, capacity=None):
