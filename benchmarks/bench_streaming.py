@@ -1,0 +1,137 @@
+"""Perf — streaming sharded pipeline vs the materialized in-RAM pipeline.
+
+The streaming workload path (``IrcacheGenerator.stream`` →
+``compile_stream`` → sharded ``fast_replay``) exists so million-user /
+multi-million-request traces never have to fit in RAM.  This bench runs
+both pipelines in **separate subprocesses** (``ru_maxrss`` is a
+whole-process high-water mark) at the same scale and asserts the
+headline contract from the ISSUE:
+
+* bit-identical :class:`ReplayStats` on every grid case (asserted inside
+  :func:`run_streaming_bench` — a divergence raises before any numbers
+  are recorded),
+* at full scale (≥4M requests): streaming peak RSS < 10% of the
+  materialized peak, and replay throughput within 10% of the in-RAM
+  fast path,
+* at CI smoke scale: an absolute pinned RSS ceiling on the streaming
+  leg — the process must stay near the interpreter+numpy baseline no
+  matter how many requests flow through it.
+
+Scale knobs: ``REPRO_BENCH_STREAM_REQUESTS`` (default 12M),
+``REPRO_BENCH_STREAM_USERS`` (default 1M), ``REPRO_BENCH_STREAM_OBJECTS``
+(default 1.5M), ``REPRO_BENCH_STREAM_SITES`` (default 4000).  Results
+land in ``BENCH_streaming.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.perf.streambench import run_streaming_bench
+from repro.perf.timing import BenchReporter
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+REQUESTS = _env_int("REPRO_BENCH_STREAM_REQUESTS", 12_000_000)
+USERS = _env_int("REPRO_BENCH_STREAM_USERS", 1_000_000)
+OBJECTS = _env_int("REPRO_BENCH_STREAM_OBJECTS", 1_500_000)
+SITES = _env_int("REPRO_BENCH_STREAM_SITES", 4_000)
+SEED = 7
+
+#: The RSS/throughput ratio bars only hold where the request side
+#: dominates the materialized leg; below this the fixed interpreter +
+#: numpy baseline (~80 MB) swamps both legs and ratios are meaningless.
+FULL_SCALE_REQUESTS = 4_000_000
+
+#: CI smoke bar: absolute streaming-leg ceiling.  Measured ~60 MB at
+#: the smoke scale (150k requests / 30k users); the bound is the
+#: interpreter+numpy baseline plus headroom, NOT proportional to
+#: requests — that flatness is the property under test.
+SMOKE_RSS_CEILING_BYTES = 200 * 1024 * 1024
+
+
+def test_streaming_vs_materialized(benchmark):
+    result = {}
+
+    def _run():
+        result.update(
+            run_streaming_bench(
+                requests=REQUESTS,
+                users=USERS,
+                objects=OBJECTS,
+                sites=SITES,
+                seed=SEED,
+            )
+        )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    scale = {
+        "requests": REQUESTS,
+        "users": USERS,
+        "objects": OBJECTS,
+        "sites": SITES,
+        "seed": SEED,
+        "shard_size": result["params"]["shard_size"],
+    }
+    reporter = BenchReporter("streaming", scale=scale)
+    for leg_name in ("materialized", "streaming"):
+        leg = result[leg_name]
+        reporter.record(
+            f"{leg_name}_build",
+            leg["build_wall_s"],
+            requests=REQUESTS,
+            rss_bytes=leg["peak_rss_bytes"],
+            compile_wall_s=round(leg["compile_wall_s"], 3),
+            **({"n_shards": leg["n_shards"]} if "n_shards" in leg else {}),
+        )
+        for case in leg["replays"]:
+            reporter.record(
+                f"{leg_name}_replay_{case['label']}",
+                case["wall_s"],
+                requests=REQUESTS,
+                rss_bytes=leg["peak_rss_bytes"],
+                hits=case["stats"]["hits"],
+                misses=case["stats"]["misses"],
+            )
+    reporter.record(
+        "comparison",
+        0.0,
+        rss_bytes=result["streaming"]["peak_rss_bytes"],
+        rss_ratio=round(result["rss_ratio"], 4),
+        throughput_ratio=round(result["throughput_ratio"], 4),
+        throughput_materialized=round(result["throughput_materialized"], 1),
+        throughput_streaming=round(result["throughput_streaming"], 1),
+    )
+    path = reporter.write()
+
+    rss_m = result["materialized"]["peak_rss_bytes"] / 1e6
+    rss_s = result["streaming"]["peak_rss_bytes"] / 1e6
+    print()
+    print(
+        f"materialized peak {rss_m:.0f} MB vs streaming {rss_s:.0f} MB "
+        f"(ratio {result['rss_ratio']:.3f}); throughput ratio "
+        f"{result['throughput_ratio']:.3f} on {REQUESTS:,} requests ({path})"
+    )
+
+    assert result["streaming"]["peak_rss_bytes"] > 0
+    assert result["materialized"]["peak_rss_bytes"] > 0
+    if REQUESTS >= FULL_SCALE_REQUESTS:
+        # The ISSUE's headline bars, meaningful only where requests
+        # dominate RSS: constant-memory streaming at full scale.
+        assert result["rss_ratio"] < 0.10, (
+            f"streaming RSS ratio {result['rss_ratio']:.3f} >= 0.10"
+        )
+        assert result["throughput_ratio"] >= 0.9, (
+            f"streaming throughput ratio {result['throughput_ratio']:.3f} < 0.9"
+        )
+    else:
+        # CI smoke: the streaming leg must stay near the process
+        # baseline regardless of scale — an absolute, pinned ceiling.
+        assert result["streaming"]["peak_rss_bytes"] < SMOKE_RSS_CEILING_BYTES, (
+            f"streaming leg peaked at {rss_s:.0f} MB, "
+            f"ceiling {SMOKE_RSS_CEILING_BYTES / 1e6:.0f} MB"
+        )

@@ -9,7 +9,7 @@ figure's content) and the headline numbers the paper quotes, plus a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.stats import PdfPair, pdf_pair, separation_score
 from repro.analysis.tables import format_series, format_table
@@ -27,6 +27,7 @@ from repro.core.privacy.utility import (
 from repro.core.schemes.base import CacheScheme
 from repro.ndn import topology
 from repro.perf.parallel import ReplaySpec, build_scheme, run_replay_sweep
+from repro.workload.ircache import IrcacheConfig
 from repro.workload.marking import ContentMarking
 from repro.workload.replay import ReplayStats
 from repro.workload.trace import Trace
@@ -255,8 +256,34 @@ class Fig5Result:
         return format_series("cache_size", x, self.hit_rates, title=self.title)
 
 
+def _run_fig5_sweep(
+    workload: Union[Trace, IrcacheConfig],
+    specs: Sequence[ReplaySpec],
+    workers: Optional[int],
+    sharded: bool,
+) -> List[ReplayStats]:
+    """Dispatch a figure-5 grid onto the right workload pathway.
+
+    A materialized :class:`Trace` replays in RAM; an
+    :class:`IrcacheConfig` goes through the on-disk trace cache, and
+    with ``sharded=True`` through the memory-mapped shard cache — built
+    by streaming generation, so the full request log never has to fit
+    in RAM.  All three pathways are bit-identical.
+    """
+    if isinstance(workload, IrcacheConfig):
+        return run_replay_sweep(
+            specs, trace_config=workload, workers=workers, sharded=sharded
+        )
+    if sharded:
+        raise ValueError(
+            "sharded fig5 sweeps take an IrcacheConfig workload "
+            "(a materialized Trace defeats the constant-memory point)"
+        )
+    return run_replay_sweep(specs, trace=workload, workers=workers)
+
+
 def run_fig5a(
-    trace: Trace,
+    trace: Union[Trace, IrcacheConfig],
     cache_sizes: Sequence[Optional[int]] = FIG5_CACHE_SIZES,
     k: int = 5,
     epsilon: float = 0.005,
@@ -264,6 +291,7 @@ def run_fig5a(
     private_fraction: float = 0.2,
     seed: int = 0,
     workers: Optional[int] = None,
+    sharded: bool = False,
 ) -> Fig5Result:
     """Figure 5(a): hit rate vs cache size for the four algorithms.
 
@@ -273,7 +301,10 @@ def run_fig5a(
 
     The (scheme × size) grid runs through
     :func:`repro.perf.parallel.run_replay_sweep`; ``workers`` (default:
-    ``REPRO_WORKERS`` / CPU count) never changes the numbers.
+    ``REPRO_WORKERS`` / CPU count) never changes the numbers.  ``trace``
+    may be a materialized :class:`Trace` or an :class:`IrcacheConfig`
+    (cache-backed; combine with ``sharded=True`` for the
+    constant-memory streaming pathway at large scale).
     """
     marking = ContentMarking(private_fraction, salt=seed)
     params = {"k": k, "epsilon": epsilon, "delta": delta}
@@ -297,7 +328,7 @@ def run_fig5a(
         for name in scheme_names
         for size in cache_sizes
     ]
-    sweep = run_replay_sweep(specs, trace=trace, workers=workers)
+    sweep = _run_fig5_sweep(trace, specs, workers, sharded)
     for spec, stats in zip(specs, sweep):
         result.stats[(spec.label, spec.cache_size)] = stats
         result.hit_rates.setdefault(spec.label, []).append(100.0 * stats.hit_rate)
@@ -305,7 +336,7 @@ def run_fig5a(
 
 
 def run_fig5b(
-    trace: Trace,
+    trace: Union[Trace, IrcacheConfig],
     cache_sizes: Sequence[Optional[int]] = FIG5_CACHE_SIZES,
     k: int = 5,
     epsilon: float = 0.005,
@@ -313,8 +344,12 @@ def run_fig5b(
     private_fractions: Sequence[float] = (0.05, 0.10, 0.20, 0.40),
     seed: int = 0,
     workers: Optional[int] = None,
+    sharded: bool = False,
 ) -> Fig5Result:
-    """Figure 5(b): Exponential-Random-Cache under varying private share."""
+    """Figure 5(b): Exponential-Random-Cache under varying private share.
+
+    Accepts the same workload forms as :func:`run_fig5a`.
+    """
     params = {"k": k, "epsilon": epsilon, "delta": delta}
     result = Fig5Result(
         title=(
@@ -335,7 +370,7 @@ def run_fig5b(
         for fraction in private_fractions
         for size in cache_sizes
     ]
-    sweep = run_replay_sweep(specs, trace=trace, workers=workers)
+    sweep = _run_fig5_sweep(trace, specs, workers, sharded)
     for spec, stats in zip(specs, sweep):
         result.stats[(spec.label, spec.cache_size)] = stats
         result.hit_rates.setdefault(spec.label, []).append(100.0 * stats.hit_rate)

@@ -93,6 +93,10 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None,
                        help="sweep worker processes (default: REPRO_WORKERS "
                             "or CPU count; results are worker-independent)")
+        p.add_argument("--streaming", action="store_true",
+                       help="stream the workload through the mmap-sharded "
+                            "trace cache instead of materializing it in RAM "
+                            "(bit-identical results, bounded memory)")
         if name == "fig5a":
             p.add_argument("--private-fraction", type=float, default=0.2)
         else:
@@ -125,6 +129,9 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--skip-defense", action="store_true",
                           help="skip the defense-off/monitor bit-identity "
                                "transparency check")
+    validate.add_argument("--skip-streaming-differential", action="store_true",
+                          help="skip the streaming-vs-materialized workload "
+                               "cross-check (sharded replay + simulator)")
 
     strategy = sub.add_parser(
         "strategy",
@@ -284,6 +291,16 @@ def _make_trace(requests: int, seed: int):
     return IrcacheGenerator(IrcacheConfig(requests=requests, seed=seed)).generate()
 
 
+def _fig5_workload(args):
+    """The fig5 workload: materialized Trace, or its IrcacheConfig when
+    ``--streaming`` routes the sweep through the sharded trace cache."""
+    from repro.workload.ircache import IrcacheConfig
+
+    if args.streaming:
+        return IrcacheConfig(requests=args.requests, seed=args.seed)
+    return _make_trace(args.requests, args.seed)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -318,25 +335,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "fig5a":
-        trace = _make_trace(args.requests, args.seed)
+        workload = _fig5_workload(args)
         result = run_fig5a(
-            trace,
+            workload,
             cache_sizes=_parse_sizes(args.sizes),
             k=args.k, epsilon=args.epsilon, delta=args.delta,
             private_fraction=args.private_fraction, seed=args.seed,
-            workers=args.workers,
+            workers=args.workers, sharded=args.streaming,
         )
         print(result.render())
         return 0
 
     if args.command == "fig5b":
-        trace = _make_trace(args.requests, args.seed)
+        workload = _fig5_workload(args)
         result = run_fig5b(
-            trace,
+            workload,
             cache_sizes=_parse_sizes(args.sizes),
             k=args.k, epsilon=args.epsilon, delta=args.delta,
             private_fractions=args.private_fractions, seed=args.seed,
-            workers=args.workers,
+            workers=args.workers, sharded=args.streaming,
         )
         print(result.render())
         return 0
@@ -441,6 +458,23 @@ def _run_validate(args) -> int:
             failed = True
             for case in topo_report.failures:
                 print(f"  - {case.case.label}: " + "; ".join(case.mismatches))
+
+    if not args.skip_streaming_differential:
+        from repro.validation.differential import validate_streaming_differential
+
+        stream_report = validate_streaming_differential(
+            seed=args.seed, requests=min(args.requests, 2500)
+        )
+        print(
+            f"streaming differential: "
+            f"{'ok' if stream_report.ok else 'MISMATCH'} "
+            f"({len(stream_report.results)} comparisons, "
+            f"{stream_report.trace_requests} requests)"
+        )
+        if not stream_report.ok:
+            failed = True
+            for case in stream_report.failures:
+                print(f"  - {case.label}: " + "; ".join(case.mismatches))
 
     if not args.skip_defense:
         from repro.defense import defense_transparency_mismatches

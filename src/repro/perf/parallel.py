@@ -54,6 +54,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import shutil
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -72,9 +73,20 @@ from repro.core.schemes.no_privacy import NoPrivacyScheme
 from repro.core.schemes.uniform import UniformRandomCache
 from repro.perf.checkpoint import SweepCheckpoint
 from repro.workload.fast_replay import fast_replay
-from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
+from repro.workload.ircache import (
+    IRCACHE_ALGORITHM_VERSION,
+    SAMPLING_BLOCK,
+    IrcacheConfig,
+    IrcacheGenerator,
+)
 from repro.workload.marking import MarkingRule
 from repro.workload.replay import ReplayStats, replay
+from repro.workload.sharded import (
+    DEFAULT_SHARD_SIZE,
+    ShardedCompiledTrace,
+    ShardIntegrityError,
+    compile_stream,
+)
 from repro.workload.trace import Trace
 
 ENV_WORKERS = "REPRO_WORKERS"
@@ -233,9 +245,30 @@ def trace_cache_dir() -> Path:
     return root
 
 
-def _config_key(config: IrcacheConfig) -> str:
+def _config_key(
+    config: IrcacheConfig,
+    layout: str = "tsv",
+    shard_size: Optional[int] = None,
+) -> str:
+    """Full generator-config fingerprint for one cache entry.
+
+    Keys on every config field **plus** the generation-algorithm version,
+    its internal sampling-block size, the on-disk layout, and the shard
+    size — so a sharded and a materialized (TSV) entry of the same config
+    can never collide, and a generator-algorithm change can never serve a
+    stale materialization.
+    """
     payload = repr(
-        sorted((name, getattr(config, name)) for name in config.__dataclass_fields__)
+        (
+            sorted(
+                (name, getattr(config, name))
+                for name in config.__dataclass_fields__
+            ),
+            ("algorithm", IRCACHE_ALGORITHM_VERSION),
+            ("sampling_block", SAMPLING_BLOCK),
+            ("layout", layout),
+            ("shard_size", shard_size),
+        )
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
@@ -299,6 +332,52 @@ def ensure_trace_cached(config: IrcacheConfig) -> Path:
     return path
 
 
+def ensure_sharded_trace_cached(
+    config: IrcacheConfig, shard_size: int = DEFAULT_SHARD_SIZE
+) -> Path:
+    """Generate-or-reuse the **sharded** compiled trace for ``config``.
+
+    Returns the shard-directory path.  The workload is streamed straight
+    into the sharded format (:func:`~repro.workload.sharded.compile_stream`)
+    so the cache build itself never materializes the full trace — peak
+    RSS stays bounded by one shard.  An existing entry is verified
+    against its per-shard checksums first; a corrupted entry is deleted
+    and regenerated (the config makes regeneration deterministic).  The
+    build lands in a staging directory and is renamed into place, so a
+    killed build never leaves a half-written entry under the cache key.
+    """
+    key = _config_key(config, layout="sharded", shard_size=shard_size)
+    path = trace_cache_dir() / f"ircache-shards-{key}"
+    if path.is_dir():
+        try:
+            ShardedCompiledTrace.open(path).verify()
+            return path
+        except (ShardIntegrityError, OSError, ValueError):
+            shutil.rmtree(path, ignore_errors=True)
+    staging = Path(
+        tempfile.mkdtemp(dir=str(trace_cache_dir()), prefix=f".build-{key}-")
+    )
+    try:
+        compile_stream(
+            IrcacheGenerator(config).stream(),
+            staging,
+            shard_size=shard_size,
+            source={
+                "kind": "ircache",
+                "config_key": key,
+                "algorithm_version": IRCACHE_ALGORITHM_VERSION,
+            },
+        )
+        try:
+            os.replace(staging, path)
+        except OSError:
+            # Lost a build race: keep the winner if it verifies.
+            ShardedCompiledTrace.open(path).verify()
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+    return path
+
+
 def _trace_payload(trace: Trace) -> bytes:
     """The canonical TSV byte serialization of ``trace``."""
     lines = [
@@ -341,10 +420,33 @@ def _load_trace(path: str) -> Trace:
     return trace
 
 
+#: Per-process memo of opened shard directories.  Opening only maps the
+#: manifest + name table; shard arrays stay on disk until replay touches
+#: them, so the memo costs O(n_names) per trace, not O(n_requests).
+_PROCESS_SHARDED: Dict[str, ShardedCompiledTrace] = {}
+
+
+def _load_sharded(path: str) -> ShardedCompiledTrace:
+    sharded = _PROCESS_SHARDED.get(path)
+    if sharded is None:
+        try:
+            sharded = ShardedCompiledTrace.open(path)
+        except (ShardIntegrityError, OSError, ValueError) as error:
+            raise TraceCacheError(
+                f"sharded trace cache entry {path} is unreadable or failed "
+                "its integrity check; regenerate it via "
+                "ensure_sharded_trace_cached() before dispatching workers"
+            ) from error
+        _PROCESS_SHARDED[path] = sharded
+    return sharded
+
+
 # ======================================================================
 # Execution
 # ======================================================================
-def _execute(trace: Trace, spec: ReplaySpec, engine: str) -> ReplayStats:
+def _execute(
+    trace: Union[Trace, ShardedCompiledTrace], spec: ReplaySpec, engine: str
+) -> ReplayStats:
     scheme = spec.scheme
     if isinstance(scheme, str):
         scheme = build_scheme(scheme, seed=spec.seed, **dict(spec.scheme_params))
@@ -383,9 +485,13 @@ def _maybe_inject_chaos() -> None:
 
 
 def _worker_run(args: tuple) -> ReplayStats:
-    trace_path, spec, engine = args
+    trace_path, spec, engine, layout = args
     _maybe_inject_chaos()
-    return _execute(_load_trace(trace_path), spec, engine)
+    if layout == "sharded":
+        workload = _load_sharded(trace_path)
+    else:
+        workload = _load_trace(trace_path)
+    return _execute(workload, spec, engine)
 
 
 class _SweepStalled(RuntimeError):
@@ -466,6 +572,8 @@ def run_replay_sweep(
     timeout: Optional[float] = None,
     max_restarts: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
+    sharded: bool = False,
+    shard_size: int = DEFAULT_SHARD_SIZE,
 ) -> List[ReplayStats]:
     """Run every sweep point; results in spec order.
 
@@ -473,6 +581,14 @@ def run_replay_sweep(
     With ``trace_config`` the workload is materialized through the
     on-disk cache; a raw ``trace`` is persisted there (content-addressed)
     only when worker processes actually need to load it.
+
+    ``sharded=True`` (requires ``trace_config`` and the fast engine)
+    routes the sweep through the memory-mapped sharded trace cache
+    instead of the TSV one: the cache is built by streaming generation
+    (never materializing the trace) and each worker replays shard by
+    shard, so worker RSS is bounded by one shard plus O(n_names) state
+    rather than the whole request log.  Results are bit-identical to the
+    materialized path.
 
     ``engine`` selects the replay implementation: ``"fast"`` (default,
     the interned kernel with reference fallback) or ``"reference"``.
@@ -493,6 +609,14 @@ def run_replay_sweep(
         raise ValueError(f"engine must be 'fast' or 'reference', got {engine!r}")
     if (trace is None) == (trace_config is None):
         raise ValueError("provide exactly one of trace= or trace_config=")
+    if sharded:
+        if trace_config is None:
+            raise ValueError("sharded sweeps require trace_config=")
+        if engine != "fast":
+            raise ValueError(
+                "sharded sweeps run on the fast engine only "
+                "(the reference engine needs a materialized Trace)"
+            )
     spec_list = list(specs)
     if not spec_list:
         return []
@@ -505,7 +629,11 @@ def run_replay_sweep(
     sweep_checkpoint: Optional[SweepCheckpoint] = None
     if checkpoint is not None:
         if trace_config is not None:
-            trace_key = f"config:{_config_key(trace_config)}"
+            layout = "sharded" if sharded else "tsv"
+            key = _config_key(
+                trace_config, layout=layout, shard_size=shard_size if sharded else None
+            )
+            trace_key = f"config:{layout}:{key}"
         else:
             trace_key = (
                 "trace:" + hashlib.sha256(_trace_payload(trace)).hexdigest()[:16]
@@ -525,21 +653,32 @@ def run_replay_sweep(
             sweep_checkpoint.append(index, stats)
 
     if workers <= 1:
-        if trace is None:
-            trace = _load_trace(str(ensure_trace_cached(trace_config)))
+        if sharded:
+            workload: Union[Trace, ShardedCompiledTrace] = _load_sharded(
+                str(ensure_sharded_trace_cached(trace_config, shard_size))
+            )
+        elif trace is None:
+            workload = _load_trace(str(ensure_trace_cached(trace_config)))
+        else:
+            workload = trace
         # Pickle round-trip each spec so scheme/marking RNG state is
         # isolated exactly as process transport isolates it.
         for index, spec in enumerate(spec_list):
             if index in completed:
                 continue
-            deliver(index, _execute(trace, pickle.loads(pickle.dumps(spec)), engine))
+            deliver(
+                index, _execute(workload, pickle.loads(pickle.dumps(spec)), engine)
+            )
         return [completed[index] for index in range(count)]
 
-    if trace_config is not None:
+    if sharded:
+        path = ensure_sharded_trace_cached(trace_config, shard_size)
+    elif trace_config is not None:
         path = ensure_trace_cached(trace_config)
     else:
         path = _cache_trace_object(trace)
-    tasks = [(str(path), spec, engine) for spec in spec_list]
+    layout = "sharded" if sharded else "tsv"
+    tasks = [(str(path), spec, engine, layout) for spec in spec_list]
     remaining = {index for index in range(count) if index not in completed}
     _run_hardened(tasks, remaining, workers, timeout, max_restarts, deliver)
     return [completed[index] for index in range(count)]

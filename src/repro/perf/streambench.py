@@ -1,0 +1,243 @@
+"""Streaming-vs-materialized benchmark legs (subprocess-isolated).
+
+The streaming pipeline's headline claims are about *process* peak RSS:
+
+* ``stream → compile_stream → sharded fast_replay`` must peak below 10%
+  of the materialized ``generate → compile → fast_replay`` equivalent,
+* its replay throughput must stay within 10% of the in-RAM fast path,
+* and every observable must be bit-identical between the two.
+
+Peak RSS (``ru_maxrss``) is a whole-process high-water mark, so the two
+pipelines can only be compared from **separate processes**.  This module
+is that protocol: ``python -m repro.perf.streambench <leg>`` runs one
+pipeline end to end and prints a single JSON object (timings, per-case
+:class:`ReplayStats` tuples, ``peak_rss_bytes``) to stdout;
+:func:`run_streaming_bench` forks both legs, checks bit-identity, and
+returns the merged result for ``benchmarks/bench_streaming.py`` to turn
+into ``BENCH_streaming.json``.
+
+Scale knobs travel as a JSON params blob so the child legs rebuild the
+exact same :class:`IrcacheConfig` and replay grid from the seed alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict, fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.perf.timing import peak_rss_bytes
+from repro.workload.ircache import IrcacheConfig, IrcacheGenerator
+from repro.workload.replay import ReplayStats
+
+#: The overlap replay grid both legs run (scheme, policy, cache, marking).
+DEFAULT_GRID: List[Dict[str, Any]] = [
+    {"label": "uniform/lru", "scheme": "uniform", "policy": "lru",
+     "cache_size": 8000, "marking": "content"},
+    {"label": "exponential/lfu", "scheme": "exponential", "policy": "lfu",
+     "cache_size": 8000, "marking": "request"},
+]
+
+MARK_FRACTION = 0.2
+
+
+def _build_config(params: Dict[str, Any]) -> IrcacheConfig:
+    return IrcacheConfig(
+        requests=int(params["requests"]),
+        users=int(params["users"]),
+        objects=int(params["objects"]),
+        sites=int(params["sites"]),
+        session_locality=0.3,
+        seed=int(params["seed"]),
+    )
+
+
+def _build_marking(kind: str, seed: int):
+    from repro.workload.marking import ContentMarking, RequestMarking
+
+    if kind == "content":
+        return ContentMarking(MARK_FRACTION, salt=seed)
+    if kind == "request":
+        return RequestMarking(MARK_FRACTION, seed=seed)
+    return None
+
+
+def _replay_grid(workload, params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Run the overlap grid; fresh scheme/marking per case (RNG-stateful)."""
+    from repro.perf.parallel import build_scheme
+    from repro.workload.fast_replay import fast_replay
+
+    seed = int(params["seed"])
+    out = []
+    for case in params.get("grid", DEFAULT_GRID):
+        start = time.perf_counter()
+        stats = fast_replay(
+            workload,
+            scheme=build_scheme(case["scheme"], seed=seed),
+            marking=_build_marking(case["marking"], seed),
+            cache_size=case["cache_size"],
+            policy=case["policy"],
+            seed=seed,
+        )
+        wall = time.perf_counter() - start
+        out.append(
+            {"label": case["label"], "wall_s": wall, "stats": asdict(stats)}
+        )
+    return out
+
+
+def leg_materialized(params: Dict[str, Any]) -> Dict[str, Any]:
+    """generate → compile → fast_replay, all in RAM."""
+    config = _build_config(params)
+    start = time.perf_counter()
+    trace = IrcacheGenerator(config).generate()
+    generate_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    trace.compile()
+    compile_wall = time.perf_counter() - start
+    replays = _replay_grid(trace, params)
+    return {
+        "leg": "materialized",
+        "build_wall_s": generate_wall,
+        "compile_wall_s": compile_wall,
+        "replays": replays,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def leg_streaming(params: Dict[str, Any]) -> Dict[str, Any]:
+    """stream → compile_stream → sharded fast_replay, never materialized."""
+    from repro.workload.sharded import DEFAULT_SHARD_SIZE, compile_stream
+
+    config = _build_config(params)
+    shard_dir = params["shard_dir"]
+    shard_size = int(params.get("shard_size", DEFAULT_SHARD_SIZE))
+    start = time.perf_counter()
+    sharded = compile_stream(
+        IrcacheGenerator(config).stream(), shard_dir, shard_size=shard_size
+    )
+    compile_wall = time.perf_counter() - start
+    replays = _replay_grid(sharded, params)
+    return {
+        "leg": "streaming",
+        "build_wall_s": compile_wall,
+        "compile_wall_s": compile_wall,
+        "n_shards": sharded.n_shards,
+        "replays": replays,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+_LEGS = {"materialized": leg_materialized, "streaming": leg_streaming}
+
+
+def _spawn_leg(leg: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one leg in a fresh interpreter; returns its JSON result."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.perf.streambench", leg],
+        input=json.dumps(params),
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"streambench leg {leg!r} failed (rc={proc.returncode}):\n"
+            f"{proc.stderr[-4000:]}"
+        )
+    # The result is the last stdout line (libraries may print above it).
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _stats_of(leg_result: Dict[str, Any]) -> List[ReplayStats]:
+    names = [f.name for f in fields(ReplayStats)]
+    return [
+        ReplayStats(**{k: r["stats"][k] for k in names})
+        for r in leg_result["replays"]
+    ]
+
+
+def run_streaming_bench(
+    requests: int,
+    users: int,
+    objects: int,
+    sites: int,
+    seed: int = 0,
+    shard_size: Optional[int] = None,
+    grid: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Fork both legs, assert bit-identity, return the merged result.
+
+    The returned dict carries both leg payloads plus the derived
+    comparison figures (``rss_ratio``, ``throughput_ratio``).  Acceptance
+    thresholds are asserted by the caller (they are scale-dependent).
+    """
+    from repro.workload.sharded import DEFAULT_SHARD_SIZE
+
+    params: Dict[str, Any] = {
+        "requests": requests,
+        "users": users,
+        "objects": objects,
+        "sites": sites,
+        "seed": seed,
+        "shard_size": shard_size or DEFAULT_SHARD_SIZE,
+    }
+    if grid is not None:
+        params["grid"] = grid
+    with tempfile.TemporaryDirectory(prefix="repro-streambench-") as tmp:
+        streaming = _spawn_leg("streaming", {**params, "shard_dir": tmp})
+    materialized = _spawn_leg("materialized", params)
+
+    stats_m = _stats_of(materialized)
+    stats_s = _stats_of(streaming)
+    if stats_m != stats_s:
+        raise AssertionError(
+            "streaming and materialized replays diverged:\n"
+            f"  materialized: {stats_m}\n  streaming:    {stats_s}"
+        )
+
+    def throughput(leg: Dict[str, Any]) -> float:
+        total_wall = sum(r["wall_s"] for r in leg["replays"])
+        return requests * len(leg["replays"]) / total_wall if total_wall else 0.0
+
+    rss_ratio = (
+        streaming["peak_rss_bytes"] / materialized["peak_rss_bytes"]
+        if materialized["peak_rss_bytes"]
+        else float("inf")
+    )
+    tp_m = throughput(materialized)
+    tp_s = throughput(streaming)
+    return {
+        "params": params,
+        "materialized": materialized,
+        "streaming": streaming,
+        "rss_ratio": rss_ratio,
+        "throughput_materialized": tp_m,
+        "throughput_streaming": tp_s,
+        "throughput_ratio": tp_s / tp_m if tp_m else float("inf"),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1 or argv[0] not in _LEGS:
+        print(
+            f"usage: python -m repro.perf.streambench {{{'|'.join(_LEGS)}}} "
+            "< params.json",
+            file=sys.stderr,
+        )
+        return 2
+    params = json.loads(sys.stdin.read())
+    result = _LEGS[argv[0]](params)
+    print(json.dumps(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,14 +17,18 @@ File format (one JSON object)::
       "records": [
         {"label": "fig5a", "wall_s": 1.9, "requests": 2400000,
          "requests_per_sec": 1263157.9, "events": 0,
-         "events_per_sec": 0.0, "meta": {...}},
+         "events_per_sec": 0.0, "peak_rss_bytes": 98765432,
+         "meta": {...}},
         ...
       ]
     }
 
 Schema history: v1 had no ``schema_version``/``git_rev`` fields (their
 absence identifies a v1 file); v2 added both so cross-PR comparisons can
-pin which commit produced which numbers.
+pin which commit produced which numbers, and made ``peak_rss_bytes``
+universal — once at the top level (whole-process high-water at write
+time) and once per record (the high-water when the record was taken, or
+a subprocess-reported per-leg peak).
 """
 
 from __future__ import annotations
@@ -87,6 +91,11 @@ class TimingRecord:
     requests: int = 0
     #: Simulation events processed during the timed section.
     events: int = 0
+    #: Process peak RSS when the record was taken (0 = not captured).
+    #: A process high-water mark: within one bench it is non-decreasing
+    #: across records; subprocess-isolated benches report true per-leg
+    #: peaks.
+    peak_rss_bytes: int = 0
     meta: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -108,6 +117,7 @@ class TimingRecord:
             "requests_per_sec": self.requests_per_sec,
             "events": self.events,
             "events_per_sec": self.events_per_sec,
+            "peak_rss_bytes": self.peak_rss_bytes,
             "meta": self.meta,
         }
 
@@ -154,11 +164,22 @@ class BenchReporter:
         wall_s: float,
         requests: int = 0,
         events: int = 0,
+        rss_bytes: Optional[int] = None,
         **meta: Any,
     ) -> TimingRecord:
-        """Append one record; returns it for chaining/assertions."""
+        """Append one record; returns it for chaining/assertions.
+
+        ``rss_bytes`` overrides the RSS stamp (subprocess-isolated
+        benches pass the child's own peak); by default the record
+        captures this process's current high-water mark.
+        """
         entry = TimingRecord(
-            label=label, wall_s=wall_s, requests=requests, events=events, meta=meta
+            label=label,
+            wall_s=wall_s,
+            requests=requests,
+            events=events,
+            peak_rss_bytes=peak_rss_bytes() if rss_bytes is None else rss_bytes,
+            meta=meta,
         )
         self.records.append(entry)
         return entry

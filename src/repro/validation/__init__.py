@@ -19,9 +19,13 @@ Both are wired into ``repro validate`` (CLI), ``bench_overload``, and CI.
 from repro.validation.differential import (
     DifferentialCase,
     DifferentialReport,
+    StreamingCase,
+    StreamingDifferentialReport,
     default_differential_cases,
+    default_streaming_cases,
     diff_replay_stats,
     validate_differential,
+    validate_streaming_differential,
 )
 from repro.validation.invariants import (
     InvariantChecker,
@@ -37,8 +41,12 @@ __all__ = [
     "InvariantError",
     "OverloadResult",
     "Violation",
+    "StreamingCase",
+    "StreamingDifferentialReport",
     "default_differential_cases",
+    "default_streaming_cases",
     "diff_replay_stats",
     "run_overload_scenario",
     "validate_differential",
+    "validate_streaming_differential",
 ]

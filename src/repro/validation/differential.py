@@ -488,3 +488,224 @@ def validate_topology_differential(
             )
         )
     return TopologyDifferentialReport(results=results)
+
+
+# ======================================================================
+# Streaming differential: stream→shards→replay vs generate→compile→replay
+# ======================================================================
+@dataclass(frozen=True)
+class StreamingCase:
+    """One replay configuration cross-checked between the sharded and
+    the in-RAM fast path."""
+
+    scheme: str
+    policy: str = "lru"
+    cache_size: Optional[int] = 64
+    marking: str = "request"  # "none" | "content" | "request"
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        cap = self.cache_size if self.cache_size is not None else "inf"
+        return (
+            f"{self.scheme}/{self.policy}/cap={cap}/"
+            f"mark={self.marking}/seed={self.seed}"
+        )
+
+
+def default_streaming_cases(seed: int = 0) -> List[StreamingCase]:
+    """Scheme × policy × marking corners of the streaming-replay grid."""
+    return [
+        StreamingCase("no-privacy", "lru", 64, "none", seed),
+        StreamingCase("uniform", "fifo", 48, "content", seed),
+        StreamingCase("exponential", "lfu", 96, "request", seed),
+        StreamingCase("always-delay", "random", None, "request", seed),
+    ]
+
+
+@dataclass
+class StreamingCaseResult:
+    """Outcome of one streaming-vs-materialized comparison."""
+
+    label: str
+    mismatches: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass
+class StreamingDifferentialReport:
+    """All comparisons of one streaming-differential run."""
+
+    results: List[StreamingCaseResult]
+    trace_requests: int
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[StreamingCaseResult]:
+        return [r for r in self.results if not r.ok]
+
+    def summary(self) -> str:
+        lines = []
+        for r in self.results:
+            status = "ok" if r.ok else "MISMATCH " + "; ".join(r.mismatches)
+            lines.append(f"{r.label}: {status}")
+        return "\n".join(lines)
+
+
+def _streaming_marking(kind: str, fraction: float, seed: int):
+    """Fresh marking instance per replay leg (RequestMarking is RNG-
+    stateful: sharing one across legs would continue its stream)."""
+    from repro.workload.marking import ContentMarking
+
+    if kind == "none":
+        return None
+    if kind == "content":
+        return ContentMarking(fraction, salt=seed)
+    if kind == "request":
+        return RequestMarking(fraction, seed=seed)
+    raise ValueError(f"unknown marking kind {kind!r}")
+
+
+def _star_edge_network(seed: int, consumers: Sequence[str]) -> Network:
+    """A fresh deterministic star edge (same shape as the defense
+    suites): consumers → one caching router → one root producer."""
+    net = Network(rng=RngRegistry(seed))
+    net.add_router("E", capacity=64, scheme=build_scheme("uniform", seed=seed))
+    net.add_producer("P", "/")
+    for name in consumers:
+        net.add_consumer(name)
+        net.connect(name, "E", FixedDelay(0.5))
+    net.connect("E", "P", FixedDelay(2.0))
+    net.add_route("E", "/", "P")
+    return net
+
+
+def validate_streaming_differential(
+    cases: Optional[Sequence[StreamingCase]] = None,
+    seed: int = 0,
+    requests: int = 2500,
+    sim_requests: int = 500,
+) -> StreamingDifferentialReport:
+    """Cross-check the streaming pipeline against the materialized one.
+
+    Three layers, all bit-identity:
+
+    * **replay grid** — ``stream → compile_stream → fast_replay`` (shard
+      by shard, mmap'd) vs ``generate → compile → fast_replay`` over the
+      scheme/policy/marking grid: identical :class:`ReplayStats`,
+    * **oracle anchor** — one cell also compared against the reference
+      event-driven :func:`~repro.workload.replay.replay`, pinning the
+      sharded path to the original semantics rather than just to the
+      fast kernel,
+    * **simulator observables** — the packet simulator driven from the
+      streaming workload vs from its materialized twin through the same
+      :func:`~repro.sim.workload_driver.scripts_from_workload` driver:
+      identical scripts and identical :class:`TopologyObservables`.
+
+    Every leg gets freshly built scheme/marking instances (both are
+    RNG-stateful).
+    """
+    import tempfile
+
+    from repro.sim.batch.script import run_scripts_reference
+    from repro.sim.workload_driver import scripts_from_workload
+    from repro.workload.sharded import compile_stream
+    from repro.workload.streaming import TraceWorkload
+
+    if cases is None:
+        cases = default_streaming_cases(seed=seed)
+    config = IrcacheConfig(
+        requests=requests,
+        users=24,
+        objects=400,
+        sites=30,
+        session_locality=0.3,
+        duration_hours=1.0,
+        seed=seed,
+    )
+    trace = IrcacheGenerator(config).generate()
+    results: List[StreamingCaseResult] = []
+    with tempfile.TemporaryDirectory(prefix="repro-streamdiff-") as tmp:
+        sharded = compile_stream(
+            IrcacheGenerator(config).stream(),
+            tmp,
+            shard_size=max(1, requests // 7),
+        )
+        sharded.verify()
+
+        def run(workload, case: StreamingCase, engine) -> ReplayStats:
+            return engine(
+                workload,
+                scheme=build_scheme(case.scheme, seed=case.seed),
+                marking=_streaming_marking(case.marking, 0.25, case.seed),
+                cache_size=case.cache_size,
+                policy=case.policy,
+                seed=case.seed,
+            )
+
+        for case in cases:
+            in_ram = run(trace, case, fast_replay)
+            streamed = run(sharded, case, fast_replay)
+            results.append(
+                StreamingCaseResult(
+                    label=f"replay:{case.label}",
+                    mismatches=diff_replay_stats(in_ram, streamed),
+                )
+            )
+
+        # Oracle anchor: the sharded path against the reference replay.
+        anchor = cases[0]
+        oracle = run(trace, anchor, replay)
+        streamed = run(sharded, anchor, fast_replay)
+        results.append(
+            StreamingCaseResult(
+                label=f"oracle-anchor:{anchor.label}",
+                mismatches=diff_replay_stats(oracle, streamed),
+            )
+        )
+
+    # Simulator observables: streaming vs materialized through the same
+    # driver (reference engine both legs; the legs differ only in the
+    # workload's representation).
+    sim_config = IrcacheConfig(
+        requests=sim_requests,
+        users=12,
+        objects=120,
+        sites=16,
+        session_locality=0.3,
+        duration_hours=0.25,
+        seed=seed + 1,
+    )
+    consumers = [f"F{i}" for i in range(4)]
+    driver_kwargs = dict(time_scale=1e-3, timeout=5000.0, private_period=7)
+    sim_trace = IrcacheGenerator(sim_config).generate()
+    scripts_mat = scripts_from_workload(
+        TraceWorkload(sim_trace), consumers, **driver_kwargs
+    )
+    scripts_stream = scripts_from_workload(
+        IrcacheGenerator(sim_config).stream(), consumers, **driver_kwargs
+    )
+    mismatches: List[str] = []
+    if scripts_mat != scripts_stream:
+        mismatches.append("driver scripts differ between representations")
+    obs_mat = run_scripts_reference(
+        _star_edge_network(seed, consumers), scripts_mat
+    )
+    obs_stream = run_scripts_reference(
+        _star_edge_network(seed, consumers), scripts_stream
+    )
+    mismatches.extend(diff_observables(obs_mat, obs_stream))
+    if obs_stream.total_delivered == 0:
+        mismatches.append("streaming simulator leg delivered nothing")
+    results.append(
+        StreamingCaseResult(label="simulator:star-edge", mismatches=mismatches)
+    )
+    return StreamingDifferentialReport(
+        results=results, trace_requests=requests
+    )

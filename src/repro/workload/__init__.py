@@ -9,9 +9,25 @@ from repro.workload.hierarchy import (
 )
 from repro.workload.ircache import (
     DIURNAL_PROFILE,
+    IRCACHE_ALGORITHM_VERSION,
     IrcacheConfig,
     IrcacheGenerator,
+    IrcacheStream,
     small_test_trace,
+)
+from repro.workload.sharded import (
+    ShardedCompiledTrace,
+    ShardIntegrityError,
+    compile_stream,
+)
+from repro.workload.streaming import (
+    RequestBlock,
+    TraceWorkload,
+    TsvWorkload,
+    Workload,
+    iter_requests,
+    materialize,
+    rechunk,
 )
 from repro.workload.marking import (
     ContentMarking,
@@ -29,8 +45,20 @@ __all__ = [
     "ZipfSampler",
     "IrcacheConfig",
     "IrcacheGenerator",
+    "IrcacheStream",
+    "IRCACHE_ALGORITHM_VERSION",
     "small_test_trace",
     "DIURNAL_PROFILE",
+    "Workload",
+    "RequestBlock",
+    "TraceWorkload",
+    "TsvWorkload",
+    "ShardedCompiledTrace",
+    "ShardIntegrityError",
+    "compile_stream",
+    "iter_requests",
+    "materialize",
+    "rechunk",
     "MarkingRule",
     "ContentMarking",
     "RequestMarking",

@@ -20,14 +20,21 @@ magnitude faster:
   :class:`~repro.core.schemes.base.SchemeKernel` state machines that
   consume the scheme's RNG in exactly the reference order.
 
+The loop lives in a resumable :class:`_ReplayCore`, so the same code
+replays an in-RAM compiled trace in one span or a
+:class:`~repro.workload.sharded.ShardedCompiledTrace` shard by shard —
+cache/recency/kernel state carries across shards, every observable is
+bit-identical to the in-RAM path, and peak RSS is bounded by one shard.
+
 Schemes that do not provide a kernel (see
 :meth:`CacheScheme.make_kernel`) transparently fall back to the
-reference ``replay()``, so ``fast_replay`` is always safe to call.
+reference ``replay()`` when a :class:`Trace` is available, so
+``fast_replay`` is always safe to call.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +45,7 @@ from repro.ndn.replacement import POLICIES
 from repro.workload.compiled import CompiledTrace
 from repro.workload.marking import ContentMarking, MarkingRule, NoMarking
 from repro.workload.replay import ReplayStats, replay
+from repro.workload.sharded import ShardedCompiledTrace
 from repro.workload.trace import Trace
 
 
@@ -146,8 +154,256 @@ def compile_private_flags(
     return [is_private(names[cid], 0) for cid in ids]
 
 
+class _ReplayCore:
+    """The replay state machine, resumable across id spans.
+
+    One instance replays one trace: construct, feed each span of
+    (content ids, privacy flags) in order through :meth:`run_span`, read
+    :meth:`stats`.  The in-RAM path feeds a single span; the sharded path
+    feeds one span per shard — the loop body is the same object code, so
+    the two paths cannot diverge.
+    """
+
+    __slots__ = (
+        "kernel", "cap", "fetch_delay", "refresh", "move_on_access",
+        "inline_list", "cached", "entry_private", "nxt", "prv", "sentinel",
+        "p_insert", "p_access", "p_pop", "size", "requests", "hits",
+        "disguised", "misses", "private_requests", "private_hits",
+        "evictions", "delay_total",
+    )
+
+    def __init__(
+        self,
+        kernel,
+        n_names: int,
+        cache_size: Optional[int],
+        policy: str,
+        fetch_delay: float,
+        seed: int,
+        refresh_delayed_hits: bool,
+    ) -> None:
+        self.kernel = kernel
+        self.cap = cache_size
+        self.fetch_delay = fetch_delay
+        self.refresh = refresh_delayed_hits
+        self.cached = bytearray(n_names)
+        self.entry_private = bytearray(n_names)
+
+        # LRU/FIFO: intrusive doubly-linked list over content ids with a
+        # sentinel at index n_names; head side = eviction victim, tail
+        # side = most recent.  FIFO shares the list but never reorders on
+        # access.
+        self.inline_list = policy in ("lru", "fifo")
+        self.move_on_access = policy == "lru"
+        self.sentinel = n_names
+        if self.inline_list:
+            self.nxt = [0] * (n_names + 1)
+            self.prv = [0] * (n_names + 1)
+            self.nxt[self.sentinel] = self.sentinel
+            self.prv[self.sentinel] = self.sentinel
+            self.p_insert = self.p_access = self.p_pop = None
+        else:
+            pol = (
+                _FastLfu()
+                if policy == "lfu"
+                else _FastRandom(np.random.default_rng(seed))
+            )
+            self.p_insert = pol.insert
+            self.p_access = pol.access if policy == "lfu" else None
+            self.p_pop = pol.pop_victim
+            self.nxt = self.prv = []  # unused
+
+        self.size = 0
+        self.requests = 0
+        self.hits = 0
+        self.disguised = 0
+        self.misses = 0
+        self.private_requests = 0
+        self.private_hits = 0
+        self.evictions = 0
+        self.delay_total = 0.0
+
+    def run_span(self, ids: Sequence[int], flags: Sequence[bool]) -> None:
+        # Hot loop: hoist all state into locals, write counters back once.
+        cached = self.cached
+        entry_private = self.entry_private
+        nxt = self.nxt
+        prv = self.prv
+        sentinel = self.sentinel
+        inline_list = self.inline_list
+        move_on_access = self.move_on_access
+        p_insert = self.p_insert
+        p_access = self.p_access
+        p_pop = self.p_pop
+        k_insert = self.kernel.on_insert
+        k_decide = self.kernel.decide_private
+        k_evict = self.kernel.on_evict
+        cap = self.cap
+        size = self.size
+        refresh = self.refresh
+        fetch_delay = self.fetch_delay
+        hits = self.hits
+        disguised = self.disguised
+        misses = self.misses
+        private_requests = self.private_requests
+        private_hits = self.private_hits
+        evictions = self.evictions
+        delay_total = self.delay_total
+
+        n = len(ids)
+        for i in range(n):
+            cid = ids[i]
+            priv = flags[i]
+            if priv:
+                private_requests += 1
+            if cached[cid]:
+                if entry_private[cid]:
+                    if priv:
+                        decision = k_decide(cid)
+                    else:
+                        # Trigger rule: one unmarked request demotes the
+                        # entry for the rest of its cache residency.
+                        entry_private[cid] = 0
+                        decision = 0
+                else:
+                    decision = 0
+                if decision == 0:
+                    hits += 1
+                    if priv:
+                        private_hits += 1
+                    if move_on_access:
+                        before = prv[cid]
+                        after = nxt[cid]
+                        nxt[before] = after
+                        prv[after] = before
+                        tail = prv[sentinel]
+                        nxt[tail] = cid
+                        prv[cid] = tail
+                        nxt[cid] = sentinel
+                        prv[sentinel] = cid
+                    elif p_access is not None:
+                        p_access(cid)
+                else:
+                    # Disguised hits and forced misses refresh recency too,
+                    # unless the refresh ablation is on.
+                    if refresh:
+                        if move_on_access:
+                            before = prv[cid]
+                            after = nxt[cid]
+                            nxt[before] = after
+                            prv[after] = before
+                            tail = prv[sentinel]
+                            nxt[tail] = cid
+                            prv[cid] = tail
+                            nxt[cid] = sentinel
+                            prv[sentinel] = cid
+                        elif p_access is not None:
+                            p_access(cid)
+                    if decision == 1:
+                        disguised += 1
+                        delay_total += fetch_delay
+                    else:
+                        misses += 1
+            else:
+                if cap is not None:
+                    while size >= cap:
+                        if inline_list:
+                            victim = nxt[sentinel]
+                            after = nxt[victim]
+                            nxt[sentinel] = after
+                            prv[after] = sentinel
+                        else:
+                            victim = p_pop()
+                        cached[victim] = 0
+                        size -= 1
+                        evictions += 1
+                        k_evict(victim)
+                cached[cid] = 1
+                entry_private[cid] = 1 if priv else 0
+                size += 1
+                if inline_list:
+                    tail = prv[sentinel]
+                    nxt[tail] = cid
+                    prv[cid] = tail
+                    nxt[cid] = sentinel
+                    prv[sentinel] = cid
+                else:
+                    p_insert(cid)
+                k_insert(cid, priv)
+                misses += 1
+
+        self.size = size
+        self.requests += n
+        self.hits = hits
+        self.disguised = disguised
+        self.misses = misses
+        self.private_requests = private_requests
+        self.private_hits = private_hits
+        self.evictions = evictions
+        self.delay_total = delay_total
+
+    def stats(self) -> ReplayStats:
+        return ReplayStats(
+            requests=self.requests,
+            hits=self.hits,
+            disguised_hits=self.disguised,
+            misses=self.misses,
+            private_requests=self.private_requests,
+            private_hits=self.private_hits,
+            evictions=self.evictions,
+            artificial_delay_total=self.delay_total,
+        )
+
+
+def _sharded_spans(
+    rule: MarkingRule, sharded: ShardedCompiledTrace
+) -> Iterator[Tuple[List[int], Sequence[bool]]]:
+    """Yield (ids, privacy flags) per shard, bit-identical to the in-RAM
+    :func:`compile_private_flags` broadcast over the whole trace."""
+    if isinstance(rule, ContentMarking):
+        # URI-keyed fast path: mark straight off the on-disk name table
+        # without constructing Name objects (str(name) IS the uri).
+        per_name = np.fromiter(
+            (rule.is_private_uri(uri) for uri in sharded.names.iter_uris()),
+            dtype=bool,
+            count=sharded.n_names,
+        )
+    else:
+        per_name = None
+    if not isinstance(rule, (NoMarking, ContentMarking)):
+        # Generic name-dependent rules need real Name objects per
+        # request; materialize the vocabulary once (O(n_names), still
+        # independent of trace length).  Name-blind rules (e.g.
+        # RequestMarking's per-request coin) skip even that.
+        names: Sequence = list(sharded.names) if rule.uses_name else ()
+        is_private = rule.is_private
+    else:
+        names = ()
+        is_private = None
+    for shard in sharded.iter_shards():
+        ids = shard.ids.tolist()
+        if isinstance(rule, NoMarking):
+            flags: Sequence[bool] = [False] * len(ids)
+        elif per_name is not None:
+            flags = per_name[shard.ids].tolist()
+        elif rule.uses_request_index:
+            occurrence = shard.occurrence.tolist()
+            if rule.uses_name:
+                flags = [
+                    is_private(names[cid], occurrence[i])
+                    for i, cid in enumerate(ids)
+                ]
+            else:
+                flags = [is_private(None, occ) for occ in occurrence]
+        elif rule.uses_name:
+            flags = [is_private(names[cid], 0) for cid in ids]
+        else:
+            flags = [is_private(None, 0) for _ in ids]
+        yield ids, flags
+
+
 def fast_replay(
-    trace: Union[Trace, CompiledTrace],
+    trace: Union[Trace, CompiledTrace, ShardedCompiledTrace],
     scheme: Optional[CacheScheme] = None,
     marking: Optional[MarkingRule] = None,
     cache_size: Optional[int] = None,
@@ -159,9 +415,11 @@ def fast_replay(
     """Replay a trace through one router on the interned fast path.
 
     Drop-in replacement for :func:`repro.workload.replay.replay` — same
-    parameters, same :class:`ReplayStats`, bit for bit.  Accepts either a
-    :class:`Trace` (compiled on first use, memoized) or an
-    already-compiled :class:`CompiledTrace`.
+    parameters, same :class:`ReplayStats`, bit for bit.  Accepts a
+    :class:`Trace` (compiled on first use, memoized), an
+    already-compiled :class:`CompiledTrace`, or an on-disk
+    :class:`~repro.workload.sharded.ShardedCompiledTrace` (replayed
+    shard by shard at bounded RSS, same observables).
     """
     if policy not in POLICIES:
         raise CacheError(
@@ -173,6 +431,22 @@ def fast_replay(
         )
     scheme = scheme if scheme is not None else NoPrivacyScheme()
     rule = marking if marking is not None else NoMarking()
+
+    if isinstance(trace, ShardedCompiledTrace):
+        kernel = scheme.make_kernel(trace.names)
+        if kernel is None:
+            raise ValueError(
+                f"scheme {type(scheme).__name__} provides no fast kernel; "
+                f"sharded traces have no reference-replay fallback — "
+                f"materialize the trace to use the oracle path"
+            )
+        core = _ReplayCore(
+            kernel, trace.n_names, cache_size, policy, fetch_delay, seed,
+            refresh_delayed_hits,
+        )
+        for ids, flags in _sharded_spans(rule, trace):
+            core.run_span(ids, flags)
+        return core.stats()
 
     if isinstance(trace, CompiledTrace):
         compiled = trace
@@ -200,136 +474,9 @@ def fast_replay(
             refresh_delayed_hits=refresh_delayed_hits,
         )
 
-    ids = compiled.ids.tolist()
-    n = len(ids)
-    n_names = compiled.n_names
-    flags = compile_private_flags(rule, compiled)
-
-    cached = bytearray(n_names)
-    entry_private = bytearray(n_names)
-
-    # LRU/FIFO: intrusive doubly-linked list over content ids with a
-    # sentinel at index n_names; head side = eviction victim, tail side =
-    # most recent.  FIFO shares the list but never reorders on access.
-    inline_list = policy in ("lru", "fifo")
-    move_on_access = policy == "lru"
-    sentinel = n_names
-    if inline_list:
-        nxt = [0] * (n_names + 1)
-        prv = [0] * (n_names + 1)
-        nxt[sentinel] = sentinel
-        prv[sentinel] = sentinel
-        p_insert = p_access = p_pop = None
-    else:
-        pol = (
-            _FastLfu()
-            if policy == "lfu"
-            else _FastRandom(np.random.default_rng(seed))
-        )
-        p_insert = pol.insert
-        p_access = pol.access if policy == "lfu" else None
-        p_pop = pol.pop_victim
-        nxt = prv = []  # unused
-
-    k_insert = kernel.on_insert
-    k_decide = kernel.decide_private
-    k_evict = kernel.on_evict
-
-    cap = cache_size
-    size = 0
-    refresh = refresh_delayed_hits
-    hits = disguised = misses = 0
-    private_requests = private_hits = evictions = 0
-    delay_total = 0.0
-
-    for i in range(n):
-        cid = ids[i]
-        priv = flags[i]
-        if priv:
-            private_requests += 1
-        if cached[cid]:
-            if entry_private[cid]:
-                if priv:
-                    decision = k_decide(cid)
-                else:
-                    # Trigger rule: one unmarked request demotes the entry
-                    # for the rest of its cache residency.
-                    entry_private[cid] = 0
-                    decision = 0
-            else:
-                decision = 0
-            if decision == 0:
-                hits += 1
-                if priv:
-                    private_hits += 1
-                if move_on_access:
-                    before = prv[cid]
-                    after = nxt[cid]
-                    nxt[before] = after
-                    prv[after] = before
-                    tail = prv[sentinel]
-                    nxt[tail] = cid
-                    prv[cid] = tail
-                    nxt[cid] = sentinel
-                    prv[sentinel] = cid
-                elif p_access is not None:
-                    p_access(cid)
-            else:
-                # Disguised hits and forced misses refresh recency too,
-                # unless the refresh ablation is on.
-                if refresh:
-                    if move_on_access:
-                        before = prv[cid]
-                        after = nxt[cid]
-                        nxt[before] = after
-                        prv[after] = before
-                        tail = prv[sentinel]
-                        nxt[tail] = cid
-                        prv[cid] = tail
-                        nxt[cid] = sentinel
-                        prv[sentinel] = cid
-                    elif p_access is not None:
-                        p_access(cid)
-                if decision == 1:
-                    disguised += 1
-                    delay_total += fetch_delay
-                else:
-                    misses += 1
-        else:
-            if cap is not None:
-                while size >= cap:
-                    if inline_list:
-                        victim = nxt[sentinel]
-                        after = nxt[victim]
-                        nxt[sentinel] = after
-                        prv[after] = sentinel
-                    else:
-                        victim = p_pop()
-                    cached[victim] = 0
-                    size -= 1
-                    evictions += 1
-                    k_evict(victim)
-            cached[cid] = 1
-            entry_private[cid] = 1 if priv else 0
-            size += 1
-            if inline_list:
-                tail = prv[sentinel]
-                nxt[tail] = cid
-                prv[cid] = tail
-                nxt[cid] = sentinel
-                prv[sentinel] = cid
-            else:
-                p_insert(cid)
-            k_insert(cid, priv)
-            misses += 1
-
-    return ReplayStats(
-        requests=n,
-        hits=hits,
-        disguised_hits=disguised,
-        misses=misses,
-        private_requests=private_requests,
-        private_hits=private_hits,
-        evictions=evictions,
-        artificial_delay_total=delay_total,
+    core = _ReplayCore(
+        kernel, compiled.n_names, cache_size, policy, fetch_delay, seed,
+        refresh_delayed_hits,
     )
+    core.run_span(compiled.ids.tolist(), compile_private_flags(rule, compiled))
+    return core.stats()

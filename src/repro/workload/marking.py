@@ -32,6 +32,12 @@ class MarkingRule(abc.ABC):
     #: harness skip the per-request occurrence bookkeeping entirely.
     uses_request_index: bool = True
 
+    #: True when :meth:`is_private` actually reads ``name``.  Name-blind
+    #: rules (per-request coin flips, null marking) let streaming replay
+    #: skip materializing the name table entirely — ``is_private`` may
+    #: then legitimately receive ``None``.
+    uses_name: bool = True
+
     @abc.abstractmethod
     def is_private(self, name: Name, request_index: int) -> bool:
         """True iff request number ``request_index`` for ``name`` is private."""
@@ -49,17 +55,28 @@ class ContentMarking(MarkingRule):
         self.salt = salt
 
     def is_private(self, name: Name, request_index: int) -> bool:
+        return self.is_private_uri(str(name))
+
+    def is_private_uri(self, uri: str) -> bool:
+        """The same stable coin keyed directly on the URI string.
+
+        ``str(name)`` IS the URI, so this is bit-identical to
+        :meth:`is_private` — streaming replay uses it to mark a
+        million-name table without constructing a single :class:`Name`.
+        """
         if self.fraction <= 0.0:
             return False
         if self.fraction >= 1.0:
             return True
-        digest = hashlib.sha256(f"{self.salt}|{name}".encode("utf-8")).digest()
+        digest = hashlib.sha256(f"{self.salt}|{uri}".encode("utf-8")).digest()
         value = int.from_bytes(digest[:8], "big") / 2**64
         return value < self.fraction
 
 
 class RequestMarking(MarkingRule):
     """Per-request marking: each request flips an independent coin."""
+
+    uses_name = False
 
     def __init__(self, fraction: float, seed: int = 0) -> None:
         if not 0.0 <= fraction <= 1.0:
@@ -75,6 +92,7 @@ class NoMarking(MarkingRule):
     """Nothing is private (the No-Privacy baseline's world view)."""
 
     uses_request_index = False
+    uses_name = False
 
     def is_private(self, name: Name, request_index: int) -> bool:
         return False

@@ -1,0 +1,513 @@
+"""Mmap-sharded compiled traces: the on-disk fast-replay format at scale.
+
+:func:`compile_stream` lowers any :class:`~repro.workload.streaming.Workload`
+to fixed-size shards of the same dense arrays a
+:class:`~repro.workload.compiled.CompiledTrace` holds in RAM — ids,
+times, users, first-occurrence flags, plus the per-request occurrence
+index computed in the same single streaming pass — and writes them as
+``.npy`` files under one directory, with a JSON manifest carrying the
+global name intern table (``names.tsv``, one URI per content id, in
+first-appearance order) and a sha256 per file.
+
+The contract with the in-RAM compiler is **bit-equality**: concatenating
+a trace's shards reproduces ``compile_trace(trace)``'s arrays exactly —
+same dtypes, same first-appearance intern order, same occurrence index
+(asserted by the property suite in ``tests/workload/test_sharded.py``).
+That is what lets ``stream → shards → replay`` equal
+``generate → compile → replay`` on every observable.
+
+Readers open shards with ``numpy.load(mmap_mode="r")`` and release each
+one (``madvise(MADV_DONTNEED)``) after consuming it, so peak RSS of a
+full replay is bounded by one shard plus O(n_names) replay state —
+independent of trace length.  Checksums are verified on demand
+(:meth:`ShardedCompiledTrace.verify`); a mismatch raises
+:class:`ShardIntegrityError`, which the sweep-runner trace cache turns
+into regenerate-on-mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ndn.name import Name
+from repro.workload.compiled import CompiledTrace, _occurrence_index
+from repro.workload.streaming import Workload
+
+FORMAT_NAME = "repro-sharded-trace"
+FORMAT_VERSION = 1
+MANIFEST_FILE = "manifest.json"
+NAMES_FILE = "names.tsv"
+
+#: Requests per shard (the unit of worker/replay residency).
+DEFAULT_SHARD_SIZE = 262_144
+
+#: Field name -> (file suffix, dtype).  Dtypes mirror CompiledTrace.
+_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("ids", "int32"),
+    ("times", "float64"),
+    ("users", "int32"),
+    ("occurrence", "int32"),
+    ("first", "bool"),
+)
+
+
+class ShardIntegrityError(Exception):
+    """A shard file is missing or fails its manifest checksum."""
+
+
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _shard_file(index: int, field: str) -> str:
+    return f"shard-{index:05d}.{field}.npy"
+
+
+class _ShardWriter:
+    """Accumulates request columns and flushes fixed-size shards."""
+
+    def __init__(self, out_dir: Path, shard_size: int) -> None:
+        self.out_dir = out_dir
+        self.shard_size = shard_size
+        self.buffers: Dict[str, List[np.ndarray]] = {f: [] for f, _ in _FIELDS}
+        self.buffered = 0
+        self.written = 0
+        self.shards: List[dict] = []
+
+    def push(self, columns: Dict[str, np.ndarray]) -> None:
+        n = len(columns["ids"])
+        if n == 0:
+            return
+        for field, _ in _FIELDS:
+            self.buffers[field].append(columns[field])
+        self.buffered += n
+        while self.buffered >= self.shard_size:
+            self._flush(self.shard_size)
+
+    def _take(self, count: int) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for field, dtype in _FIELDS:
+            parts: List[np.ndarray] = []
+            need = count
+            buf = self.buffers[field]
+            while need > 0:
+                head = buf[0]
+                if len(head) <= need:
+                    parts.append(head)
+                    need -= len(head)
+                    buf.pop(0)
+                else:
+                    parts.append(head[:need])
+                    buf[0] = head[need:]
+                    need = 0
+            out[field] = (
+                np.concatenate(parts) if len(parts) > 1 else parts[0]
+            ).astype(dtype, copy=False)
+        return out
+
+    def _flush(self, count: int) -> None:
+        index = len(self.shards)
+        columns = self._take(count)
+        checksums: Dict[str, str] = {}
+        for field, _ in _FIELDS:
+            path = self.out_dir / _shard_file(index, field)
+            np.save(path, columns[field])
+            checksums[field] = _file_sha256(path)
+        self.shards.append(
+            {"index": index, "start": self.written, "count": count,
+             "checksums": checksums}
+        )
+        self.written += count
+        self.buffered -= count
+
+    def finish(self) -> None:
+        if self.buffered:
+            self._flush(self.buffered)
+
+
+def compile_stream(
+    workload: Workload,
+    out_dir: Union[str, Path],
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    chunk_size: Optional[int] = None,
+    source: Optional[dict] = None,
+) -> "ShardedCompiledTrace":
+    """Compile a workload to the sharded on-disk format in one pass.
+
+    Interns names to dense int32 content ids in first-appearance order
+    (bit-equal to :func:`~repro.workload.compiled.compile_trace` on the
+    same request sequence, for any ``shard_size``/``chunk_size``), writes
+    the occurrence index alongside, and returns the opened
+    :class:`ShardedCompiledTrace`.  ``source`` is an arbitrary JSON-able
+    provenance dict stored in the manifest (the sweep cache puts the
+    generator fingerprint here).
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    key_space = workload.key_space
+    if key_space is not None:
+        key_to_cid: Optional[np.ndarray] = np.full(key_space, -1, dtype=np.int64)
+        cid_map: Optional[Dict[int, int]] = None
+    else:
+        key_to_cid = None
+        cid_map = {}
+
+    writer = _ShardWriter(out, shard_size)
+    n_names = 0
+    # Per-cid running request counts (occurrence index source), grown in
+    # amortized-doubling steps as the vocabulary is discovered.
+    occ_counts = np.zeros(max(1024, int(workload.n_names) or 1024), dtype=np.int64)
+
+    with (out / NAMES_FILE).open("w", encoding="utf-8") as names_out:
+        for block in workload.iter_blocks(chunk_size):
+            keys = block.keys
+            if key_to_cid is not None:
+                cids = key_to_cid[keys]
+            else:
+                assert cid_map is not None
+                cids = np.fromiter(
+                    (cid_map.get(k, -1) for k in keys.tolist()),
+                    dtype=np.int64,
+                    count=len(keys),
+                )
+            missing = cids < 0
+            if missing.any():
+                uniq, first_idx = np.unique(
+                    keys[missing], return_index=True
+                )
+                appearance = np.argsort(first_idx, kind="stable")
+                new_keys = uniq[appearance]
+                for key in new_keys.tolist():
+                    names_out.write(workload.uri_of(key) + "\n")
+                fresh = np.arange(
+                    n_names, n_names + len(new_keys), dtype=np.int64
+                )
+                if key_to_cid is not None:
+                    key_to_cid[new_keys] = fresh
+                    cids = key_to_cid[keys]
+                else:
+                    assert cid_map is not None
+                    cid_map.update(zip(new_keys.tolist(), fresh.tolist()))
+                    cids = np.fromiter(
+                        (cid_map[k] for k in keys.tolist()),
+                        dtype=np.int64,
+                        count=len(keys),
+                    )
+                n_names += len(new_keys)
+            if n_names > len(occ_counts):
+                grown = np.zeros(
+                    max(n_names, 2 * len(occ_counts)), dtype=np.int64
+                )
+                grown[: len(occ_counts)] = occ_counts
+                occ_counts = grown
+            cids32 = cids.astype(np.int32)
+            within = _occurrence_index(cids32, n_names).astype(np.int64)
+            occurrence = within + occ_counts[cids]
+            first = occurrence == 0
+            np.add.at(occ_counts, cids, 1)
+            writer.push(
+                {
+                    "ids": cids32,
+                    "times": np.asarray(block.times, dtype=np.float64),
+                    "users": block.users.astype(np.int32),
+                    "occurrence": occurrence.astype(np.int32),
+                    "first": first,
+                }
+            )
+    writer.finish()
+
+    manifest = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "n_requests": writer.written,
+        "n_names": n_names,
+        "shard_size": shard_size,
+        "fields": {field: dtype for field, dtype in _FIELDS},
+        "names_file": NAMES_FILE,
+        "names_sha256": _file_sha256(out / NAMES_FILE),
+        "shards": writer.shards,
+        "source": source if source is not None else {},
+    }
+    with (out / MANIFEST_FILE).open("w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+        handle.write("\n")
+    return ShardedCompiledTrace.open(out)
+
+
+@dataclass(frozen=True)
+class TraceShard:
+    """One memory-mapped slice of a sharded trace (CompiledTrace columns)."""
+
+    index: int
+    start: int
+    ids: np.ndarray
+    times: np.ndarray
+    users: np.ndarray
+    occurrence: np.ndarray
+    first_occurrence: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    def release(self) -> None:
+        """Drop this shard's pages (``madvise(MADV_DONTNEED)``).
+
+        Called by streaming consumers after a shard is replayed so peak
+        RSS stays bounded by one resident shard.  Best-effort: platforms
+        without madvise simply rely on the VM to reclaim cold pages.
+        """
+        import mmap as _mmap
+
+        advice = getattr(_mmap, "MADV_DONTNEED", None)
+        if advice is None:  # pragma: no cover - platform fallback
+            return
+        for array in (
+            self.ids, self.times, self.users, self.occurrence,
+            self.first_occurrence,
+        ):
+            source = getattr(array, "_mmap", None)
+            if source is not None:
+                try:
+                    source.madvise(advice)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
+
+class LazyNameTable(Sequence[Name]):
+    """``names[content_id]`` over the on-disk intern table, loaded lazily.
+
+    ``len()`` and iteration stream the TSV without materializing (what
+    the replay kernels use); random access loads the URI list once and
+    keeps it (what generic marking rules need).  Name objects are built
+    outside the global intern pool, so walking a million-name table does
+    not grow process-wide state.
+    """
+
+    def __init__(self, path: Path, count: int) -> None:
+        self._path = path
+        self._count = count
+        self._uris: Optional[List[str]] = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def iter_uris(self) -> Iterator[str]:
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                yield line.rstrip("\n")
+
+    def __iter__(self) -> Iterator[Name]:
+        for uri in self.iter_uris():
+            yield Name(tuple(uri.split("/")[1:]) if uri != "/" else ())
+
+    def _load(self) -> List[str]:
+        if self._uris is None:
+            self._uris = list(self.iter_uris())
+            if len(self._uris) != self._count:
+                raise ShardIntegrityError(
+                    f"{self._path}: expected {self._count} names, "
+                    f"found {len(self._uris)}"
+                )
+        return self._uris
+
+    def __getitem__(self, index):  # type: ignore[override]
+        uri = self._load()[index]
+        if isinstance(index, slice):
+            return [
+                Name(tuple(u.split("/")[1:]) if u != "/" else ()) for u in uri
+            ]
+        return Name(tuple(uri.split("/")[1:]) if uri != "/" else ())
+
+
+class ShardedCompiledTrace:
+    """A compiled trace living on disk as mmap'd shards.
+
+    The streaming twin of :class:`~repro.workload.compiled.CompiledTrace`:
+    same columns, same semantics, but materialized one shard at a time.
+    """
+
+    def __init__(self, path: Path, manifest: dict) -> None:
+        self.path = path
+        self.manifest = manifest
+        self._names: Optional[LazyNameTable] = None
+
+    # ------------------------------------------------------------------
+    # Open / verify
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "ShardedCompiledTrace":
+        """Open a shard directory (validates the manifest shape only;
+        call :meth:`verify` for checksums)."""
+        root = Path(path)
+        manifest_path = root / MANIFEST_FILE
+        if not manifest_path.is_file():
+            raise ShardIntegrityError(f"{root}: no {MANIFEST_FILE}")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ShardIntegrityError(f"{manifest_path}: {error}") from error
+        if manifest.get("format") != FORMAT_NAME:
+            raise ShardIntegrityError(
+                f"{root}: unexpected format {manifest.get('format')!r}"
+            )
+        if manifest.get("version") != FORMAT_VERSION:
+            raise ShardIntegrityError(
+                f"{root}: unsupported version {manifest.get('version')!r}"
+            )
+        for field in ("n_requests", "n_names", "shards"):
+            if field not in manifest:
+                raise ShardIntegrityError(f"{root}: manifest missing {field!r}")
+        return cls(root, manifest)
+
+    def verify(self) -> None:
+        """Check every shard file and the name table against the manifest.
+
+        Raises :class:`ShardIntegrityError` on any missing file or
+        checksum mismatch (the trace cache regenerates on this).
+        """
+        names_path = self.path / self.manifest.get("names_file", NAMES_FILE)
+        if not names_path.is_file():
+            raise ShardIntegrityError(f"{names_path}: missing name table")
+        if _file_sha256(names_path) != self.manifest.get("names_sha256"):
+            raise ShardIntegrityError(f"{names_path}: checksum mismatch")
+        for shard in self.manifest["shards"]:
+            for field, expected in shard["checksums"].items():
+                path = self.path / _shard_file(shard["index"], field)
+                if not path.is_file():
+                    raise ShardIntegrityError(f"{path}: missing shard file")
+                if _file_sha256(path) != expected:
+                    raise ShardIntegrityError(f"{path}: checksum mismatch")
+
+    # ------------------------------------------------------------------
+    # CompiledTrace-shaped metadata
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return int(self.manifest["n_requests"])
+
+    @property
+    def n_names(self) -> int:
+        return int(self.manifest["n_names"])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.manifest["shards"])
+
+    @property
+    def shard_size(self) -> int:
+        return int(self.manifest.get("shard_size", DEFAULT_SHARD_SIZE))
+
+    @property
+    def max_hit_rate(self) -> float:
+        """1 − unique/total: the unlimited-cache hit-rate ceiling."""
+        if not self.n_requests:
+            return 0.0
+        return 1.0 - self.n_names / self.n_requests
+
+    @property
+    def names(self) -> LazyNameTable:
+        if self._names is None:
+            self._names = LazyNameTable(
+                self.path / self.manifest.get("names_file", NAMES_FILE),
+                self.n_names,
+            )
+        return self._names
+
+    # ------------------------------------------------------------------
+    # Shard access
+    # ------------------------------------------------------------------
+    def load_shard(self, index: int, verify: bool = False) -> TraceShard:
+        """Memory-map one shard (optionally checksum-verified first)."""
+        meta = self.manifest["shards"][index]
+        arrays: Dict[str, np.ndarray] = {}
+        for field, _ in _FIELDS:
+            path = self.path / _shard_file(meta["index"], field)
+            if not path.is_file():
+                raise ShardIntegrityError(f"{path}: missing shard file")
+            if verify and _file_sha256(path) != meta["checksums"][field]:
+                raise ShardIntegrityError(f"{path}: checksum mismatch")
+            arrays[field] = np.load(path, mmap_mode="r")
+        if len(arrays["ids"]) != meta["count"]:
+            raise ShardIntegrityError(
+                f"{self.path}: shard {index} has {len(arrays['ids'])} "
+                f"requests, manifest says {meta['count']}"
+            )
+        return TraceShard(
+            index=meta["index"],
+            start=meta["start"],
+            ids=arrays["ids"],
+            times=arrays["times"],
+            users=arrays["users"],
+            occurrence=arrays["occurrence"],
+            first_occurrence=arrays["first"],
+        )
+
+    def iter_shards(
+        self, verify: bool = False, release: bool = True
+    ) -> Iterator[TraceShard]:
+        """Yield shards in order, releasing each one's pages afterwards."""
+        for index in range(self.n_shards):
+            shard = self.load_shard(index, verify=verify)
+            try:
+                yield shard
+            finally:
+                if release:
+                    shard.release()
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def materialize(self) -> CompiledTrace:
+        """Concatenate all shards into an in-RAM :class:`CompiledTrace`.
+
+        For differential tests and small traces — defeats the point at
+        scale.
+        """
+        ids: List[np.ndarray] = []
+        times: List[np.ndarray] = []
+        users: List[np.ndarray] = []
+        occ: List[np.ndarray] = []
+        first: List[np.ndarray] = []
+        for shard in self.iter_shards(release=False):
+            ids.append(np.asarray(shard.ids))
+            times.append(np.asarray(shard.times))
+            users.append(np.asarray(shard.users))
+            occ.append(np.asarray(shard.occurrence))
+            first.append(np.asarray(shard.first_occurrence))
+        compiled = CompiledTrace(
+            ids=np.concatenate(ids) if ids else np.zeros(0, dtype=np.int32),
+            times=(
+                np.concatenate(times) if times else np.zeros(0, dtype=np.float64)
+            ),
+            users=(
+                np.concatenate(users) if users else np.zeros(0, dtype=np.int32)
+            ),
+            names=tuple(self.names),
+            first_occurrence=(
+                np.concatenate(first) if first else np.zeros(0, dtype=bool)
+            ),
+        )
+        compiled._occurrence_index[0] = (
+            np.concatenate(occ) if occ else np.zeros(0, dtype=np.int32)
+        )
+        return compiled
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedCompiledTrace(path={str(self.path)!r}, "
+            f"requests={self.n_requests}, names={self.n_names}, "
+            f"shards={self.n_shards})"
+        )

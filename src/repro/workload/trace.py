@@ -11,12 +11,12 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Dict, Iterable, Iterator, List, Union
 
 from repro.ndn.name import Name, name_of
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One content request: timestamp (ms), requesting user, content name."""
 
@@ -35,11 +35,25 @@ class Trace:
     """An ordered request trace with summary statistics."""
 
     def __init__(self, requests: Iterable[Request] = ()) -> None:
-        self._requests: List[Request] = list(requests)
+        self._requests: List[Request] = []
         self._compiled = None
+        # Append-time column interning: duplicate user ids and names
+        # across requests share one object each, so a million-request
+        # trace holds one int per distinct user and one Name per distinct
+        # object instead of one per request.
+        self._user_pool: Dict[int, int] = {}
+        self._name_pool: Dict[Name, Name] = {}
+        for request in requests:
+            self.append(request)
 
     def append(self, request: Request) -> None:
         """Add one request (caller maintains time ordering)."""
+        user = self._user_pool.setdefault(request.user, request.user)
+        name = self._name_pool.setdefault(request.name, request.name)
+        if user is not request.user:
+            object.__setattr__(request, "user", user)
+        if name is not request.name:
+            object.__setattr__(request, "name", name)
         self._requests.append(request)
         self._compiled = None
 

@@ -53,14 +53,17 @@ def _benign_trace(seed: int):
 
     The scale preserves what the detectors key on — Zipf re-request
     locality within each face's stream — while replaying in milliseconds:
-    8 users browsing a 120-object catalog over a compressed diurnal day.
+    8 users browsing a 90-object catalog over a compressed diurnal day.
+    (Calibrated against the pollution detector's novelty margin: the
+    worst per-face first-seen EWMA across the widened seed family stays
+    ≈0.44, well under the 0.55 alarm threshold.)
     """
     config = IrcacheConfig(
         requests=700,
         users=8,
-        objects=120,
+        objects=90,
         sites=24,
-        popularity_exponent=0.9,
+        popularity_exponent=1.0,
         session_locality=0.4,
         duration_hours=0.25,
         seed=seed,

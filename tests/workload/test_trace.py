@@ -94,3 +94,41 @@ class TestPersistence:
         path.write_text("1.0\t3\n")
         with pytest.raises(ValueError, match="expected 3"):
             Trace.load(path)
+
+
+class TestRequestMemoryLayout:
+    """The Request/Trace footprint contract: slots + append-time interning
+    must not change behavior or the on-disk format."""
+
+    def test_request_has_slots_no_dict(self):
+        request = Request(time=1.0, user=3, name=Name.parse("/a/b"))
+        assert not hasattr(request, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            request.extra = 1  # type: ignore[attr-defined]
+
+    def test_trace_interns_users_and_names_on_append(self):
+        trace = Trace()
+        for i in range(10):
+            trace.append(
+                Request(time=float(i), user=int("7"), name=Name.parse("/x/y"))
+            )
+        names = {id(request.name) for request in trace}
+        users = {id(request.user) for request in trace}
+        assert len(names) == 1
+        assert len(users) == 1
+
+    def test_interning_preserves_tsv_roundtrip(self, tmp_path):
+        trace = Trace([
+            Request(time=0.5, user=12, name=Name.parse("/s1/o4")),
+            Request(time=1.5, user=184, name=Name.parse("/s2/o9")),
+            Request(time=2.0, user=12, name=Name.parse("/s1/o4")),
+        ])
+        path = tmp_path / "trace.tsv"
+        trace.save(path)
+        reloaded = Trace.load(path)
+        assert len(reloaded) == 3
+        for a, b in zip(trace, reloaded):
+            assert (a.time, a.user, str(a.name)) == (b.time, b.user, str(b.name))
+        assert trace.unique_objects == reloaded.unique_objects
+        assert trace.unique_users == reloaded.unique_users
+        assert trace.max_hit_rate == reloaded.max_hit_rate
